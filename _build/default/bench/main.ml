@@ -1,0 +1,421 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§IV).
+
+   Each section prints the same rows/series the paper reports; absolute
+   numbers reflect this simulator on this machine, but the shapes (who wins,
+   by roughly what factor, where the crossovers fall) are the reproduction
+   targets — EXPERIMENTS.md records the paper-vs-measured comparison.
+
+   Repetitions default to 20 per configuration (the paper uses 100); set
+   BFTSIM_REPS to change.  A bechamel micro-benchmark per table/figure
+   kernel closes the run.
+
+   Run with: dune exec bench/main.exe *)
+
+module Core = Bftsim_core
+module Net = Bftsim_net
+module B = Bftsim_baseline
+
+let reps = Core.Runner.default_reps ()
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let pp_mean_std ppf (s : Core.Stats.t) = Format.fprintf ppf "%8.2f ± %6.2f" s.mean s.stddev
+
+let latency_summary config =
+  let s = Core.Runner.run_many ~reps config in
+  (s.latency_ms, s.messages, s.liveness_failures, s.safety_violations)
+
+let seconds (s : Core.Stats.t) =
+  {
+    s with
+    Core.Stats.mean = s.mean /. 1000.;
+    stddev = s.stddev /. 1000.;
+    min = s.min /. 1000.;
+    max = s.max /. 1000.;
+    median = s.median /. 1000.;
+  }
+
+(* ---------------- Tables I and II ---------------- *)
+
+let tables () =
+  section "Table I — Implemented BFT protocols (LoC measured on this repo)";
+  (match Core.Loc_count.find_root () with
+  | None -> Printf.printf "  (sources not found; run from the repository root)\n"
+  | Some root ->
+    Printf.printf "  %-22s %-24s %s\n" "Protocol" "Network Model" "LoC";
+    List.iter
+      (fun (e : Core.Loc_count.entry) ->
+        Printf.printf "  %-22s %-24s %d\n" e.label e.network_model e.loc)
+      (Core.Loc_count.table1 ~root);
+    section "Table II — Implemented attacks";
+    Printf.printf "  %-28s %-22s %s\n" "Attack" "Attacker Capability" "LoC";
+    List.iter
+      (fun (e : Core.Loc_count.entry) ->
+        Printf.printf "  %-28s %-22s %d\n" e.label e.network_model e.loc)
+      (Core.Loc_count.table2 ~root))
+
+(* ---------------- Fig 2: simulation time, ours vs packet-level ---------------- *)
+
+let fig2 () =
+  section
+    "Fig 2 — Simulation wall time for PBFT (lambda=1000, N(250,50)); ours vs\n\
+     the packet-level baseline (BFTSim substitute; capped at 32 nodes like\n\
+     BFTSim's OOM limit)";
+  Printf.printf "  %-6s %14s %24s %10s\n" "nodes" "ours (s)" "baseline (s)" "ratio";
+  List.iter
+    (fun n ->
+      let ours =
+        let samples =
+          List.init 3 (fun k ->
+              fst
+                (Core.Controller.wall_clock_of_run
+                   { (Core.Experiments.fig2_config ~n) with Core.Config.seed = 1 + k }))
+        in
+        Core.Stats.of_list samples
+      in
+      if n <= 32 then begin
+        let baseline =
+          Core.Stats.of_list
+            (List.init 3 (fun k -> fst (B.Engine.wall_clock_of_run ~n ~seed:(1 + k) ())))
+        in
+        Printf.printf "  %-6d %14.4f %24.3f %9.0fx\n%!" n ours.mean baseline.mean
+          (baseline.mean /. Float.max ours.mean 1e-9)
+      end
+      else
+        Printf.printf "  %-6d %14.4f %24s %10s\n%!" n ours.mean
+          (Printf.sprintf "(infeasible: ~%d MiB)" (B.Engine.estimated_memory_bytes ~n / 1024 / 1024))
+          "-")
+    Core.Experiments.fig2_node_counts
+
+(* ---------------- Fig 3: four network environments ---------------- *)
+
+let fig3 () =
+  section "Fig 3a — Per-decision latency (s) across four network environments (lambda=1000)";
+  Printf.printf "  %-12s" "protocol";
+  List.iter (fun (name, _) -> Printf.printf " %17s" name) Core.Experiments.network_environments;
+  Printf.printf "\n";
+  let msg_rows = ref [] in
+  List.iter
+    (fun protocol ->
+      Printf.printf "  %-12s" protocol;
+      let msg_cells =
+        List.map
+          (fun (_, delay) ->
+            let latency, messages, live_fail, safety =
+              latency_summary (Core.Experiments.fig3_config ~protocol ~delay ~seed:1)
+            in
+            assert (safety = 0);
+            Format.printf " %a%s" pp_mean_std (seconds latency) (if live_fail > 0 then "!" else " ");
+            messages)
+          Core.Experiments.network_environments
+      in
+      msg_rows := (protocol, msg_cells) :: !msg_rows;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    Core.Experiments.all_protocols;
+  section "Fig 3b — Per-decision message count, same environments";
+  Printf.printf "  %-12s" "protocol";
+  List.iter (fun (name, _) -> Printf.printf " %17s" name) Core.Experiments.network_environments;
+  Printf.printf "\n";
+  List.iter
+    (fun (protocol, cells) ->
+      Printf.printf "  %-12s" protocol;
+      List.iter (fun m -> Format.printf " %a " pp_mean_std m) cells;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    (List.rev !msg_rows)
+
+(* ---------------- Fig 4: overestimated timeout ---------------- *)
+
+let fig4 () =
+  section
+    "Fig 4 — Per-decision latency (s) when the timeout is overestimated\n\
+     (lambda 1000..3000, delays fixed at N(250,50)); responsive protocols are flat";
+  Printf.printf "  %-12s" "protocol";
+  List.iter (fun l -> Printf.printf " %17.0f" l) Core.Experiments.fig4_lambdas;
+  Printf.printf "\n";
+  List.iter
+    (fun protocol ->
+      Printf.printf "  %-12s" protocol;
+      List.iter
+        (fun lambda_ms ->
+          let latency, _, _, _ =
+            latency_summary (Core.Experiments.fig4_config ~protocol ~lambda_ms ~seed:1)
+          in
+          Format.printf " %a " pp_mean_std (seconds latency))
+        Core.Experiments.fig4_lambdas;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    Core.Experiments.all_protocols
+
+(* ---------------- Fig 5: underestimated timeout ---------------- *)
+
+let fig5 () =
+  section
+    "Fig 5 — Partially-synchronous protocols when the delay bound is\n\
+     under/over-estimated (lambda 150..2000, delays N(250,50))";
+  Printf.printf "  %-12s" "protocol";
+  List.iter (fun l -> Printf.printf " %17.0f" l) Core.Experiments.fig5_lambdas;
+  Printf.printf "\n";
+  List.iter
+    (fun protocol ->
+      Printf.printf "  %-12s" protocol;
+      List.iter
+        (fun lambda_ms ->
+          let latency, _, _, _ =
+            latency_summary (Core.Experiments.fig5_config ~protocol ~lambda_ms ~seed:1)
+          in
+          Format.printf " %a " pp_mean_std (seconds latency))
+        Core.Experiments.fig5_lambdas;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    Core.Experiments.partially_synchronous
+
+(* ---------------- Fig 6: partition attack ---------------- *)
+
+let fig6 () =
+  section
+    (Printf.sprintf
+       "Fig 6 — Time (s) to first consensus under a two-subnet partition\n\
+        attack; cross traffic dropped until the heal at %.0f s (dotted line)"
+       (Core.Experiments.fig6_heal_ms /. 1000.));
+  Printf.printf "  %-12s %20s %14s\n" "protocol" "consensus at (s)" "overhang (s)";
+  List.iter
+    (fun protocol ->
+      let latency, _, _, _ = latency_summary (Core.Experiments.fig6_config ~protocol ~seed:1) in
+      let latency = seconds latency in
+      Printf.printf "  %-12s %12.1f ± %4.1f %12.1f\n%!" protocol latency.mean latency.stddev
+        (latency.mean -. (Core.Experiments.fig6_heal_ms /. 1000.)))
+    Core.Experiments.fig6_protocols
+
+(* ---------------- Fig 7: fail-stop nodes ---------------- *)
+
+let fig7 () =
+  section
+    "Fig 7 — Per-decision latency (s) across fail-stop node counts\n\
+     (lambda=1000, N(1000,300)); '!' marks runs that hit the liveness cap";
+  Printf.printf "  %-12s" "protocol";
+  List.iter (fun k -> Printf.printf " %17d" k) Core.Experiments.fig7_failstop_counts;
+  Printf.printf "\n";
+  List.iter
+    (fun protocol ->
+      Printf.printf "  %-12s" protocol;
+      List.iter
+        (fun failstop ->
+          let latency, _, live_fail, _ =
+            latency_summary (Core.Experiments.fig7_config ~protocol ~failstop ~seed:1)
+          in
+          Format.printf " %a%s" pp_mean_std (seconds latency) (if live_fail > 0 then "!" else " "))
+        Core.Experiments.fig7_failstop_counts;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    Core.Experiments.all_protocols
+
+(* ---------------- Fig 8: attacks on ADD+ ---------------- *)
+
+let fig8 () =
+  let sweep label make_config =
+    section label;
+    Printf.printf "  %-12s" "protocol";
+    List.iter (fun f -> Printf.printf " %17d" f) Core.Experiments.fig8_f_values;
+    Printf.printf "\n";
+    List.iter
+      (fun protocol ->
+        Printf.printf "  %-12s" protocol;
+        List.iter
+          (fun f ->
+            let latency, _, _, _ = latency_summary (make_config ~protocol ~f) in
+            Format.printf " %a " pp_mean_std (seconds latency))
+          Core.Experiments.fig8_f_values;
+        Format.printf "@?";
+        Printf.printf "\n%!")
+      Core.Experiments.add_variants
+  in
+  sweep "Fig 8 (left) — Latency (s) under the static attack (crash first f leaders)"
+    (fun ~protocol ~f -> Core.Experiments.fig8_static_config ~protocol ~f ~seed:1);
+  sweep "Fig 8 (right) — Latency (s) under the rushing adaptive attack (budget f)" (fun ~protocol ~f ->
+      Core.Experiments.fig8_adaptive_config ~protocol ~f ~seed:1)
+
+(* ---------------- Fig 9: view timeline ---------------- *)
+
+let fig9 () =
+  section
+    "Fig 9 — Each node's view during HotStuff+NS execution\n\
+     (lambda=150, N(250,50)); each symbol is a view number";
+  let r = Core.Controller.run (Core.Experiments.fig9_config ~seed:9) in
+  print_string (Core.View_tracker.render ~width:90 r.view_samples);
+  let d = Core.View_tracker.analyze ~sample_ms:250. r.view_samples in
+  Printf.printf
+    "  run length %.1f s; max view spread %d; %.1f s with diverged views (first at %s)\n%!"
+    (r.time_ms /. 1000.) d.max_spread
+    (d.time_desynced_ms /. 1000.)
+    (match d.first_desync_ms with None -> "-" | Some t -> Printf.sprintf "%.1f s" (t /. 1000.))
+
+(* ---------------- Extensions beyond the paper ---------------- *)
+
+let extensions () =
+  section
+    "Extension protocols (beyond Table I) — Tendermint and Sync HotStuff\n\
+     across the four network environments of Fig 3 (per-decision latency, s)";
+  Printf.printf "  %-14s" "protocol";
+  List.iter (fun (name, _) -> Printf.printf " %17s" name) Core.Experiments.network_environments;
+  Printf.printf "\n";
+  List.iter
+    (fun protocol ->
+      Printf.printf "  %-14s" protocol;
+      List.iter
+        (fun (_, delay) ->
+          let latency, _, live_fail, _ =
+            latency_summary (Core.Experiments.fig3_config ~protocol ~delay ~seed:1)
+          in
+          Format.printf " %a%s" pp_mean_std (seconds latency) (if live_fail > 0 then "!" else " "))
+        Core.Experiments.network_environments;
+      Format.printf "@?";
+      Printf.printf "\n%!")
+    Core.Experiments.extension_protocols;
+  Printf.printf
+    "  note: sync-hotstuff assumes delays <= lambda = 1000 ms; the two\n\
+    \  rightmost environments violate that assumption, so it stalls ('!') —\n\
+    \  the same reason the paper excludes synchronous protocols from Fig 5.\n" 
+
+let throughput_extension () =
+  section
+    "Throughput extension (paper §III-A3) — decided values per second when\n\
+     per-message crypto costs are charged to sequential per-node CPUs\n\
+     (20 decisions, delays N(50,10))";
+  Printf.printf "  %-12s %-6s %14s %14s %14s\n" "protocol" "n" "no costs" "commodity" "rsa2048";
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun n ->
+          Printf.printf "  %-12s %-6d" protocol n;
+          List.iter
+            (fun costs ->
+              let config =
+                Core.Config.make protocol ~n ~seed:1 ~decisions_target:20 ~costs
+                  ~delay:(Net.Delay_model.normal ~mu:50. ~sigma:10.)
+              in
+              let r = Core.Controller.run config in
+              Printf.printf " %10.2f/s   " (Core.Controller.throughput r))
+            [ Core.Cost_model.zero; Core.Cost_model.commodity; Core.Cost_model.rsa2048 ];
+          Printf.printf "\n%!")
+        [ 16; 32; 64 ])
+    [ "pbft"; "hotstuff-ns" ]
+
+let ablation_pacemaker () =
+  section
+    "Ablation — HotStuff+NS naive-synchronizer reset policy (DESIGN.md §3.5):\n\
+     when the view-doubling back-off resets changes which paper pathologies\n\
+     appear (times in s, single seed)";
+  let policies =
+    [
+      ("reset-on-commit", Bftsim_protocols.Chained_core.Reset_on_commit);
+      ("never-reset", Bftsim_protocols.Chained_core.Never_reset);
+      ("per-view-number", Bftsim_protocols.Chained_core.Per_view_number);
+    ]
+  in
+  Printf.printf "  %-18s %16s %16s %16s\n" "policy" "fig5 (l=150)" "fig7 (5 crash)" "fig6 partition";
+  let saved = Bftsim_protocols.Chained_core.naive_reset_policy () in
+  List.iter
+    (fun (name, policy) ->
+      Bftsim_protocols.Chained_core.set_naive_reset_policy policy;
+      let t1 =
+        (Core.Controller.run
+           (Core.Experiments.fig5_config ~protocol:"hotstuff-ns" ~lambda_ms:150. ~seed:1))
+          .Core.Controller.per_decision_latency_ms /. 1000.
+      in
+      let t2 =
+        (Core.Controller.run (Core.Experiments.fig7_config ~protocol:"hotstuff-ns" ~failstop:5 ~seed:1))
+          .Core.Controller.per_decision_latency_ms /. 1000.
+      in
+      let t3 =
+        (Core.Controller.run (Core.Experiments.fig6_config ~protocol:"hotstuff-ns" ~seed:1))
+          .Core.Controller.time_ms /. 1000.
+      in
+      Printf.printf "  %-18s %14.2f %16.2f %16.1f\n%!" name t1 t2 t3)
+    policies;
+  Bftsim_protocols.Chained_core.set_naive_reset_policy saved
+
+(* ---------------- Bechamel kernels ---------------- *)
+
+let bechamel_kernels () =
+  let open Bechamel in
+  let open Toolkit in
+  section
+    "Bechamel — wall-time micro-benchmarks, one Test.make per table/figure\n\
+     kernel (cost of one simulated run of that experiment)";
+  let one name thunk = Test.make ~name (Staged.stage thunk) in
+  let delay = Net.Delay_model.normal ~mu:250. ~sigma:50. in
+  let tests =
+    Test.make_grouped ~name:"bftsim"
+      [
+        one "table1-loc-inventory" (fun () ->
+            match Core.Loc_count.find_root () with
+            | Some root -> ignore (Core.Loc_count.table1 ~root)
+            | None -> ());
+        one "table2-loc-inventory" (fun () ->
+            match Core.Loc_count.find_root () with
+            | Some root -> ignore (Core.Loc_count.table2 ~root)
+            | None -> ());
+        one "fig2-ours-n32" (fun () ->
+            ignore (Core.Controller.run (Core.Experiments.fig2_config ~n:32)));
+        one "fig2-baseline-n8" (fun () -> ignore (B.Engine.run ~n:8 ~seed:1 ()));
+        one "fig3-pbft-N(250,50)" (fun () ->
+            ignore (Core.Controller.run (Core.Experiments.fig3_config ~protocol:"pbft" ~delay ~seed:1)));
+        one "fig4-algorand-l3000" (fun () ->
+            ignore
+              (Core.Controller.run
+                 (Core.Experiments.fig4_config ~protocol:"algorand" ~lambda_ms:3000. ~seed:1)));
+        one "fig5-hotstuff-l150" (fun () ->
+            ignore
+              (Core.Controller.run
+                 (Core.Experiments.fig5_config ~protocol:"hotstuff-ns" ~lambda_ms:150. ~seed:1)));
+        one "fig6-librabft-partition" (fun () ->
+            ignore (Core.Controller.run (Core.Experiments.fig6_config ~protocol:"librabft" ~seed:1)));
+        one "fig7-pbft-failstop5" (fun () ->
+            ignore
+              (Core.Controller.run (Core.Experiments.fig7_config ~protocol:"pbft" ~failstop:5 ~seed:1)));
+        one "fig8-addv2-adaptive" (fun () ->
+            ignore
+              (Core.Controller.run
+                 (Core.Experiments.fig8_adaptive_config ~protocol:"add-v2" ~f:3 ~seed:1)));
+        one "fig9-viewtrace" (fun () ->
+            ignore (Core.Controller.run (Core.Experiments.fig9_config ~seed:9)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, Float.nan) :: acc)
+      results []
+  in
+  List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.3f ms/run\n" name (ns /. 1e6))
+    (List.sort compare rows)
+
+let () =
+  Printf.printf "BFT simulator benchmark harness — %d repetitions per configuration\n" reps;
+  Printf.printf "(set BFTSIM_REPS to change; the paper uses 100)\n%!";
+  tables ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  extensions ();
+  throughput_extension ();
+  ablation_pacemaker ();
+  bechamel_kernels ();
+  Printf.printf "\nAll experiments completed.\n"

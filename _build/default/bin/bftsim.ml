@@ -1,0 +1,281 @@
+(* bftsim — command-line front end of the BFT protocol simulator.
+
+   Mirrors the paper's user story (§III-A): a run is described by a small
+   configuration (protocol, network model and parameters, optional attack),
+   either as command-line flags or a key = value config file. *)
+
+open Cmdliner
+module Core = Bftsim_core
+module Net = Bftsim_net
+module Protocols = Bftsim_protocols
+
+let read_config_file path =
+  let ic = open_in path in
+  let kvs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 && line.[0] <> '#' then
+         match String.index_opt line '=' with
+         | Some i ->
+           let key = String.trim (String.sub line 0 i) in
+           let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+           kvs := (key, value) :: !kvs
+         | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !kvs
+
+let config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
+    ~crashed ~target ~inputs ~max_time () =
+  let file_kvs = match config_file with Some path -> read_config_file path | None -> [] in
+  let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
+  (* Flags override file values because assoc finds the first binding. *)
+  let kvs =
+    flag "protocol" protocol @ flag "n" n @ flag "lambda" lambda @ flag "delay" delay
+    @ flag "seed" seed @ flag "attack" attack @ flag "crashed" crashed @ flag "target" target
+    @ flag "inputs" inputs @ flag "max_time_ms" max_time @ flag "transport" transport
+    @ flag "costs" costs @ file_kvs
+  in
+  Core.Config.of_keyvalues kvs
+
+(* Shared flag definitions *)
+let config_file_arg =
+  let doc = "Configuration file with key = value lines (see bftsim run --help)." in
+  Arg.(value & opt (some file) None & info [ "c"; "config" ] ~docv:"FILE" ~doc)
+
+let protocol_arg =
+  let doc = "Protocol to simulate: " ^ String.concat ", " (Protocols.Registry.names ()) ^ "." in
+  Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let n_arg = Arg.(value & opt (some string) None & info [ "n" ] ~docv:"NODES" ~doc:"Number of nodes.")
+
+let lambda_arg =
+  Arg.(value & opt (some string) None & info [ "lambda" ] ~docv:"MS" ~doc:"Assumed delay bound (ms).")
+
+let delay_arg =
+  let doc = "Network delay model, e.g. normal:250,50 | uniform:10,20 | exp:300." in
+  Arg.(value & opt (some string) None & info [ "delay" ] ~docv:"MODEL" ~doc)
+
+let seed_arg = Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"INT" ~doc:"Random seed.")
+
+let attack_arg =
+  let doc =
+    "Attack: none | partition:<first>,<start>,<heal>[,delay] | silence:<ids>@<ms> | \
+     add-static:<f> | add-adaptive | extra-delay:<ms>."
+  in
+  Arg.(value & opt (some string) None & info [ "attack" ] ~docv:"SPEC" ~doc)
+
+let crashed_arg =
+  Arg.(value & opt (some string) None & info [ "crashed" ] ~docv:"IDS" ~doc:"Fail-stop node ids, comma separated.")
+
+let target_arg =
+  Arg.(value & opt (some string) None & info [ "target" ] ~docv:"INT" ~doc:"Decisions per node before stopping.")
+
+let inputs_arg =
+  Arg.(value & opt (some string) None & info [ "inputs" ] ~docv:"SPEC" ~doc:"distinct | same:<v> | binary.")
+
+let max_time_arg =
+  Arg.(value & opt (some string) None & info [ "max-time" ] ~docv:"MS" ~doc:"Simulated-time cap (ms).")
+
+let transport_arg =
+  Arg.(value & opt (some string) None
+       & info [ "transport" ] ~docv:"SPEC" ~doc:"direct (default) or gossip:<fanout>.")
+
+let costs_arg =
+  Arg.(value & opt (some string) None
+       & info [ "costs" ] ~docv:"SPEC"
+           ~doc:"Computation costs: none | commodity | rsa2048 | custom:<sign_ms>,<verify_ms>.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log simulation events.")
+
+let setup_logs verbose =
+  Bftsim_sim.Simlog.setup_for_cli ~level:(if verbose then Some Logs.Info else Some Logs.Warning)
+
+let print_result (r : Core.Controller.result) =
+  Format.printf "protocol        : %s@." r.config.Core.Config.protocol;
+  Format.printf "configuration   : %s@." (Core.Config.describe r.config);
+  Format.printf "outcome         : %a@." Core.Controller.pp_outcome r.outcome;
+  Format.printf "time usage      : %.3f s@." (r.time_ms /. 1000.);
+  Format.printf "message usage   : %d messages (%d bytes est., %d dropped by attacker)@."
+    r.messages_sent r.bytes_sent r.messages_dropped;
+  Format.printf "per decision    : %.3f s, %.1f messages@."
+    (r.per_decision_latency_ms /. 1000.)
+    r.per_decision_messages;
+  Format.printf "events          : %d@." r.events_processed;
+  Format.printf "safety          : %s@."
+    (if r.safety_ok then "ok (agreement holds)"
+     else "VIOLATED: " ^ Option.value ~default:"?" r.safety_violation);
+  if r.corrupted <> [] then
+    Format.printf "corrupted nodes : %s@."
+      (String.concat ", " (List.map string_of_int r.corrupted));
+  let decided = List.filter (fun (_, values) -> values <> []) r.decisions in
+  (match decided with
+  | (_, values) :: _ ->
+    Format.printf "decided values  : %s (by %d nodes)@."
+      (String.concat "; " values)
+      (List.length decided)
+  | [] -> Format.printf "decided values  : none@.")
+
+(* --- run --- *)
+
+let run_cmd =
+  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the execution trace.") in
+  let views_arg =
+    Arg.(value & flag & info [ "views" ] ~doc:"Sample views every 250 ms and render the timeline.")
+  in
+  let action config_file protocol n lambda delay seed attack crashed target inputs max_time
+      transport costs trace views verbose =
+    setup_logs verbose;
+    match
+      config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
+        ~crashed ~target ~inputs ~max_time ()
+    with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok config ->
+      let config =
+        {
+          config with
+          Core.Config.record_trace = trace;
+          view_sample_ms = (if views then Some 250. else config.Core.Config.view_sample_ms);
+        }
+      in
+      let r = Core.Controller.run config in
+      print_result r;
+      (match r.trace with
+      | Some t when trace ->
+        Format.printf "@.--- trace (%d entries) ---@." (Core.Trace.length t);
+        Core.Trace.dump Format.std_formatter t
+      | _ -> ());
+      if views then Format.printf "@.%s@." (Core.View_tracker.render r.view_samples);
+      if r.safety_ok then 0 else 2
+  in
+  let term =
+    Term.(
+      const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ transport_arg
+      $ costs_arg $ trace_arg $ views_arg $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics") term
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let reps_arg =
+    Arg.(value & opt int 0 & info [ "reps" ] ~docv:"INT" ~doc:"Repetitions (default BFTSIM_REPS or 20).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
+  in
+  let action config_file protocol n lambda delay seed attack crashed target inputs max_time
+      transport costs reps csv verbose =
+    setup_logs verbose;
+    match
+      config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
+        ~crashed ~target ~inputs ~max_time ()
+    with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok config ->
+      let reps = if reps > 0 then Some reps else None in
+      let summary = Core.Runner.run_many ?reps config in
+      Format.printf "%s@." (Core.Config.describe config);
+      Format.printf "%a@." Core.Runner.pp_summary summary;
+      (match csv with
+      | None -> ()
+      | Some path ->
+        Core.Csv_export.write_file ~path ~header:Core.Csv_export.result_header
+          ~rows:(List.map Core.Csv_export.result_row summary.Core.Runner.results);
+        Format.printf "wrote %s (%d rows)@." path (List.length summary.Core.Runner.results));
+      if summary.Core.Runner.safety_violations = 0 then 0 else 2
+  in
+  let term =
+    Term.(
+      const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ transport_arg
+      $ costs_arg $ reps_arg $ csv_arg $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
+
+(* --- list --- *)
+
+let list_cmd =
+  let action () =
+    Format.printf "%-12s %-22s %s@." "name" "network model" "measurement";
+    List.iter
+      (fun (module P : Protocols.Protocol_intf.S) ->
+        Format.printf "%-12s %-22s %s@." P.name
+          (Protocols.Protocol_intf.network_model_to_string P.model)
+          (if P.pipelined then "10 decisions (pipelined)" else "1 decision"))
+      (Protocols.Registry.all ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the implemented protocols (paper Table I)")
+    Term.(const action $ const ())
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let action config_file protocol n lambda delay seed attack crashed target inputs max_time verbose
+      =
+    setup_logs verbose;
+    match
+      config_of_args ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs
+        ~max_time ()
+    with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok config ->
+      let det = Core.Validator.check_determinism config in
+      Format.printf "determinism : %a@." Core.Validator.pp_report det;
+      let ground = Core.Controller.run { config with Core.Config.record_trace = true } in
+      let replayed = Core.Validator.validate_against ~ground_truth:ground config in
+      Format.printf "replay      : %a@." Core.Validator.pp_report replayed;
+      if det.Core.Validator.decisions_match && replayed.Core.Validator.decisions_match then 0 else 2
+  in
+  let term =
+    Term.(
+      const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Cross-validate a configuration (determinism and trace replay)")
+    term
+
+(* --- loc --- *)
+
+let loc_cmd =
+  let action () =
+    match Core.Loc_count.find_root () with
+    | None ->
+      Format.eprintf "error: repository sources not found (run from the repo)@.";
+      1
+    | Some root ->
+      Format.printf "Table I: implemented BFT protocols@.";
+      Format.printf "  %-22s %-22s %s@." "protocol" "network model" "LoC";
+      List.iter
+        (fun (e : Core.Loc_count.entry) ->
+          Format.printf "  %-22s %-22s %d@." e.label e.network_model e.loc)
+        (Core.Loc_count.table1 ~root);
+      Format.printf "Table II: implemented attacks@.";
+      Format.printf "  %-26s %-20s %s@." "attack" "capability" "LoC";
+      List.iter
+        (fun (e : Core.Loc_count.entry) ->
+          Format.printf "  %-26s %-20s %d@." e.label e.network_model e.loc)
+        (Core.Loc_count.table2 ~root);
+      0
+  in
+  Cmd.v (Cmd.info "loc" ~doc:"Lines-of-code inventory (paper Tables I and II)")
+    Term.(const action $ const ())
+
+let main_cmd =
+  let doc = "Efficient and flexible simulator for BFT protocols (DSN 2022 reproduction)" in
+  let info = Cmd.info "bftsim" ~version:"1.0.0" ~doc in
+  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; loc_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

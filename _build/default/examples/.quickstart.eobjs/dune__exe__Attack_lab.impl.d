@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Bftsim_core Format List

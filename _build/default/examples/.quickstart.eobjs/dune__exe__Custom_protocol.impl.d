@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Bftsim_attack Bftsim_core Bftsim_net Bftsim_protocols Bftsim_sim Format List Printf String

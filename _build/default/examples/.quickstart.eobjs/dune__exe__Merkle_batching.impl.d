@@ -1,0 +1,1 @@
+examples/merkle_batching.ml: Bftsim_core Bftsim_crypto Bftsim_net Format List Printf String

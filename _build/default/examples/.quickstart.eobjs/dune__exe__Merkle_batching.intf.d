@@ -1,0 +1,1 @@
+examples/merkle_batching.mli:

@@ -1,0 +1,1 @@
+examples/partition_study.ml: Bftsim_core Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bftsim_core Bftsim_net Bftsim_protocols Format List

@@ -1,0 +1,1 @@
+examples/throughput_study.ml: Bftsim_core Bftsim_net Format List

@@ -1,0 +1,1 @@
+examples/view_sync.ml: Bftsim_core Bftsim_net Format

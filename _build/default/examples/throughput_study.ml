@@ -1,0 +1,42 @@
+(* Throughput study — the extension the paper sketches in §III-A3:
+   "estimate the computation time through calculating the number of
+   computational extensive operations, such as cryptography operations."
+
+   With a cost model attached, every outgoing message charges signing time
+   and every incoming message charges verification time on the node's
+   sequential CPU, so quadratic message complexity turns into real
+   compute-bound throughput limits — visible below as PBFT (O(n^2)
+   messages per decision) falling behind chained HotStuff (O(n)) much
+   faster once verification stops being free.
+
+   Run with: dune exec examples/throughput_study.exe *)
+
+module Core = Bftsim_core
+module Net = Bftsim_net
+
+let throughput ~protocol ~n ~costs =
+  let config =
+    Core.Config.make protocol ~n ~seed:11 ~decisions_target:20 ~costs
+      ~delay:(Net.Delay_model.normal ~mu:50. ~sigma:10.)
+  in
+  Core.Controller.throughput (Core.Controller.run config)
+
+let () =
+  Format.printf "Decided values per second, 20-decision runs, N(50,10) delays:@.@.";
+  Format.printf "  %-12s %-5s %12s %12s %12s@." "protocol" "n" "free crypto" "commodity" "rsa2048";
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun n ->
+          Format.printf "  %-12s %-5d" protocol n;
+          List.iter
+            (fun costs -> Format.printf " %9.2f/s  " (throughput ~protocol ~n ~costs))
+            [ Core.Cost_model.zero; Core.Cost_model.commodity; Core.Cost_model.rsa2048 ];
+          Format.printf "@.")
+        [ 8; 16; 32; 64 ])
+    [ "pbft"; "hotstuff-ns" ];
+  Format.printf
+    "@.Reading: without costs, latency is purely network-bound and n barely@.\
+     matters.  With crypto charged, throughput falls as n grows — and PBFT,@.\
+     whose per-decision message count is quadratic in n, pays a steeper@.\
+     verification backlog than HotStuff's linear leader communication.@."

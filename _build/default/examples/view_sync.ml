@@ -1,0 +1,33 @@
+(* View-synchronization analysis (paper §IV-D, Fig. 9): sample every
+   node's view during a HotStuff+NS run and render the timeline.
+
+   With lambda = 150 ms against actual delays of N(250, 50) the assumed
+   bound is wrong, the naive synchronizer keeps firing, and node views
+   stagger; with lambda = 1000 ms the timeline is a clean staircase.
+
+   Run with: dune exec examples/view_sync.exe *)
+
+module Core = Bftsim_core
+module Net = Bftsim_net
+
+let run ~lambda_ms ~seed =
+  let config =
+    Core.Config.make "hotstuff-ns" ~lambda_ms ~seed
+      ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+      ~view_sample_ms:250.
+  in
+  let result = Core.Controller.run config in
+  Format.printf "@.lambda = %.0f ms (seed %d): %a after %.1f s@." lambda_ms seed
+    Core.Controller.pp_outcome result.outcome
+    (result.time_ms /. 1000.);
+  print_string (Core.View_tracker.render ~width:80 result.view_samples);
+  let d = Core.View_tracker.analyze ~sample_ms:250. result.view_samples in
+  Format.printf "max view spread %d; %.1f s spent with diverged views@." d.max_spread
+    (d.time_desynced_ms /. 1000.)
+
+let () =
+  run ~lambda_ms:150. ~seed:9;
+  run ~lambda_ms:1000. ~seed:9;
+  Format.printf
+    "@.Underestimated delay bounds make the nodes' views stagger (non-uniform@.\
+     columns above); a correct bound keeps every node in the same view.@."

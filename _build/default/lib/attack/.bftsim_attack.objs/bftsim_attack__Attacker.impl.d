@@ -1,0 +1,1 @@
+lib/attack/attacker.ml: Bftsim_net Bftsim_sim Message Printf Rng Time Timer Topology

@@ -1,0 +1,1 @@
+lib/attack/attacker.mli: Bftsim_net Bftsim_sim Message Rng Time Timer Topology

@@ -1,0 +1,1 @@
+lib/attack/failstop.ml: Attacker Bftsim_net Bftsim_sim Hashtbl List Message Printf Time

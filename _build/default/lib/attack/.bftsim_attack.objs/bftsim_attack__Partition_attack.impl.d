@@ -1,0 +1,1 @@
+lib/attack/partition_attack.ml: Array Attacker Bftsim_net Bftsim_sim Float Message Printf Rng Time

@@ -1,0 +1,1 @@
+lib/attack/partition_attack.mli: Attacker

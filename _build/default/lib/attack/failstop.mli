@@ -1,0 +1,15 @@
+(** Fail-stop faults (paper §III-C).
+
+    The weakest Byzantine behaviour: a node stops participating.  The paper
+    realizes it by starting only [n - f] honest nodes; the controller does
+    the same when [Config.crashed] is non-empty.  This module additionally
+    offers fail-stop as an {e attacker}, which silences a chosen set of
+    nodes from a chosen instant — useful to crash nodes mid-run (e.g. crash
+    a leader right after it was elected) without touching the protocol. *)
+
+val from_start : nodes:int list -> Attacker.t
+(** Drops every message sent by [nodes], from time zero.  Equivalent to not
+    starting them, except the victims still burn their own timers. *)
+
+val at_time : nodes:int list -> at_ms:float -> Attacker.t
+(** The nodes behave honestly before [at_ms] and are silenced afterwards. *)

@@ -1,0 +1,1 @@
+lib/baseline/engine.ml: Array Bftsim_net Bftsim_protocols Bftsim_sim Bytes Event_queue Float Hashtbl List Message Option Packet Phys Printf Rng String Time Timer Unix

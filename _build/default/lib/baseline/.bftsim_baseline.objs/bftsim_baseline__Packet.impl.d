@@ -1,0 +1,1 @@
+lib/baseline/packet.ml: Bftsim_crypto Bytes Printf String

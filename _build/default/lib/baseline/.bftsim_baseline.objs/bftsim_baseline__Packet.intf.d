@@ -1,0 +1,1 @@
+lib/baseline/packet.mli: Bytes

@@ -1,0 +1,44 @@
+(** Packets of the packet-level baseline simulator.
+
+    The baseline (DESIGN.md §4, substitution 1) stands in for BFTSim's
+    ns-2 core in the Fig. 2 comparison: it simulates every protocol message
+    as TCP-like segments with per-hop events, acknowledgements and
+    checksums, which is what makes packet-level simulation slow compared to
+    the message-level abstraction of the main simulator. *)
+
+type kind =
+  | Syn  (** Connection setup (once per ordered node pair). *)
+  | Syn_ack
+  | Handshake_ack
+  | Data of { msg_id : int; seq : int; total : int }
+      (** One segment of an application message. *)
+  | Ack of { msg_id : int; seq : int }
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size_bytes : int;
+  kind : kind;
+  mutable payload : Bytes.t;  (** The wire bytes; copied at every hop. *)
+  checksum : string;
+      (** Covers the whole frame, so verification scans every byte —
+          deliberately part of the per-packet cost, as in ns-2. *)
+}
+
+val header_bytes : int
+(** Per-packet header overhead (54 bytes: Ethernet + IP + TCP). *)
+
+val mss : int
+(** Maximum segment size for application payload (536 bytes). *)
+
+val make : id:int -> src:int -> dst:int -> payload_bytes:int -> kind -> t
+(** Builds a packet; [size_bytes = payload_bytes + header_bytes];
+    serializes the header and computes its checksum. *)
+
+val verify : t -> bool
+(** Recomputes the full-frame checksum — charged on every hop, as
+    ns-2-style simulators do. *)
+
+val copy_at_hop : t -> unit
+(** Materializes a fresh copy of the frame (store-and-forward). *)

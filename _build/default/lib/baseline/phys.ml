@@ -1,0 +1,30 @@
+type link = { bandwidth_bps : float; propagation_ms : float; mutable free_at_ms : float }
+
+let make_link ~bandwidth_mbps ~propagation_ms =
+  if bandwidth_mbps <= 0. then invalid_arg "Phys.make_link: bandwidth <= 0";
+  { bandwidth_bps = bandwidth_mbps *. 1_000_000.; propagation_ms; free_at_ms = 0. }
+
+let transmit link ~now_ms ~bytes =
+  let serialization_ms = float_of_int (8 * bytes) /. link.bandwidth_bps *. 1000. in
+  let start = Float.max now_ms link.free_at_ms in
+  let done_tx = start +. serialization_ms in
+  link.free_at_ms <- done_tx;
+  done_tx +. link.propagation_ms
+
+let link_queue_depth_ms link ~now_ms = Float.max 0. (link.free_at_ms -. now_ms)
+
+type cpu = { mutable busy_until_ms : float }
+
+let make_cpu () = { busy_until_ms = 0. }
+
+let charge cpu ~now_ms ~cost_ms =
+  let start = Float.max now_ms cpu.busy_until_ms in
+  let finish = start +. cost_ms in
+  cpu.busy_until_ms <- finish;
+  finish
+
+let sign_cost_ms = 0.08
+
+let verify_cost_ms = 0.04
+
+let per_packet_cost_ms = 0.01

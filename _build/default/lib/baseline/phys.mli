@@ -1,0 +1,36 @@
+(** Physical-layer models of the baseline: links, router, CPU.
+
+    Star topology: every node has a full-duplex access link to one central
+    router.  Links are store-and-forward with finite bandwidth, so every
+    packet pays serialization + propagation + queuing on both hops, and
+    per-node CPUs charge for cryptographic work — the fidelity/cost
+    trade-off the Fig. 2 comparison measures. *)
+
+type link
+
+val make_link : bandwidth_mbps:float -> propagation_ms:float -> link
+
+val transmit : link -> now_ms:float -> bytes:int -> float
+(** [transmit link ~now_ms ~bytes] enqueues a packet on the link and
+    returns its arrival time at the other end (after queuing behind
+    earlier packets, serialization and propagation). *)
+
+val link_queue_depth_ms : link -> now_ms:float -> float
+(** How far ahead of [now] the link is booked (pending serialization). *)
+
+type cpu
+
+val make_cpu : unit -> cpu
+
+val charge : cpu -> now_ms:float -> cost_ms:float -> float
+(** [charge cpu ~now_ms ~cost_ms] books CPU time (signature checks, packet
+    processing) and returns the completion time. *)
+
+val sign_cost_ms : float
+(** Cost of producing a signature/MAC (0.08 ms, commodity-CPU scale). *)
+
+val verify_cost_ms : float
+(** Cost of verifying one (0.04 ms). *)
+
+val per_packet_cost_ms : float
+(** Protocol-stack processing per packet (0.01 ms). *)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Bftsim_crypto Bftsim_net Bftsim_protocols Char Cost_model Delay_model List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/config.mli: Bftsim_net Cost_model Delay_model

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Bftsim_attack Bftsim_sim Config Format Timer Trace

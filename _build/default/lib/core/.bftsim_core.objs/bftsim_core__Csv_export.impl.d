@@ -1,0 +1,1 @@
+lib/core/csv_export.ml: Array Bftsim_net Buffer Config Controller Fun List Printf Runner Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Bftsim_net Bftsim_protocols Config Delay_model List String

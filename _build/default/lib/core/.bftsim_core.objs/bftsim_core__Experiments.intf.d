@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Bftsim_net Config Delay_model

@@ -1,0 +1,1 @@
+lib/core/loc_count.ml: Filename List String Sys

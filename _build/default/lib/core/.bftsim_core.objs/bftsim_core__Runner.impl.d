@@ -1,0 +1,1 @@
+lib/core/runner.ml: Config Controller Format List Printf Stats Sys

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Float Format Hashtbl List String

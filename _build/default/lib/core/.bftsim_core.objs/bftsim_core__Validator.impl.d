@@ -1,0 +1,1 @@
+lib/core/validator.ml: Config Controller Format Hashtbl List Option Printf String Trace

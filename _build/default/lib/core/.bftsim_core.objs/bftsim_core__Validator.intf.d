@@ -1,0 +1,1 @@
+lib/core/validator.mli: Config Controller Format Trace

@@ -1,0 +1,1 @@
+lib/core/view_tracker.ml: Array Buffer List Printf Stdlib String

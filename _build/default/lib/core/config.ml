@@ -1,0 +1,228 @@
+open Bftsim_net
+module Protocols = Bftsim_protocols
+module Sha256 = Bftsim_crypto.Sha256
+
+type attack_spec =
+  | No_attack
+  | Partition of { first_size : int; start_ms : float; heal_ms : float; drop : bool }
+  | Silence of { nodes : int list; at_ms : float }
+  | Add_static of { f : int }
+  | Add_rushing_adaptive of { budget : int option }
+  | Extra_delay of { extra_ms : float }
+
+type transport = Direct | Gossip of { fanout : int }
+
+type inputs = Distinct | Same of string | Random_binary
+
+type t = {
+  protocol : string;
+  n : int;
+  crashed : int list;
+  lambda_ms : float;
+  delay : Delay_model.t;
+  seed : int;
+  attack : attack_spec;
+  decisions_target : int;
+  max_time_ms : float;
+  max_events : int;
+  inputs : inputs;
+  transport : transport;
+  costs : Cost_model.t;
+  record_trace : bool;
+  view_sample_ms : float option;
+}
+
+let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
+    ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
+    ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms protocol
+    =
+  let p = Protocols.Registry.find_exn protocol in
+  let decisions_target =
+    match decisions_target with
+    | Some target -> target
+    | None -> if Protocols.Protocol_intf.pipelined p then 10 else 1
+  in
+  if n <= 0 then invalid_arg "Config.make: n <= 0";
+  if decisions_target <= 0 then invalid_arg "Config.make: decisions_target <= 0";
+  if lambda_ms <= 0. then invalid_arg "Config.make: lambda <= 0";
+  (match transport with
+  | Gossip { fanout } when fanout <= 0 -> invalid_arg "Config.make: gossip fanout <= 0"
+  | Gossip _ | Direct -> ());
+  List.iter
+    (fun node -> if node < 0 || node >= n then invalid_arg "Config.make: crashed node out of range")
+    crashed;
+  {
+    protocol;
+    n;
+    crashed;
+    lambda_ms;
+    delay;
+    seed;
+    attack;
+    decisions_target;
+    max_time_ms;
+    max_events;
+    inputs;
+    transport;
+    costs;
+    record_trace;
+    view_sample_ms;
+  }
+
+let input_for t node =
+  match t.inputs with
+  | Distinct -> Printf.sprintf "v%d" node
+  | Same v -> v
+  | Random_binary ->
+    let d = Sha256.digest_string (Printf.sprintf "input|%d|%d" t.seed node) in
+    if Char.code (Sha256.to_raw d).[0] land 1 = 0 then "0" else "1"
+
+let honest_excluding_crashed t =
+  let crashed = t.crashed in
+  List.filter (fun i -> not (List.mem i crashed)) (List.init t.n (fun i -> i))
+
+let describe_attack = function
+  | No_attack -> "none"
+  | Partition { first_size; start_ms; heal_ms; drop } ->
+    Printf.sprintf "partition(%d|rest,[%g,%g),%s)" first_size start_ms heal_ms
+      (if drop then "drop" else "delay")
+  | Silence { nodes; at_ms } -> Printf.sprintf "silence(%d nodes@%g)" (List.length nodes) at_ms
+  | Add_static { f } -> Printf.sprintf "add-static(f=%d)" f
+  | Add_rushing_adaptive { budget } ->
+    (match budget with
+    | None -> "add-rushing-adaptive"
+    | Some b -> Printf.sprintf "add-rushing-adaptive(budget=%d)" b)
+  | Extra_delay { extra_ms } -> Printf.sprintf "extra-delay(%g)" extra_ms
+
+let describe t =
+  Printf.sprintf "%s n=%d crashed=%d lambda=%g delay=%s attack=%s target=%d seed=%d%s" t.protocol
+    t.n (List.length t.crashed) t.lambda_ms (Delay_model.describe t.delay)
+    (describe_attack t.attack) t.decisions_target t.seed
+    ((if Cost_model.is_zero t.costs then "" else " costs=" ^ Cost_model.describe t.costs)
+    ^ (match t.transport with
+      | Direct -> ""
+      | Gossip { fanout } -> Printf.sprintf " transport=gossip:%d" fanout))
+
+let parse_int_list s =
+  try Ok (List.filter_map (fun x -> if x = "" then None else Some (int_of_string x)) (String.split_on_char ',' s))
+  with Failure _ -> Error (Printf.sprintf "invalid id list %S" s)
+
+let parse_attack s =
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "none" -> Ok No_attack
+    | "add-adaptive" -> Ok (Add_rushing_adaptive { budget = None })
+    | _ -> Error (Printf.sprintf "unknown attack %S" s))
+  | Some i -> (
+    let kind = String.sub s 0 i and rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "partition" -> (
+      match String.split_on_char ',' rest with
+      | [ first; start; heal ] | [ first; start; heal; _ ] -> (
+        try
+          let drop =
+            match String.split_on_char ',' rest with [ _; _; _; "delay" ] -> false | _ -> true
+          in
+          Ok
+            (Partition
+               {
+                 first_size = int_of_string first;
+                 start_ms = float_of_string start;
+                 heal_ms = float_of_string heal;
+                 drop;
+               })
+        with Failure _ -> Error (Printf.sprintf "invalid partition spec %S" rest))
+      | _ -> Error (Printf.sprintf "invalid partition spec %S" rest))
+    | "silence" -> (
+      match String.index_opt rest '@' with
+      | None -> Error (Printf.sprintf "invalid silence spec %S" rest)
+      | Some j -> (
+        let ids = String.sub rest 0 j in
+        let at = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match (parse_int_list ids, float_of_string_opt at) with
+        | Ok nodes, Some at_ms -> Ok (Silence { nodes; at_ms })
+        | Error e, _ -> Error e
+        | _, None -> Error (Printf.sprintf "invalid silence time %S" at)))
+    | "add-static" -> (
+      match int_of_string_opt rest with
+      | Some f -> Ok (Add_static { f })
+      | None -> Error (Printf.sprintf "invalid add-static f %S" rest))
+    | "extra-delay" -> (
+      match float_of_string_opt rest with
+      | Some extra_ms -> Ok (Extra_delay { extra_ms })
+      | None -> Error (Printf.sprintf "invalid extra-delay %S" rest))
+    | _ -> Error (Printf.sprintf "unknown attack %S" s))
+
+let parse_inputs s =
+  if String.equal s "distinct" then Ok Distinct
+  else if String.equal s "binary" then Ok Random_binary
+  else if String.length s > 5 && String.sub s 0 5 = "same:" then
+    Ok (Same (String.sub s 5 (String.length s - 5)))
+  else Error (Printf.sprintf "unknown inputs spec %S" s)
+
+let of_keyvalues kvs =
+  let ( let* ) = Result.bind in
+  let find key = List.assoc_opt key kvs in
+  let* protocol =
+    match find "protocol" with Some p -> Ok p | None -> Error "missing key: protocol"
+  in
+  let int_key key default =
+    match find key with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "invalid integer for %s: %S" key v))
+  in
+  let float_key key default =
+    match find key with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "invalid float for %s: %S" key v))
+  in
+  let* n = int_key "n" 16 in
+  let* seed = int_key "seed" 1 in
+  let* lambda_ms = float_key "lambda" 1000. in
+  let* max_time_ms = float_key "max_time_ms" 600_000. in
+  let* delay =
+    match find "delay" with
+    | None -> Ok (Delay_model.normal ~mu:250. ~sigma:50.)
+    | Some s -> Delay_model.of_string s
+  in
+  let* crashed = match find "crashed" with None -> Ok [] | Some s -> parse_int_list s in
+  let* attack = match find "attack" with None -> Ok No_attack | Some s -> parse_attack s in
+  let* inputs = match find "inputs" with None -> Ok Distinct | Some s -> parse_inputs s in
+  let* costs =
+    match find "costs" with None -> Ok Cost_model.zero | Some s -> Cost_model.of_string s
+  in
+  let* transport =
+    match find "transport" with
+    | None | Some "direct" -> Ok Direct
+    | Some s when String.length s > 7 && String.sub s 0 7 = "gossip:" -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some fanout when fanout > 0 -> Ok (Gossip { fanout })
+      | _ -> Error (Printf.sprintf "invalid gossip fanout in %S" s))
+    | Some s -> Error (Printf.sprintf "unknown transport %S" s)
+  in
+  let* target =
+    match find "target" with
+    | None -> Ok None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "invalid integer for target: %S" v))
+  in
+  match Bftsim_protocols.Registry.find protocol with
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (known: %s)" protocol
+         (String.concat ", " (Bftsim_protocols.Registry.names ())))
+  | Some _ ->
+    (try
+       Ok
+         (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
+            ~inputs ~transport ~costs protocol)
+     with Invalid_argument msg -> Error msg)

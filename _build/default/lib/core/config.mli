@@ -1,0 +1,104 @@
+(** Simulation configuration.
+
+    The paper's user story: "a user of our simulator needs only to write a
+    configuration file specifying the network model and parameters, the BFT
+    protocol, and, optionally, the attack scenario" (§III-A).  This record
+    is that configuration; {!of_keyvalues} parses the file syntax used by
+    the CLI. *)
+
+open Bftsim_net
+
+type attack_spec =
+  | No_attack
+  | Partition of { first_size : int; start_ms : float; heal_ms : float; drop : bool }
+      (** Two-subnet partition attack; [drop = false] buffers cross traffic
+          until the heal instead of dropping it. *)
+  | Silence of { nodes : int list; at_ms : float }
+      (** Fail-stop a set of nodes at a given time (attacker-driven). *)
+  | Add_static of { f : int }  (** ADD+ static attack (Fig. 8 left). *)
+  | Add_rushing_adaptive of { budget : int option }
+      (** ADD+ rushing adaptive attack (Fig. 8 right); [budget] caps the
+          corruptions (default: the tolerance bound [f]). *)
+  | Extra_delay of { extra_ms : float }  (** Uniform adversarial slowdown. *)
+
+type transport =
+  | Direct  (** Broadcast = n point-to-point sends (the paper's model). *)
+  | Gossip of { fanout : int }
+      (** Epidemic dissemination: the origin sends to [fanout] random peers
+          and every first-time receiver re-forwards to [fanout] more — the
+          transport blockchain deployments actually use.  Trades extra
+          messages and hops for sender bandwidth. *)
+
+type inputs =
+  | Distinct  (** Node [i] proposes ["v<i>"] — the general case. *)
+  | Same of string  (** Unanimous inputs (validity tests). *)
+  | Random_binary  (** Random bit per node (async BA workloads). *)
+
+type t = {
+  protocol : string;  (** Registry name, e.g. ["pbft"]. *)
+  n : int;
+  crashed : int list;
+      (** Fail-stop nodes that are never started, realizing the paper's
+          "start the system with n-f honest nodes" fail-stop model. *)
+  lambda_ms : float;  (** The protocol's assumed delay bound / timeout. *)
+  delay : Delay_model.t;  (** The network's actual delay distribution. *)
+  seed : int;
+  attack : attack_spec;
+  decisions_target : int;
+      (** Stop once every counted honest node has this many decisions:
+          10 for pipelined protocols, 1 otherwise (paper §IV). *)
+  max_time_ms : float;  (** Liveness cap: give up and report failure. *)
+  max_events : int;  (** Hard safety cap on processed events. *)
+  inputs : inputs;
+  transport : transport;
+  costs : Cost_model.t;
+      (** Per-message computation costs; {!Cost_model.zero} reproduces the
+          paper's cost-free model, anything else enables the throughput
+          extension of §III-A3. *)
+  record_trace : bool;
+  view_sample_ms : float option;
+      (** If set, sample every node's view at this period (Fig. 9). *)
+}
+
+val make :
+  ?n:int ->
+  ?crashed:int list ->
+  ?lambda_ms:float ->
+  ?delay:Delay_model.t ->
+  ?seed:int ->
+  ?attack:attack_spec ->
+  ?decisions_target:int ->
+  ?max_time_ms:float ->
+  ?max_events:int ->
+  ?inputs:inputs ->
+  ?transport:transport ->
+  ?costs:Cost_model.t ->
+  ?record_trace:bool ->
+  ?view_sample_ms:float ->
+  string ->
+  t
+(** [make protocol] builds a configuration with the paper's defaults:
+    [n = 16], [lambda = 1000], delays [N(250, 50)], no attack, no crashes,
+    decision target derived from the protocol's pipelining, 10-minute
+    simulated-time cap.  @raise Invalid_argument on an unknown protocol or
+    inconsistent parameters. *)
+
+val input_for : t -> int -> string
+(** The input value node [i] starts with under this configuration. *)
+
+val honest_excluding_crashed : t -> int list
+(** Node ids that are started (not in [crashed]). *)
+
+val describe : t -> string
+(** One-line summary used in tables and logs. *)
+
+val describe_attack : attack_spec -> string
+
+val of_keyvalues : (string * string) list -> (t, string) result
+(** Builds a config from [key = value] pairs (the CLI's config-file
+    contents).  Recognized keys: [protocol], [n], [lambda], [delay],
+    [seed], [crashed] (comma-separated ids), [attack]
+    ([none] | [partition:<first>,<start>,<heal>[,delay]] |
+    [silence:<ids>@<ms>] | [add-static:<f>] | [add-adaptive] |
+    [extra-delay:<ms>]), [target], [max_time_ms], [inputs]
+    ([distinct] | [same:<v>] | [binary]). *)

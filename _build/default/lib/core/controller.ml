@@ -1,0 +1,433 @@
+open Bftsim_sim
+open Bftsim_net
+module Attack = Bftsim_attack
+module Protocols = Bftsim_protocols
+
+type outcome = Reached_target | Timed_out | Event_cap | Queue_drained
+
+type result = {
+  config : Config.t;
+  outcome : outcome;
+  time_ms : float;
+  messages_sent : int;
+  bytes_sent : int;
+  messages_dropped : int;
+  events_processed : int;
+  decisions : (int * string list) list;
+  safety_ok : bool;
+  safety_violation : string option;
+  corrupted : int list;
+  per_decision_latency_ms : float;
+  per_decision_messages : float;
+  final_views : int array;
+  view_samples : (float * int array) list;
+  trace : Trace.t option;
+}
+
+type Timer.payload += Sample_views
+
+type Message.payload +=
+  | Gossip_frame of { origin : int; gid : int; tag : string; size : int; inner : Message.payload }
+      (** Epidemic-transport envelope: first-time receivers unwrap [inner]
+          for their protocol and re-forward the frame to [fanout] peers. *)
+
+type event =
+  | Deliver of Message.t
+  | Deliver_verified of Message.t
+  | Node_timer of Timer.t
+  | Attacker_timer of Timer.t
+
+let pp_outcome ppf = function
+  | Reached_target -> Format.pp_print_string ppf "reached-target"
+  | Timed_out -> Format.pp_print_string ppf "timed-out"
+  | Event_cap -> Format.pp_print_string ppf "event-cap"
+  | Queue_drained -> Format.pp_print_string ppf "queue-drained"
+
+let build_attacker (config : Config.t) =
+  match config.attack with
+  | Config.No_attack -> Attack.Attacker.passthrough
+  | Config.Partition { first_size; start_ms; heal_ms; drop } ->
+    let mode =
+      if drop then Attack.Partition_attack.Drop_cross_traffic
+      else Attack.Partition_attack.Delay_until_heal { jitter_ms = 10. }
+    in
+    Attack.Partition_attack.two_subnets ~n:config.n ~first_size ~start_ms ~heal_ms mode
+  | Config.Silence { nodes; at_ms } -> Attack.Failstop.at_time ~nodes ~at_ms
+  | Config.Add_static { f } -> Protocols.Addplus_attacks.static ~f
+  | Config.Add_rushing_adaptive { budget } -> Protocols.Addplus_attacks.rushing_adaptive ?budget ()
+  | Config.Extra_delay { extra_ms } -> Attack.Attacker.delay_all ~extra_ms
+
+(* Agreement check: decision sequences of all counted honest nodes must
+   agree index-wise (they may have reached different lengths). *)
+let check_safety ~counted decisions =
+  let violation = ref None in
+  let by_index : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (node, values) ->
+      if counted node then
+        List.iteri
+          (fun k value ->
+            match Hashtbl.find_opt by_index k with
+            | None -> Hashtbl.replace by_index k (node, value)
+            | Some (other, expected) ->
+              if (not (String.equal expected value)) && !violation = None then
+                violation :=
+                  Some
+                    (Printf.sprintf "decision %d: node %d decided %S but node %d decided %S" k node
+                       value other expected))
+          values)
+    decisions;
+  !violation
+
+let run ?delay_override ?attacker:attacker_override (config : Config.t) =
+  let (module P : Protocols.Protocol_intf.S) = Protocols.Registry.find_exn config.protocol in
+  let n = config.n in
+  let f = Protocols.Quorum.max_faulty n in
+  let root_rng = Rng.create config.seed in
+  let net_rng = Rng.split root_rng in
+  let attacker_rng = Rng.split root_rng in
+  let node_rngs = Array.init n (fun _ -> Rng.split root_rng) in
+  let queue : event Event_queue.t = Event_queue.create () in
+  Simlog.set_now (fun () -> Event_queue.now queue);
+  let topology = Topology.fully_connected n in
+  let network = Network.create ~delay:config.delay ~topology ~rng:net_rng in
+  let trace = if config.record_trace then Some (Trace.create ()) else None in
+  let record kind ~node ~peer ~tag ~detail =
+    match trace with
+    | None -> ()
+    | Some t ->
+      Trace.record t
+        { at_ms = Time.to_ms (Event_queue.now queue); kind; node; peer; tag; detail }
+  in
+  let crashed = Array.make n false in
+  List.iter (fun i -> crashed.(i) <- true) config.crashed;
+  let corrupted = Array.make n false in
+  let corrupted_order = ref [] in
+  let msg_counter = ref 0 in
+  let timer_counter = ref 0 in
+  let cancelled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let dropped = ref 0 in
+  let decisions : string list ref array = Array.init n (fun _ -> ref []) in
+  let finished = ref None in
+  let outcome = ref Queue_drained in
+  let view_samples = ref [] in
+  let attacker =
+    match attacker_override with Some a -> a | None -> build_attacker config
+  in
+  (* Throughput extension (§III-A3): sequential per-node CPUs charged for
+     signing and verification; zero costs short-circuit to the paper's
+     cost-free behaviour. *)
+  let costs = config.Config.costs in
+  let cpus = Array.init n (fun _ -> Cost_model.make_cpu ()) in
+  let gossip_rng = Rng.split root_rng in
+  let gossip_counter = ref 0 in
+  (* Per node: gossip frames already processed (origin, gid). *)
+  let gossip_seen : (int * int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 64) in
+
+  let counted node = (not crashed.(node)) && not corrupted.(node) in
+  let check_target () =
+    if !finished = None then begin
+      let all_done = ref true in
+      for i = 0 to n - 1 do
+        if counted i && List.length !(decisions.(i)) < config.decisions_target then all_done := false
+      done;
+      if !all_done then begin
+        finished := Some (Time.to_ms (Event_queue.now queue));
+        outcome := Reached_target
+      end
+    end
+  in
+
+  (* Replay support: per-link send counters feeding the override. *)
+  let link_seq : (int * int * string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let next_link_seq key =
+    match Hashtbl.find_opt link_seq key with
+    | Some r ->
+      incr r;
+      !r
+    | None ->
+      Hashtbl.replace link_seq key (ref 0);
+      0
+  in
+
+  let attacker_env =
+    {
+      Attack.Attacker.n;
+      f;
+        lambda_ms = config.lambda_ms;
+        now = (fun () -> Event_queue.now queue);
+        rng = attacker_rng;
+        topology;
+        set_timer =
+          (fun ~delay_ms ~tag payload ->
+            incr timer_counter;
+            let id = !timer_counter in
+            let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
+            let timer = { Timer.id; owner = Timer.attacker_owner; deadline; tag; payload } in
+            Event_queue.schedule queue ~at:deadline (Attacker_timer timer);
+            id);
+        inject =
+          (fun ~src ~dst ~delay_ms ~tag ~size payload ->
+            incr msg_counter;
+            let msg =
+              Message.make ~id:!msg_counter ~src ~dst ~sent_at:(Event_queue.now queue) ~tag ~size
+                payload
+            in
+            msg.Message.delay_ms <- Float.max 0. delay_ms;
+            record Trace.Send ~node:src ~peer:dst ~tag ~detail:"<injected>";
+            Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg));
+        corrupt =
+          (fun node ->
+            if node < 0 || node >= n || corrupted.(node) then false
+            else if List.length !corrupted_order >= f then false
+            else begin
+              corrupted.(node) <- true;
+              corrupted_order := node :: !corrupted_order;
+              Simlog.info "attacker corrupts node %d" node;
+              true
+            end);
+        is_corrupted = (fun node -> node >= 0 && node < n && corrupted.(node));
+        corrupted = (fun () -> List.sort compare !corrupted_order);
+    }
+  in
+
+  let route (msg : Message.t) =
+    Network.assign_delay network msg;
+    (match delay_override with
+    | None -> ()
+    | Some override ->
+      let seq = next_link_seq (msg.src, msg.dst, msg.tag) in
+      match override ~src:msg.src ~dst:msg.dst ~tag:msg.tag ~seq with
+      | Some delay_ms -> msg.delay_ms <- delay_ms
+      | None -> ());
+    record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
+      ~detail:(Message.payload_to_string msg.payload);
+    (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < n then begin
+       let now = Time.to_ms (Event_queue.now queue) in
+       let finish = Cost_model.charge cpus.(msg.src) ~now_ms:now ~cost_ms:costs.Cost_model.sign_ms in
+       msg.Message.delay_ms <- msg.Message.delay_ms +. (finish -. now)
+     end);
+    match attacker.Attack.Attacker.attack attacker_env msg with
+    | Attack.Attacker.Drop ->
+      incr dropped;
+      record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
+    | Attack.Attacker.Deliver ->
+      Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
+  in
+
+  let send_from src ~dst ~tag ~size payload =
+    if not crashed.(src) then begin
+      incr msg_counter;
+      let msg =
+        Message.make ~id:!msg_counter ~src ~dst ~sent_at:(Event_queue.now queue) ~tag ~size payload
+      in
+      route msg
+    end
+  in
+
+  (* Gossip transport: forward a frame from [src] to [fanout] random peers
+     (never back to [src] itself). *)
+  let gossip_forward src (frame : Message.payload) ~tag ~size ~fanout =
+    let chosen = Hashtbl.create 8 in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < Stdlib.min fanout (n - 1) && !attempts < 16 * n do
+      incr attempts;
+      let peer = Rng.int gossip_rng n in
+      if peer <> src && not (Hashtbl.mem chosen peer) then Hashtbl.replace chosen peer ()
+    done;
+    Hashtbl.iter (fun peer () -> send_from src ~dst:peer ~tag ~size frame) chosen
+  in
+
+  let broadcast_from src ~include_self ~tag ~size payload =
+    match config.Config.transport with
+    | Config.Direct ->
+      for dst = 0 to n - 1 do
+        if include_self || dst <> src then send_from src ~dst ~tag ~size payload
+      done
+    | Config.Gossip { fanout } ->
+      if include_self then send_from src ~dst:src ~tag ~size payload;
+      incr gossip_counter;
+      let gid = !gossip_counter in
+      (* The origin has trivially "seen" its own frame. *)
+      Hashtbl.replace gossip_seen.(src) (src, gid) ();
+      gossip_forward src
+        (Gossip_frame { origin = src; gid; tag; size; inner = payload })
+        ~tag ~size ~fanout
+  in
+
+  let make_ctx node_id =
+    {
+      Protocols.Context.node_id;
+      n;
+      f;
+      lambda_ms = config.lambda_ms;
+      seed = config.seed;
+      input = Config.input_for config node_id;
+      rng = node_rngs.(node_id);
+      now = (fun () -> Event_queue.now queue);
+      send_raw = (fun ~dst ~tag ~size payload -> send_from node_id ~dst ~tag ~size payload);
+      broadcast_raw =
+        (fun ~include_self ~tag ~size payload ->
+          broadcast_from node_id ~include_self ~tag ~size payload);
+      set_timer =
+        (fun ~delay_ms ~tag payload ->
+          incr timer_counter;
+          let id = !timer_counter in
+          let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
+          let timer = { Timer.id; owner = node_id; deadline; tag; payload } in
+          Event_queue.schedule queue ~at:deadline (Node_timer timer);
+          id);
+      cancel_timer = (fun id -> Hashtbl.replace cancelled id ());
+      decide =
+        (fun value ->
+          decisions.(node_id) := value :: !(decisions.(node_id));
+          record Trace.Decide ~node:node_id ~peer:(-1) ~tag:value ~detail:"";
+          check_target ());
+    }
+  in
+
+  let ctxs = Array.init n make_ctx in
+  let nodes = Array.map (fun ctx -> if crashed.(ctx.Protocols.Context.node_id) then None else Some (P.create ctx)) ctxs in
+
+  attacker.Attack.Attacker.on_start attacker_env;
+  Array.iteri (fun i node -> match node with Some nd -> P.on_start nd ctxs.(i) | None -> ()) nodes;
+
+  (* Periodic view sampling for the Fig. 9 analysis. *)
+  (match config.view_sample_ms with
+  | None -> ()
+  | Some period ->
+    let timer =
+      {
+        Timer.id = 0;
+        owner = Timer.attacker_owner;
+        deadline = Time.of_ms period;
+        tag = "sample-views";
+        payload = Sample_views;
+      }
+    in
+    Event_queue.schedule queue ~at:(Time.of_ms period) (Attacker_timer timer));
+
+  let sample_views () =
+    let views =
+      Array.mapi (fun i node -> match node with Some nd when not crashed.(i) -> P.view nd | _ -> -1) nodes
+    in
+    view_samples := (Time.to_ms (Event_queue.now queue), views) :: !view_samples
+  in
+
+  let rec dispatch (msg : Message.t) =
+    let dst = msg.Message.dst in
+    if dst >= 0 && dst < n then
+      match msg.Message.payload with
+      | Gossip_frame { origin; gid; tag; size; inner } ->
+        (* First sight: unwrap for the protocol and keep the epidemic going;
+           duplicates die here (their hop still counted as traffic). *)
+        if not (Hashtbl.mem gossip_seen.(dst) (origin, gid)) then begin
+          Hashtbl.replace gossip_seen.(dst) (origin, gid) ();
+          (match config.Config.transport with
+          | Config.Gossip { fanout } when not crashed.(dst) ->
+            gossip_forward dst msg.Message.payload ~tag ~size ~fanout
+          | Config.Gossip _ | Config.Direct -> ());
+          incr msg_counter;
+          let unwrapped =
+            Message.make ~id:!msg_counter ~src:origin ~dst ~sent_at:msg.Message.sent_at ~tag ~size
+              inner
+          in
+          dispatch unwrapped
+        end
+      | _ -> (
+        match nodes.(dst) with
+        | Some node ->
+          record Trace.Deliver ~node:dst ~peer:msg.Message.src ~tag:msg.Message.tag
+            ~detail:(Message.payload_to_string msg.Message.payload);
+          P.on_message node ctxs.(dst) msg
+        | None -> ())
+  in
+  let handle = function
+    | Deliver msg ->
+      let dst = msg.Message.dst in
+      if costs.Cost_model.verify_ms > 0. && dst >= 0 && dst < n && msg.Message.src <> dst then begin
+        (* The receiver's CPU must verify the message before the protocol
+           sees it; contention shows up as extra queueing delay. *)
+        let now = Time.to_ms (Event_queue.now queue) in
+        let finish =
+          Cost_model.charge cpus.(dst) ~now_ms:now ~cost_ms:costs.Cost_model.verify_ms
+        in
+        Event_queue.schedule queue ~at:(Time.of_ms finish) (Deliver_verified msg)
+      end
+      else dispatch msg
+    | Deliver_verified msg -> dispatch msg
+    | Node_timer timer ->
+      if not (Hashtbl.mem cancelled timer.Timer.id) then begin
+        let owner = timer.Timer.owner in
+        match nodes.(owner) with
+        | Some node ->
+          record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
+          P.on_timer node ctxs.(owner) timer
+        | None -> ()
+      end
+    | Attacker_timer timer -> (
+      match timer.Timer.payload with
+      | Sample_views ->
+        sample_views ();
+        let next = Time.add_ms timer.Timer.deadline (Option.get config.view_sample_ms) in
+        let timer = { timer with Timer.deadline = next } in
+        Event_queue.schedule queue ~at:next (Attacker_timer timer)
+      | _ ->
+        if not (Hashtbl.mem cancelled timer.Timer.id) then
+          attacker.Attack.Attacker.on_time_event attacker_env timer)
+  in
+
+  let rec loop () =
+    if !finished <> None then ()
+    else if Event_queue.popped queue >= config.max_events then outcome := Event_cap
+    else
+      match Event_queue.next queue with
+      | None -> outcome := Queue_drained
+      | Some (now, ev) ->
+        if Time.to_ms now > config.max_time_ms then outcome := Timed_out
+        else begin
+          handle ev;
+          loop ()
+        end
+  in
+  loop ();
+
+  let time_ms =
+    match !finished with
+    | Some at -> at
+    | None -> Float.min (Time.to_ms (Event_queue.now queue)) config.max_time_ms
+  in
+  let decisions_list = List.init n (fun i -> (i, List.rev !(decisions.(i)))) in
+  let safety_violation = check_safety ~counted decisions_list in
+  let stats = Network.stats network in
+  {
+    config;
+    outcome = !outcome;
+    time_ms;
+    messages_sent = stats.Network.sent;
+    bytes_sent = stats.Network.bytes;
+    messages_dropped = !dropped;
+    events_processed = Event_queue.popped queue;
+    decisions = decisions_list;
+    safety_ok = safety_violation = None;
+    safety_violation;
+    corrupted = List.sort compare !corrupted_order;
+    per_decision_latency_ms = time_ms /. float_of_int config.decisions_target;
+    per_decision_messages =
+      float_of_int stats.Network.sent /. float_of_int config.decisions_target;
+    final_views =
+      Array.mapi
+        (fun i node -> match node with Some nd when not crashed.(i) -> P.view nd | _ -> -1)
+        nodes;
+    view_samples = List.rev !view_samples;
+    trace;
+  }
+
+let throughput r =
+  if r.time_ms <= 0. then 0.
+  else float_of_int r.config.Config.decisions_target /. (r.time_ms /. 1000.)
+
+let wall_clock_of_run config =
+  let start = Unix.gettimeofday () in
+  let result = run config in
+  (Unix.gettimeofday () -. start, result)

@@ -1,0 +1,67 @@
+(** The controller (paper §III-A1): wires all modules together and runs one
+    simulation.
+
+    It initializes the network, attacker and consensus nodes from a
+    {!Config.t}, owns the event queue, dispatches message and time events to
+    their modules, advances the simulation clock, and finally computes the
+    performance metrics (time usage and message usage, §II-C). *)
+
+open Bftsim_sim
+
+type outcome =
+  | Reached_target  (** Every counted honest node hit the decision target. *)
+  | Timed_out  (** The simulated-time cap elapsed first: a liveness failure. *)
+  | Event_cap  (** The event budget ran out (runaway guard). *)
+  | Queue_drained  (** No events left — the protocol went silent. *)
+
+type result = {
+  config : Config.t;
+  outcome : outcome;
+  time_ms : float;
+      (** Simulation time when the run ended (target reached or cap hit). *)
+  messages_sent : int;  (** Honest wire messages (§II-C message usage). *)
+  bytes_sent : int;
+  messages_dropped : int;  (** Suppressed by the attacker. *)
+  events_processed : int;
+  decisions : (int * string list) list;  (** Per node, in decision order. *)
+  safety_ok : bool;
+      (** Agreement: for every decision index, all counted honest nodes that
+          reached it decided the same value. *)
+  safety_violation : string option;
+  corrupted : int list;  (** Nodes adaptively corrupted during the run. *)
+  per_decision_latency_ms : float;  (** [time_ms / decisions_target]. *)
+  per_decision_messages : float;
+  final_views : int array;
+      (** Each node's view/round/period when the run ended (-1 = crashed) —
+          the protocol's round complexity for this run (paper §II-C notes
+          the simulator supports round complexity alongside time usage). *)
+  view_samples : (float * int array) list;
+      (** (time, view of each node; -1 = crashed), when sampling is on. *)
+  trace : Trace.t option;
+}
+
+val run :
+  ?delay_override:(src:int -> dst:int -> tag:string -> seq:int -> float option) ->
+  ?attacker:Bftsim_attack.Attacker.t ->
+  Config.t ->
+  result
+(** Runs one simulation to completion.  [delay_override] replaces the
+    sampled network delay of the [seq]-th message on a (src, dst, tag) link
+    when it returns [Some _] — the replay mechanism of the validator
+    module.  [attacker] overrides the attacker derived from the config,
+    the hook for user-written attack scenarios (paper §III-A5). *)
+
+val throughput : result -> float
+(** Decided values per simulated second ([decisions_target / time]); the
+    quantity the computation-cost extension (§III-A3) makes meaningful. *)
+
+val wall_clock_of_run : Config.t -> float * result
+(** [wall_clock_of_run config] measures the host time one simulation takes
+    (seconds) — the quantity compared against the packet-level baseline in
+    Fig. 2. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type Timer.payload += Sample_views
+(** Internal controller timer driving periodic view sampling; exposed so
+    traces render it meaningfully. *)

@@ -1,0 +1,39 @@
+type t = { sign_ms : float; verify_ms : float }
+
+let zero = { sign_ms = 0.; verify_ms = 0. }
+
+let commodity = { sign_ms = 0.05; verify_ms = 0.15 }
+
+let rsa2048 = { sign_ms = 1.5; verify_ms = 0.06 }
+
+let is_zero t = t.sign_ms = 0. && t.verify_ms = 0.
+
+let of_string = function
+  | "none" | "zero" -> Ok zero
+  | "commodity" -> Ok commodity
+  | "rsa2048" -> Ok rsa2048
+  | s when String.length s > 7 && String.sub s 0 7 = "custom:" -> (
+    let rest = String.sub s 7 (String.length s - 7) in
+    match String.split_on_char ',' rest with
+    | [ sign; verify ] -> (
+      match (float_of_string_opt sign, float_of_string_opt verify) with
+      | Some sign_ms, Some verify_ms when sign_ms >= 0. && verify_ms >= 0. ->
+        Ok { sign_ms; verify_ms }
+      | _ -> Error (Printf.sprintf "invalid cost spec %S" s))
+    | _ -> Error (Printf.sprintf "invalid cost spec %S" s))
+  | s -> Error (Printf.sprintf "unknown cost model %S" s)
+
+let describe t =
+  if is_zero t then "none" else Printf.sprintf "sign=%gms,verify=%gms" t.sign_ms t.verify_ms
+
+type cpu = { mutable busy_until_ms : float }
+
+let make_cpu () = { busy_until_ms = 0. }
+
+let charge cpu ~now_ms ~cost_ms =
+  let start = Float.max now_ms cpu.busy_until_ms in
+  let finish = start +. cost_ms in
+  cpu.busy_until_ms <- finish;
+  finish
+
+let busy_until cpu = cpu.busy_until_ms

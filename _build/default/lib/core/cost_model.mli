@@ -1,0 +1,45 @@
+(** Computation-cost model (the paper's proposed throughput extension).
+
+    §III-A3 notes the simulator "does not calculate the computational cost
+    of an honest node, and therefore measuring the throughput of a BFT
+    protocol is not possible.  One way to add this feature is to estimate
+    the computation time through calculating the number of computational
+    extensive operations, such as cryptography operations."  This module is
+    that feature: per-node costs for signing outgoing and verifying incoming
+    messages, charged against a sequential per-node CPU, so a node drowning
+    in n² votes becomes compute-bound exactly like a real replica.
+
+    {!zero} (the default) reproduces the paper's cost-free behaviour. *)
+
+type t = {
+  sign_ms : float;  (** CPU time to sign/authenticate one outgoing message. *)
+  verify_ms : float;  (** CPU time to verify one incoming message. *)
+}
+
+val zero : t
+(** No computation costs — the paper's model. *)
+
+val commodity : t
+(** Ed25519-class costs on a commodity core: 0.05 ms sign, 0.15 ms verify. *)
+
+val rsa2048 : t
+(** RSA-2048-class costs: 1.5 ms sign, 0.06 ms verify — signing-bound
+    leaders, a classic PBFT deployment regime. *)
+
+val is_zero : t -> bool
+
+val of_string : string -> (t, string) result
+(** ["none"] | ["commodity"] | ["rsa2048"] | ["custom:<sign>,<verify>"]. *)
+
+val describe : t -> string
+
+type cpu
+(** A node's sequential processor. *)
+
+val make_cpu : unit -> cpu
+
+val charge : cpu -> now_ms:float -> cost_ms:float -> float
+(** Books [cost_ms] of work starting no earlier than [now_ms] and no earlier
+    than the CPU's previous completion; returns the completion time. *)
+
+val busy_until : cpu -> float

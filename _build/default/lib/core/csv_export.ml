@@ -1,0 +1,96 @@
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let row fields = String.concat "," (List.map escape fields)
+
+let result_header =
+  row
+    [
+      "protocol"; "n"; "seed"; "lambda_ms"; "delay"; "attack"; "target"; "outcome"; "time_ms";
+      "per_decision_latency_ms"; "per_decision_messages"; "messages"; "bytes"; "dropped"; "events";
+      "max_final_view"; "safety_ok";
+    ]
+
+let outcome_to_string = function
+  | Controller.Reached_target -> "reached-target"
+  | Controller.Timed_out -> "timed-out"
+  | Controller.Event_cap -> "event-cap"
+  | Controller.Queue_drained -> "queue-drained"
+
+let result_row (r : Controller.result) =
+  let c = r.config in
+  let max_view = Array.fold_left Stdlib.max (-1) r.final_views in
+  row
+    [
+      c.Config.protocol;
+      string_of_int c.Config.n;
+      string_of_int c.Config.seed;
+      Printf.sprintf "%g" c.Config.lambda_ms;
+      Bftsim_net.Delay_model.describe c.Config.delay;
+      Config.describe_attack c.Config.attack;
+      string_of_int c.Config.decisions_target;
+      outcome_to_string r.outcome;
+      Printf.sprintf "%.3f" r.time_ms;
+      Printf.sprintf "%.3f" r.per_decision_latency_ms;
+      Printf.sprintf "%.2f" r.per_decision_messages;
+      string_of_int r.messages_sent;
+      string_of_int r.bytes_sent;
+      string_of_int r.messages_dropped;
+      string_of_int r.events_processed;
+      string_of_int max_view;
+      string_of_bool r.safety_ok;
+    ]
+
+let summary_header =
+  row
+    [
+      "protocol"; "n"; "lambda_ms"; "delay"; "attack"; "reps"; "latency_mean_ms";
+      "latency_stddev_ms"; "latency_min_ms"; "latency_max_ms"; "messages_mean"; "messages_stddev";
+      "liveness_failures"; "safety_violations";
+    ]
+
+let summary_row (s : Runner.summary) =
+  let c = s.config in
+  row
+    [
+      c.Config.protocol;
+      string_of_int c.Config.n;
+      Printf.sprintf "%g" c.Config.lambda_ms;
+      Bftsim_net.Delay_model.describe c.Config.delay;
+      Config.describe_attack c.Config.attack;
+      string_of_int s.reps;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.mean;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.stddev;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.min;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.max;
+      Printf.sprintf "%.2f" s.messages.Stats.mean;
+      Printf.sprintf "%.2f" s.messages.Stats.stddev;
+      string_of_int s.liveness_failures;
+      string_of_int s.safety_violations;
+    ]
+
+let write_file ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      List.iter
+        (fun r ->
+          output_string oc r;
+          output_char oc '\n')
+        rows)

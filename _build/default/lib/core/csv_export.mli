@@ -1,0 +1,25 @@
+(** CSV export of simulation results.
+
+    The paper's workflow plots figures from simulator output; this module
+    renders per-run results and per-configuration summaries as CSV so any
+    plotting tool can consume them ([bftsim sweep --csv out.csv]). *)
+
+val result_header : string
+(** Column names for {!result_row}. *)
+
+val result_row : Controller.result -> string
+(** One line per run: protocol, n, seed, lambda, delay, attack, outcome,
+    time_ms, per-decision latency/messages, messages, bytes, dropped,
+    events, max final view, safety. *)
+
+val summary_header : string
+
+val summary_row : Runner.summary -> string
+(** One line per configuration: latency and message mean/stddev/min/max,
+    liveness failures, safety violations. *)
+
+val escape : string -> string
+(** RFC-4180 quoting for fields containing commas, quotes or newlines. *)
+
+val write_file : path:string -> header:string -> rows:string list -> unit
+(** Writes header + rows; overwrites [path]. *)

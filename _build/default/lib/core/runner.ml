@@ -1,0 +1,44 @@
+type summary = {
+  config : Config.t;
+  reps : int;
+  latency_ms : Stats.t;
+  messages : Stats.t;
+  liveness_failures : int;
+  safety_violations : int;
+  results : Controller.result list;
+}
+
+let default_reps () =
+  match Sys.getenv_opt "BFTSIM_REPS" with
+  | Some v -> ( match int_of_string_opt v with Some r when r > 0 -> r | _ -> 20)
+  | None -> 20
+
+let run_many ?reps (config : Config.t) =
+  let reps = match reps with Some r -> r | None -> default_reps () in
+  if reps <= 0 then invalid_arg "Runner.run_many: reps <= 0";
+  let results =
+    List.init reps (fun k -> Controller.run { config with Config.seed = config.Config.seed + k })
+  in
+  let latencies = List.map (fun r -> r.Controller.per_decision_latency_ms) results in
+  let messages = List.map (fun r -> r.Controller.per_decision_messages) results in
+  let liveness_failures =
+    List.length (List.filter (fun r -> r.Controller.outcome <> Controller.Reached_target) results)
+  in
+  let safety_violations = List.length (List.filter (fun r -> not r.Controller.safety_ok) results) in
+  {
+    config;
+    reps;
+    latency_ms = Stats.of_list latencies;
+    messages = Stats.of_list messages;
+    liveness_failures;
+    safety_violations;
+    results;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%-12s latency %a msgs %a%s%s" s.config.Config.protocol Stats.pp_ms_as_s
+    s.latency_ms Stats.pp s.messages
+    (if s.liveness_failures > 0 then Printf.sprintf " [%d liveness failures]" s.liveness_failures
+     else "")
+    (if s.safety_violations > 0 then Printf.sprintf " [%d SAFETY VIOLATIONS]" s.safety_violations
+     else "")

@@ -1,0 +1,25 @@
+(** Repetition harness: runs one configuration many times over distinct
+    seeds and aggregates the paper's two metrics. *)
+
+type summary = {
+  config : Config.t;  (** The base configuration (seed of the first run). *)
+  reps : int;
+  latency_ms : Stats.t;  (** Per-decision time usage across runs. *)
+  messages : Stats.t;  (** Per-decision message usage across runs. *)
+  liveness_failures : int;
+      (** Runs that hit the time/event cap instead of the target.  Their
+          capped values are {e included} in the statistics (they are real
+          observations of slowness), and also reported here. *)
+  safety_violations : int;  (** Should always be 0; counted defensively. *)
+  results : Controller.result list;  (** Per-run details, first seed first. *)
+}
+
+val run_many : ?reps:int -> Config.t -> summary
+(** [run_many config] executes [reps] (default {!default_reps}) simulations
+    with seeds [config.seed, config.seed + 1, ...]. *)
+
+val default_reps : unit -> int
+(** 20, overridable with the [BFTSIM_REPS] environment variable (the paper
+    uses 100). *)
+
+val pp_summary : Format.formatter -> summary -> unit

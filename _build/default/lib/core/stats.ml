@@ -1,0 +1,42 @@
+type t = { count : int; mean : float; stddev : float; min : float; max : float; median : float }
+
+let percentile samples p =
+  if samples = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort Float.compare samples in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. w)) +. (arr.(hi) *. w)
+  end
+
+let of_list samples =
+  if samples = [] then invalid_arg "Stats.of_list: empty";
+  let count = List.length samples in
+  let fcount = float_of_int count in
+  let mean = List.fold_left ( +. ) 0. samples /. fcount in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. samples /. fcount
+  in
+  {
+    count;
+    mean;
+    stddev = sqrt var;
+    min = List.fold_left Float.min infinity samples;
+    max = List.fold_left Float.max neg_infinity samples;
+    median = percentile samples 50.;
+  }
+
+let ci95_halfwidth t =
+  if t.count <= 1 then 0. else 1.96 *. t.stddev /. sqrt (float_of_int t.count)
+
+let pp ppf t = Format.fprintf ppf "%.1f ± %.1f (n=%d)" t.mean t.stddev t.count
+
+let pp_ms_as_s ppf t = Format.fprintf ppf "%.2fs ± %.2fs (n=%d)" (t.mean /. 1000.) (t.stddev /. 1000.) t.count

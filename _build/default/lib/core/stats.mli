@@ -1,0 +1,31 @@
+(** Descriptive statistics over repeated runs.
+
+    Each experiment in the paper is "performed 100 times to calculate the
+    average and standard deviation" (§IV); this module computes those
+    summaries for any float-valued metric. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Population standard deviation; 0 for a single sample. *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on []. *)
+
+val ci95_halfwidth : t -> float
+(** Half-width of the normal-approximation 95% confidence interval for the
+    mean ([1.96 * stddev / sqrt count]); 0 for a single sample. *)
+
+val percentile : float list -> float -> float
+(** [percentile samples p] with [p] in [\[0, 100\]], linear interpolation.
+    @raise Invalid_argument on [] or out-of-range [p]. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["1234.5 ± 67.8 (n=20)"]. *)
+
+val pp_ms_as_s : Format.formatter -> t -> unit
+(** Renders a milliseconds-valued statistic in seconds. *)

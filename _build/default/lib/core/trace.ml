@@ -1,0 +1,115 @@
+type kind = Send | Deliver | Drop | Timer_fired | Decide
+
+type entry = {
+  at_ms : float;
+  kind : kind;
+  node : int;
+  peer : int;
+  tag : string;
+  detail : string;
+}
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t entry =
+  t.rev_entries <- entry :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let entry_equal a b =
+  Float.equal a.at_ms b.at_ms && a.kind = b.kind && a.node = b.node && a.peer = b.peer
+  && String.equal a.tag b.tag && String.equal a.detail b.detail
+
+let equal a b = a.count = b.count && List.for_all2 entry_equal (entries a) (entries b)
+
+let first_divergence a b =
+  let rec walk i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs', y :: ys' -> if entry_equal x y then walk (i + 1) xs' ys' else Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  walk 0 (entries a) (entries b)
+
+let delays t =
+  (* Match sends to deliveries per (src, dst, tag) link in FIFO order; the
+     event queue's deterministic ordering makes this reconstruction exact
+     for unmodified traffic. *)
+  let sends : (int * int * string, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let out : (int * int * string, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  let keys = ref [] in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Send ->
+        let key = (e.node, e.peer, e.tag) in
+        let q =
+          match Hashtbl.find_opt sends key with
+          | Some q -> q
+          | None ->
+            let q = ref [] in
+            Hashtbl.replace sends key q;
+            q
+        in
+        q := e.at_ms :: !q
+      | Deliver -> (
+        let key = (e.peer, e.node, e.tag) in
+        match Hashtbl.find_opt sends key with
+        | Some ({ contents = _ :: _ } as q) ->
+          (* FIFO: sends were consed, so take from the tail. *)
+          let rec split_last acc = function
+            | [] -> assert false
+            | [ x ] -> (x, List.rev acc)
+            | x :: rest -> split_last (x :: acc) rest
+          in
+          let sent_at, remaining = split_last [] !q in
+          q := remaining;
+          let d =
+            match Hashtbl.find_opt out key with
+            | Some d -> d
+            | None ->
+              let d = ref [] in
+              Hashtbl.replace out key d;
+              keys := key :: !keys;
+              d
+          in
+          d := (e.at_ms -. sent_at) :: !d
+        | _ -> ())
+      | Drop | Timer_fired | Decide -> ())
+    (entries t);
+  List.rev_map (fun key -> (key, List.rev !(Hashtbl.find out key))) !keys
+
+let decisions t =
+  let per_node : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let nodes = ref [] in
+  List.iter
+    (fun e ->
+      if e.kind = Decide then begin
+        match Hashtbl.find_opt per_node e.node with
+        | Some l -> l := e.tag :: !l
+        | None ->
+          Hashtbl.replace per_node e.node (ref [ e.tag ]);
+          nodes := e.node :: !nodes
+      end)
+    (entries t);
+  List.sort compare !nodes |> List.map (fun node -> (node, List.rev !(Hashtbl.find per_node node)))
+
+let kind_to_string = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Timer_fired -> "timer"
+  | Decide -> "decide"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%10.3f %-8s node=%d peer=%d %s %s" e.at_ms (kind_to_string e.kind) e.node
+    e.peer e.tag e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

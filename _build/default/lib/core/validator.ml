@@ -1,0 +1,85 @@
+type report = {
+  decisions_match : bool;
+  trace_match : bool option;
+  divergence : string option;
+}
+
+let same_decisions (a : Controller.result) (b : Controller.result) =
+  let clean r =
+    List.filter (fun (_, values) -> values <> []) r.Controller.decisions
+  in
+  clean a = clean b
+
+let decisions_divergence (a : Controller.result) (b : Controller.result) =
+  let to_table r =
+    let t = Hashtbl.create 16 in
+    List.iter (fun (node, values) -> Hashtbl.replace t node values) r.Controller.decisions;
+    t
+  in
+  let ta = to_table a and tb = to_table b in
+  let diff = ref None in
+  Hashtbl.iter
+    (fun node values ->
+      if !diff = None then
+        let other = Option.value ~default:[] (Hashtbl.find_opt tb node) in
+        if other <> values then
+          diff :=
+            Some
+              (Printf.sprintf "node %d decided [%s] vs [%s]" node (String.concat "; " values)
+                 (String.concat "; " other)))
+    ta;
+  !diff
+
+let replay_delays trace =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun ((src, dst, tag), ds) -> List.iteri (fun seq d -> Hashtbl.replace table (src, dst, tag, seq) d) ds)
+    (Trace.delays trace);
+  fun ~src ~dst ~tag ~seq -> Hashtbl.find_opt table (src, dst, tag, seq)
+
+let trace_divergence a b =
+  match Trace.first_divergence a b with
+  | None -> None
+  | Some (i, x, y) ->
+    let show = function
+      | None -> "<end of trace>"
+      | Some e -> Format.asprintf "%a" Trace.pp_entry e
+    in
+    Some (Printf.sprintf "trace entry %d: %s vs %s" i (show x) (show y))
+
+let make_report ground replayed =
+  let decisions_match = same_decisions ground replayed in
+  let trace_match, trace_diff =
+    match (ground.Controller.trace, replayed.Controller.trace) with
+    | Some ta, Some tb ->
+      let d = trace_divergence ta tb in
+      (Some (d = None), d)
+    | _ -> (None, None)
+  in
+  let divergence =
+    if decisions_match then trace_diff else decisions_divergence ground replayed
+  in
+  { decisions_match; trace_match; divergence }
+
+let validate_against ~ground_truth config =
+  let trace =
+    match ground_truth.Controller.trace with
+    | Some t -> t
+    | None -> invalid_arg "Validator.validate_against: ground truth has no trace"
+  in
+  let replayed =
+    Controller.run ~delay_override:(replay_delays trace) { config with Config.record_trace = true }
+  in
+  make_report ground_truth replayed
+
+let check_determinism config =
+  let config = { config with Config.record_trace = true } in
+  let a = Controller.run config in
+  let b = Controller.run config in
+  make_report a b
+
+let pp_report ppf r =
+  Format.fprintf ppf "decisions %s, trace %s%s"
+    (if r.decisions_match then "match" else "DIFFER")
+    (match r.trace_match with None -> "n/a" | Some true -> "match" | Some false -> "DIFFER")
+    (match r.divergence with None -> "" | Some d -> "; first divergence: " ^ d)

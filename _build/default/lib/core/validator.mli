@@ -1,0 +1,37 @@
+(** The validator module (paper §III-A6, §III-D).
+
+    Cross-validates a simulation against a ground-truth execution: the
+    ground truth supplies the message-delay sequence, the validator replays
+    those delays through the simulator and checks that the consensus module
+    "produces the same result (i.e., which node agrees on what value)".
+
+    The paper validated against BFTsim traces; those are not available, so
+    the ground truth here comes from (a) a previous run of this simulator
+    (replay determinism) and (b) the independent packet-level baseline
+    simulator (cross-implementation agreement) — see DESIGN.md §4. *)
+
+type report = {
+  decisions_match : bool;
+  trace_match : bool option;  (** [None] when either side lacks a trace. *)
+  divergence : string option;  (** Human-readable first difference. *)
+}
+
+val same_decisions : Controller.result -> Controller.result -> bool
+(** Agreement of the per-node decision sequences (order-sensitive). *)
+
+val replay_delays : Trace.t -> src:int -> dst:int -> tag:string -> seq:int -> float option
+(** A {!Controller.run} [delay_override] that replays the message delays
+    recorded in a ground-truth trace; [None] (fall back to sampling) for
+    messages the ground truth never saw. *)
+
+val validate_against : ground_truth:Controller.result -> Config.t -> report
+(** Re-runs [config] with delays replayed from the ground truth's trace and
+    compares decisions (and traces when both are recorded).
+    @raise Invalid_argument if the ground truth carries no trace. *)
+
+val check_determinism : Config.t -> report
+(** Runs the configuration twice (same seed, traces on) and verifies the
+    executions are identical — the reproducibility guarantee every other
+    validation rests on. *)
+
+val pp_report : Format.formatter -> report -> unit

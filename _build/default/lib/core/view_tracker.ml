@@ -1,0 +1,66 @@
+type divergence_stats = {
+  max_spread : int;
+  time_desynced_ms : float;
+  first_desync_ms : float option;
+  resync_ms : float option;
+}
+
+let live_views views = Array.to_list views |> List.filter (fun v -> v >= 0)
+
+let spread views =
+  match live_views views with
+  | [] -> 0
+  | vs -> List.fold_left Stdlib.max min_int vs - List.fold_left Stdlib.min max_int vs
+
+let analyze ~sample_ms samples =
+  let max_spread = List.fold_left (fun acc (_, views) -> Stdlib.max acc (spread views)) 0 samples in
+  let time_desynced_ms =
+    List.fold_left (fun acc (_, views) -> if spread views > 0 then acc +. sample_ms else acc) 0. samples
+  in
+  let first_desync_ms =
+    List.find_map (fun (at, views) -> if spread views > 0 then Some at else None) samples
+  in
+  (* The re-synchronization instant: the first in-sync sample after the last
+     desynchronized one. *)
+  let resync_ms =
+    let rec scan last_desync resync = function
+      | [] -> if last_desync <> None then resync else None
+      | (at, views) :: rest ->
+        if spread views > 0 then scan (Some at) None rest
+        else scan last_desync (if resync = None && last_desync <> None then Some at else resync) rest
+    in
+    scan None None samples
+  in
+  { max_spread; time_desynced_ms; first_desync_ms; resync_ms }
+
+let symbols = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let render ?(width = 96) samples =
+  match samples with
+  | [] -> "(no samples)"
+  | (_, first) :: _ ->
+    let n = Array.length first in
+    let total = List.length samples in
+    let stride = Stdlib.max 1 (total / width) in
+    let cols =
+      List.filteri (fun i _ -> i mod stride = 0) samples
+    in
+    let buf = Buffer.create 4096 in
+    let t0, _ = List.hd cols in
+    let tN, _ = List.nth cols (List.length cols - 1) in
+    Buffer.add_string buf
+      (Printf.sprintf "view timeline: %.1fs .. %.1fs (%d samples, 1 char = %d sample(s))\n"
+         (t0 /. 1000.) (tN /. 1000.) total stride);
+    for node = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "node %2d |" node);
+      List.iter
+        (fun (_, views) ->
+          let v = views.(node) in
+          let c =
+            if v < 0 then '.' else symbols.[v mod String.length symbols]
+          in
+          Buffer.add_char buf c)
+        cols;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf

@@ -1,0 +1,23 @@
+(** View-synchronization analysis (paper §IV-D, Fig. 9).
+
+    The controller can sample every node's current view at a fixed period;
+    this module renders those samples as an ASCII timeline — one row per
+    node, one column per sample, each cell a symbol for the node's view —
+    making divergence into "groups of different views" and the eventual
+    re-convergence directly visible, like the paper's colour plot. *)
+
+type divergence_stats = {
+  max_spread : int;  (** Largest (max view - min view) over any sample. *)
+  time_desynced_ms : float;
+      (** Total sampled time during which live nodes disagreed on the view. *)
+  first_desync_ms : float option;
+  resync_ms : float option;
+      (** Last instant at which nodes re-converged after a desync. *)
+}
+
+val analyze : sample_ms:float -> (float * int array) list -> divergence_stats
+
+val render : ?width:int -> (float * int array) list -> string
+(** ASCII heatmap of the samples; views are shown modulo a symbol alphabet,
+    crashed nodes as ['.'].  [width] caps the number of columns by
+    subsampling (default 96). *)

@@ -1,0 +1,1 @@
+lib/crypto/sig_sim.ml: Format Hmac Printf Sha256

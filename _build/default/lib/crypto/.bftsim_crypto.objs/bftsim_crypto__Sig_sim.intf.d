@@ -1,0 +1,1 @@
+lib/crypto/sig_sim.mli: Format Sha256

@@ -1,0 +1,1 @@
+lib/crypto/vrf.ml: Hmac Int64 List Sha256 Sig_sim

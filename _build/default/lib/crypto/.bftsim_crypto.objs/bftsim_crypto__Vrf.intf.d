@@ -1,0 +1,1 @@
+lib/crypto/vrf.mli: Sha256 Sig_sim

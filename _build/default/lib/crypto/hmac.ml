@@ -1,0 +1,17 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.to_raw (Sha256.digest_string key) else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with pad s =
+  String.init (String.length s) (fun i -> Char.chr (Char.code s.[i] lxor pad))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_string (xor_with 0x36 key ^ msg) in
+  Sha256.digest_string (xor_with 0x5c key ^ Sha256.to_raw inner)
+
+let verify ~key msg tag = Sha256.equal (mac ~key msg) tag

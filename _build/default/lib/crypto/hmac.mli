@@ -1,0 +1,13 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Keyed MACs are the deterministic primitive underneath the simulated
+    signature scheme and the VRF: [HMAC(sk, msg)] plays the role of a unique
+    signature, and its digest doubles as the VRF output whose pseudo-random
+    value drives leader election in ADD+v2/v3 and Algorand. *)
+
+val mac : key:string -> string -> Sha256.digest
+(** [mac ~key msg] is HMAC-SHA256 of [msg] under [key]. *)
+
+val verify : key:string -> string -> Sha256.digest -> bool
+(** Constant-shape recomputation check (timing resistance is irrelevant in a
+    simulator; determinism is what matters). *)

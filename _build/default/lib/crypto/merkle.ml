@@ -1,0 +1,60 @@
+type proof_step = Left of Sha256.digest | Right of Sha256.digest
+
+type proof = proof_step list
+
+let hash_leaf leaf = Sha256.digest_string ("leaf|" ^ leaf)
+
+let hash_node l r = Sha256.digest_string ("node|" ^ Sha256.to_raw l ^ Sha256.to_raw r)
+
+(* Pad to a power of two by repeating the last leaf hash; standard and keeps
+   proof shapes uniform. *)
+let level_of_leaves leaves =
+  let hashes = List.map hash_leaf leaves in
+  match hashes with
+  | [] -> [| Sha256.digest_string "" |]
+  | _ ->
+    let n = List.length hashes in
+    let size = ref 1 in
+    while !size < n do
+      size := !size * 2
+    done;
+    let arr = Array.make !size (List.nth hashes (n - 1)) in
+    List.iteri (fun i h -> arr.(i) <- h) hashes;
+    arr
+
+let reduce level =
+  let half = Array.length level / 2 in
+  Array.init half (fun i -> hash_node level.(2 * i) level.((2 * i) + 1))
+
+let root leaves =
+  let level = ref (level_of_leaves leaves) in
+  while Array.length !level > 1 do
+    level := reduce !level
+  done;
+  !level.(0)
+
+let prove leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.prove: leaf index out of bounds";
+  let level = ref (level_of_leaves leaves) in
+  let idx = ref i in
+  let steps = ref [] in
+  while Array.length !level > 1 do
+    let sibling = if !idx mod 2 = 0 then !idx + 1 else !idx - 1 in
+    let step =
+      if !idx mod 2 = 0 then Right !level.(sibling) else Left !level.(sibling)
+    in
+    steps := step :: !steps;
+    level := reduce !level;
+    idx := !idx / 2
+  done;
+  List.rev !steps
+
+let verify ~root:expected ~leaf proof =
+  let acc =
+    List.fold_left
+      (fun acc step ->
+        match step with Left sib -> hash_node sib acc | Right sib -> hash_node acc sib)
+      (hash_leaf leaf) proof
+  in
+  Sha256.equal acc expected

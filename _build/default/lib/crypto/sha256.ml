@@ -1,0 +1,146 @@
+type digest = string
+
+(* Round constants: cube roots of the first 64 primes (FIPS 180-4 §4.2.2). *)
+let k =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l; 0x923f82a4l;
+    0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel;
+    0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl;
+    0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l;
+    0xc6e00bf3l; 0xd5a79147l; 0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+    0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+    0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l;
+    0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl; 0x682e6ff3l;
+    0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l; 0x90befffal; 0xa4506cebl; 0xbef9a3f7l;
+    0xc67178f2l;
+  |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let ( +% ) = Int32.add
+
+let ( ^% ) = Int32.logxor
+
+let ( &% ) = Int32.logand
+
+let lnot32 = Int32.lognot
+
+let shr = Int32.shift_right_logical
+
+type state = { h : int32 array }
+
+let init () =
+  (* Initial hash: square roots of the first 8 primes. *)
+  {
+    h =
+      [|
+        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl; 0x9b05688cl; 0x1f83d9abl;
+        0x5be0cd19l;
+      |];
+  }
+
+let compress st block off =
+  let w = Array.make 64 0l in
+  for t = 0 to 15 do
+    let base = off + (4 * t) in
+    let byte i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (byte 0) 24)
+        (Int32.logor
+           (Int32.shift_left (byte 1) 16)
+           (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 ^% rotr w.(t - 15) 18 ^% shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 ^% rotr w.(t - 2) 19 ^% shr w.(t - 2) 10 in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref st.h.(0)
+  and b = ref st.h.(1)
+  and c = ref st.h.(2)
+  and d = ref st.h.(3)
+  and e = ref st.h.(4)
+  and f = ref st.h.(5)
+  and g = ref st.h.(6)
+  and hh = ref st.h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
+    let t1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let t2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  st.h.(0) <- st.h.(0) +% !a;
+  st.h.(1) <- st.h.(1) +% !b;
+  st.h.(2) <- st.h.(2) +% !c;
+  st.h.(3) <- st.h.(3) +% !d;
+  st.h.(4) <- st.h.(4) +% !e;
+  st.h.(5) <- st.h.(5) +% !f;
+  st.h.(6) <- st.h.(6) +% !g;
+  st.h.(7) <- st.h.(7) +% !hh
+
+let digest_bytes msg =
+  let st = init () in
+  let len = Bytes.length msg in
+  (* Padding: 0x80, zeros, then the bit length as a big-endian 64-bit word,
+     bringing the total to a multiple of 64 bytes. *)
+  let rem = len mod 64 in
+  let pad_len = if rem < 56 then 56 - rem else 120 - rem in
+  let total = len + pad_len + 8 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = Int64.of_int (8 * len) in
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set buf
+      (total - 8 + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen shift) 0xffL)))
+  done;
+  let blocks = total / 64 in
+  for b = 0 to blocks - 1 do
+    compress st buf (b * 64)
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = st.h.(i) in
+    Bytes.set out (4 * i) (Char.chr (Int32.to_int (shr v 24) land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (shr v 16) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (shr v 8) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let to_hex d =
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let of_raw s = if String.length s <> 32 then invalid_arg "Sha256.of_raw: need 32 bytes" else s
+
+let to_raw d = d
+
+let equal = String.equal
+
+let compare = String.compare
+
+let first64 d =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  !acc
+
+let pp ppf d = Format.pp_print_string ppf (String.sub (to_hex d) 0 8)

@@ -1,0 +1,33 @@
+type evaluation = {
+  node : int;
+  input : string;
+  output : Sha256.digest;
+  proof : Sig_sim.signature;
+}
+
+let eval ~seed ~node ~input =
+  let kp = Sig_sim.keygen ~seed ~node in
+  let output = Hmac.mac ~key:kp.secret ("vrf|" ^ input) in
+  let proof = Sig_sim.sign kp ("vrf-proof|" ^ input ^ "|" ^ Sha256.to_raw output) in
+  { node; input; output; proof }
+
+let verify ~seed ev =
+  ev.proof.Sig_sim.signer = ev.node
+  && Sig_sim.verify ~seed ev.proof ("vrf-proof|" ^ ev.input ^ "|" ^ Sha256.to_raw ev.output)
+  &&
+  (* Re-derive the evaluation itself: in the simulated scheme the verifier
+     may recompute the evaluator's HMAC directly. *)
+  let kp = Sig_sim.keygen ~seed ~node:ev.node in
+  Sha256.equal (Hmac.mac ~key:kp.secret ("vrf|" ^ ev.input)) ev.output
+
+let ticket ev = Int64.logand (Sha256.first64 ev.output) Int64.max_int
+
+let winner evs =
+  let better a b =
+    let ta = ticket a and tb = ticket b in
+    let c = Int64.compare ta tb in
+    c < 0 || (c = 0 && a.node < b.node)
+  in
+  List.fold_left
+    (fun best ev -> match best with None -> Some ev | Some b -> if better ev b then Some ev else best)
+    None evs

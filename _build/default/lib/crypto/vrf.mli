@@ -1,0 +1,31 @@
+(** Simulated verifiable random function.
+
+    ADD+v2/v3 elect the round leader by having every node evaluate a VRF on
+    the round number and broadcasting the proof; the node with the smallest
+    output wins (paper §III-B1).  Algorand Agreement selects proposers by
+    VRF credentials the same way.  The evaluation here is
+    [HMAC(sk_node, round)], which gives the three VRF properties the
+    protocols need: determinism (same node and input → same output),
+    pseudo-randomness across nodes and rounds, and verifiability (any node
+    can check a claimed evaluation against the claimed evaluator). *)
+
+type evaluation = {
+  node : int;  (** The evaluator. *)
+  input : string;  (** Serialized input, e.g. the round number. *)
+  output : Sha256.digest;  (** The pseudo-random output. *)
+  proof : Sig_sim.signature;  (** Binds the output to the evaluator. *)
+}
+
+val eval : seed:int -> node:int -> input:string -> evaluation
+(** Evaluate the VRF of [node] on [input] within key domain [seed]. *)
+
+val verify : seed:int -> evaluation -> bool
+(** Checks the proof and the output recomputation. *)
+
+val ticket : evaluation -> int64
+(** A sortable lottery ticket: the first 64 bits of the output, with the
+    sign bit cleared so comparisons behave as unsigned. *)
+
+val winner : evaluation list -> evaluation option
+(** The evaluation with the smallest {!ticket}; ties (which have negligible
+    probability) break toward the smaller node id.  [None] on []. *)

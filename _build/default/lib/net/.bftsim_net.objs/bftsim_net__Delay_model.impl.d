@@ -1,0 +1,1 @@
+lib/net/delay_model.ml: Bftsim_sim Float Format List Printf Rng String

@@ -1,0 +1,1 @@
+lib/net/delay_model.mli: Bftsim_sim Format Rng

@@ -1,0 +1,1 @@
+lib/net/message.ml: Bftsim_sim Format Printf Time

@@ -1,0 +1,1 @@
+lib/net/message.mli: Bftsim_sim Format Time

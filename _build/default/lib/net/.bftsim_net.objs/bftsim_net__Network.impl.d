@@ -1,0 +1,1 @@
+lib/net/network.ml: Bftsim_sim Delay_model Message Rng Topology

@@ -1,0 +1,83 @@
+open Bftsim_sim
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float }
+  | Exponential of { mean : float }
+  | Poisson of { mean : float }
+  | Bounded of { base : t; bound : float }
+
+let rec sample t rng =
+  match t with
+  | Constant ms -> Float.max 0. ms
+  | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+  | Normal { mu; sigma } -> Rng.truncated_normal rng ~mu ~sigma ~lo:0.
+  | Exponential { mean } -> Rng.exponential rng ~mean
+  | Poisson { mean } -> float_of_int (Rng.poisson rng ~mean)
+  | Bounded { base; bound } -> Float.min bound (sample base rng)
+
+let rec upper_bound = function
+  | Constant ms -> Some ms
+  | Uniform { hi; _ } -> Some hi
+  | Normal _ | Exponential _ | Poisson _ -> None
+  | Bounded { base; bound } -> (
+    match upper_bound base with Some b -> Some (Float.min b bound) | None -> Some bound)
+
+let rec mean = function
+  | Constant ms -> ms
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Normal { mu; _ } -> mu
+  | Exponential { mean = m } -> m
+  | Poisson { mean = m } -> m
+  | Bounded { base; bound } -> Float.min (mean base) bound
+
+let normal ~mu ~sigma = Normal { mu; sigma }
+
+let bounded base ~bound = Bounded { base; bound }
+
+let rec describe = function
+  | Constant ms -> Printf.sprintf "const(%g)" ms
+  | Uniform { lo; hi } -> Printf.sprintf "U(%g,%g)" lo hi
+  | Normal { mu; sigma } -> Printf.sprintf "N(%g,%g)" mu sigma
+  | Exponential { mean } -> Printf.sprintf "Exp(%g)" mean
+  | Poisson { mean } -> Printf.sprintf "Poisson(%g)" mean
+  | Bounded { base; bound } -> Printf.sprintf "%s|%g" (describe base) bound
+
+let pp ppf t = Format.pp_print_string ppf (describe t)
+
+let parse_floats s =
+  try Some (List.map float_of_string (String.split_on_char ',' s)) with Failure _ -> None
+
+let rec of_string s =
+  let invalid () = Error (Printf.sprintf "invalid delay model %S" s) in
+  match String.index_opt s ':' with
+  | None -> invalid ()
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "constant" | "const" -> (
+      match parse_floats rest with Some [ ms ] -> Ok (Constant ms) | _ -> invalid ())
+    | "uniform" -> (
+      match parse_floats rest with
+      | Some [ lo; hi ] when lo <= hi -> Ok (Uniform { lo; hi })
+      | _ -> invalid ())
+    | "normal" -> (
+      match parse_floats rest with
+      | Some [ mu; sigma ] -> Ok (Normal { mu; sigma })
+      | _ -> invalid ())
+    | "exp" | "exponential" -> (
+      match parse_floats rest with Some [ mean ] -> Ok (Exponential { mean }) | _ -> invalid ())
+    | "poisson" -> (
+      match parse_floats rest with Some [ mean ] -> Ok (Poisson { mean }) | _ -> invalid ())
+    | "bounded" -> (
+      match String.rindex_opt rest '@' with
+      | None -> invalid ()
+      | Some j -> (
+        let inner = String.sub rest 0 j in
+        let bound = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match (of_string inner, float_of_string_opt bound) with
+        | Ok base, Some bound -> Ok (Bounded { base; bound })
+        | _ -> invalid ()))
+    | _ -> invalid ())

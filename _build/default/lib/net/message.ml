@@ -1,0 +1,38 @@
+open Bftsim_sim
+
+type payload = ..
+
+type payload += Blob of string
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  sent_at : Time.t;
+  mutable delay_ms : float;
+  tag : string;
+  size : int;
+  payload : payload;
+}
+
+let default_size = 128
+
+let make ~id ~src ~dst ~sent_at ?(tag = "msg") ?(size = default_size) payload =
+  { id; src; dst; sent_at; delay_ms = 0.; tag; size; payload }
+
+let arrival_time t = Time.add_ms t.sent_at t.delay_ms
+
+let printers : (payload -> string option) list ref = ref []
+
+let register_printer f = printers := !printers @ [ f ]
+
+let payload_to_string p =
+  let rec try_all = function
+    | [] -> ( match p with Blob s -> Printf.sprintf "Blob(%s)" s | _ -> "<payload>")
+    | f :: rest -> ( match f p with Some s -> s | None -> try_all rest)
+  in
+  try_all !printers
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %d->%d %s(+%.1fms) %s" t.id t.src t.dst t.tag t.delay_ms
+    (payload_to_string t.payload)

@@ -1,0 +1,48 @@
+(** Network messages (paper §III-A4).
+
+    A message is an envelope around a protocol-specific payload.  The sender
+    fills in [src] and [dst]; the network module samples [delay_ms]; the
+    attacker module may rewrite [delay_ms], drop the message, or synthesize
+    entirely new messages.  Payloads are an extensible variant so each
+    protocol contributes its own constructors without any central registry
+    of message types — mirroring the duck-typed JS objects of the reference
+    implementation, but statically typed per protocol. *)
+
+open Bftsim_sim
+
+type payload = ..
+(** Extend per protocol: [type Message.payload += Prepare of …]. *)
+
+type payload += Blob of string
+(** A generic payload for tests and examples. *)
+
+type t = {
+  id : int;  (** Unique within one simulation; used in traces. *)
+  src : int;
+  dst : int;
+  sent_at : Time.t;
+  mutable delay_ms : float;  (** Set by the network, writable by the attacker. *)
+  tag : string;  (** Human-readable message kind, recorded in traces. *)
+  size : int;  (** Estimated wire size in bytes (for byte-volume estimates). *)
+  payload : payload;
+}
+
+val make :
+  id:int -> src:int -> dst:int -> sent_at:Time.t -> ?tag:string -> ?size:int -> payload -> t
+(** Builds an envelope with [delay_ms = 0.]; the network assigns the real
+    delay.  [tag] defaults to ["msg"], [size] to {!default_size}. *)
+
+val default_size : int
+(** Default estimated message size (128 bytes). *)
+
+val arrival_time : t -> Time.t
+(** [sent_at + delay_ms]: when the message event fires. *)
+
+val register_printer : (payload -> string option) -> unit
+(** Protocols may register a printer for their payload constructors; used by
+    traces and logs.  First registered printer returning [Some _] wins. *)
+
+val payload_to_string : payload -> string
+(** Rendering via registered printers, falling back to ["<payload>"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+open Bftsim_sim
+
+type stats = { sent : int; bytes : int }
+
+type t = {
+  mutable delay : Delay_model.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  mutable sent : int;
+  mutable bytes : int;
+}
+
+let create ~delay ~topology ~rng = { delay; topology; rng; sent = 0; bytes = 0 }
+
+let delay_model t = t.delay
+
+let topology t = t.topology
+
+let assign_delay t (msg : Message.t) =
+  if msg.src = msg.dst then msg.delay_ms <- 0.
+  else begin
+    let base = Delay_model.sample t.delay t.rng in
+    msg.delay_ms <- base *. Topology.pair_scale t.topology ~src:msg.src ~dst:msg.dst;
+    (* Self-addressed messages are local deliveries, not wire traffic, so
+       only cross-node messages count toward message usage (§II-C). *)
+    t.sent <- t.sent + 1;
+    t.bytes <- t.bytes + msg.size
+  end
+
+let override_delay t delay = t.delay <- delay
+
+let stats t = { sent = t.sent; bytes = t.bytes }
+
+let reset_stats t =
+  t.sent <- 0;
+  t.bytes <- 0

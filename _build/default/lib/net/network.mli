@@ -1,0 +1,38 @@
+(** The network module (paper §III-A4).
+
+    Each node is connected to this module.  A sender sets [src] and [dst] in
+    the envelope and hands the message over; the network samples the [delay]
+    variable from the configured distribution (scaled by the topology's
+    per-link factor) and forwards the message onward — in the full simulator
+    the next hop is the attacker module, then the event queue.  The network
+    also keeps the message-usage counters backing the paper's second metric
+    (§II-C). *)
+
+open Bftsim_sim
+
+type t
+
+type stats = {
+  sent : int;  (** Messages that entered the network. *)
+  bytes : int;  (** Sum of estimated message sizes. *)
+}
+
+val create : delay:Delay_model.t -> topology:Topology.t -> rng:Rng.t -> t
+(** The network owns its RNG stream so delay sampling is independent of
+    protocol randomness. *)
+
+val delay_model : t -> Delay_model.t
+
+val topology : t -> Topology.t
+
+val assign_delay : t -> Message.t -> unit
+(** Samples and writes [delay_ms] (self-addressed messages get 0 delay —
+    local delivery does not traverse the wire) and updates the counters. *)
+
+val override_delay : t -> Delay_model.t -> unit
+(** Swaps the delay distribution mid-simulation; used to model networks that
+    stabilize (GST) or degrade at a known time. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

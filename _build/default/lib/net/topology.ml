@@ -1,0 +1,24 @@
+type t = { n : int; subnet : int array; scales : (int * int, float) Hashtbl.t }
+
+let fully_connected n =
+  if n <= 0 then invalid_arg "Topology.fully_connected: n <= 0";
+  { n; subnet = Array.make n 0; scales = Hashtbl.create 16 }
+
+let n t = t.n
+
+let with_subnets t assignment =
+  if Array.length assignment <> t.n then invalid_arg "Topology.with_subnets: length mismatch";
+  { t with subnet = Array.copy assignment }
+
+let split_in_two n ~first_size =
+  if first_size < 0 || first_size > n then invalid_arg "Topology.split_in_two";
+  let t = fully_connected n in
+  with_subnets t (Array.init n (fun i -> if i < first_size then 0 else 1))
+
+let subnet_of t i = t.subnet.(i)
+
+let same_subnet t a b = t.subnet.(a) = t.subnet.(b)
+
+let set_pair_scale t ~src ~dst scale = Hashtbl.replace t.scales (src, dst) scale
+
+let pair_scale t ~src ~dst = Option.value ~default:1.0 (Hashtbl.find_opt t.scales (src, dst))

@@ -1,0 +1,35 @@
+(** Logical network topology.
+
+    The simulator models a fully connected peer-to-peer overlay; the
+    topology adds two refinements used by experiments:
+
+    - {b subnets}: a partition of the node set into groups.  The partition
+      attacker (paper §III-C) filters on subnet boundaries.
+    - {b per-pair latency scaling}: heterogeneous links (e.g. a slow
+      cross-datacenter pair) without changing the global delay model. *)
+
+type t
+
+val fully_connected : int -> t
+(** [fully_connected n] is the default topology: everyone in subnet 0,
+    uniform latency scaling. *)
+
+val n : t -> int
+
+val with_subnets : t -> int array -> t
+(** [with_subnets t assignment] places node [i] in subnet [assignment.(i)].
+    @raise Invalid_argument if the array length differs from [n t]. *)
+
+val split_in_two : int -> first_size:int -> t
+(** Convenience: nodes [0 .. first_size-1] in subnet 0, the rest in
+    subnet 1 — the two-subnet partition of the paper's Fig. 6. *)
+
+val subnet_of : t -> int -> int
+
+val same_subnet : t -> int -> int -> bool
+
+val set_pair_scale : t -> src:int -> dst:int -> float -> unit
+(** Multiplies sampled delays on the directed link [src -> dst]. *)
+
+val pair_scale : t -> src:int -> dst:int -> float
+(** The scaling factor for a directed link; 1.0 by default. *)

@@ -1,0 +1,1 @@
+lib/protocols/add_common.ml: Bftsim_crypto Bftsim_net Bftsim_sim Context Hashtbl Int64 Message Printf Quorum String Tally Timer

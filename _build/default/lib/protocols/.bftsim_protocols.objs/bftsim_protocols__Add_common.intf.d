@@ -1,0 +1,1 @@
+lib/protocols/add_common.mli: Bftsim_crypto Bftsim_net Bftsim_sim Context Message

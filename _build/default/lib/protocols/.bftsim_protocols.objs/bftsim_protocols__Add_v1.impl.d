@@ -1,0 +1,1 @@
+lib/protocols/add_v1.ml: Add_common Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/add_v1.mli: Add_common Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/add_v3.mli: Add_common Protocol_intf

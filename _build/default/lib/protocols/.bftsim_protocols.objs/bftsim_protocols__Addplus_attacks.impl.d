@@ -1,0 +1,1 @@
+lib/protocols/addplus_attacks.ml: Add_common Attacker Bftsim_attack Bftsim_crypto Bftsim_net Bftsim_sim Hashtbl Int64 Message Printf Timer

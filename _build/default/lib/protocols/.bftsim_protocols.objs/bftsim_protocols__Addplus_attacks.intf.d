@@ -1,0 +1,1 @@
+lib/protocols/addplus_attacks.mli: Attacker Bftsim_attack

@@ -1,0 +1,1 @@
+lib/protocols/algorand.ml: Bftsim_crypto Bftsim_net Bftsim_sim Context Hashtbl Int64 List Message Option Printf Protocol_intf Quorum String Tally Timer

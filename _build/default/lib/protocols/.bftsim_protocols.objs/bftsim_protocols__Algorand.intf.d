@@ -1,0 +1,1 @@
+lib/protocols/algorand.mli: Bftsim_crypto Bftsim_net Bftsim_sim Message Protocol_intf

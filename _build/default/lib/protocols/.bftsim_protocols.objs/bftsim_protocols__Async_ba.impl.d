@@ -1,0 +1,1 @@
+lib/protocols/async_ba.ml: Array Bftsim_crypto Bftsim_net Char Context Hashtbl Message Printf Protocol_intf Quorum String

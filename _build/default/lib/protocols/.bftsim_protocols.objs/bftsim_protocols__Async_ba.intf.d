@@ -1,0 +1,1 @@
+lib/protocols/async_ba.mli: Bftsim_net Message Protocol_intf

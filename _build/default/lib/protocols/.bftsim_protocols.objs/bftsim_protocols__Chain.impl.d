@@ -1,0 +1,1 @@
+lib/protocols/chain.ml: Bftsim_crypto Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/protocols/chained_core.ml: Bftsim_net Bftsim_sim Chain Context Format Hashtbl List Message Option Printf Quorum Stdlib String Sys Tally Timer

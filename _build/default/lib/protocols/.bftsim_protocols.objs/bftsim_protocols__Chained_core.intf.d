@@ -1,0 +1,1 @@
+lib/protocols/chained_core.mli: Bftsim_net Bftsim_sim Chain Context Message

@@ -1,0 +1,1 @@
+lib/protocols/context.ml: Bftsim_net Bftsim_sim Message Rng Time Timer

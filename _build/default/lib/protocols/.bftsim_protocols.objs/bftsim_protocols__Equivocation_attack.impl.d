@@ -1,0 +1,1 @@
+lib/protocols/equivocation_attack.ml: Attacker Bftsim_attack Bftsim_net Message Pbft Printf

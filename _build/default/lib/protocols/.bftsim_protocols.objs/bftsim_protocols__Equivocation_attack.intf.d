@@ -1,0 +1,1 @@
+lib/protocols/equivocation_attack.mli: Attacker Bftsim_attack

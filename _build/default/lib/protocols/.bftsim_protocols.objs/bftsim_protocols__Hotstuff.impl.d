@@ -1,0 +1,1 @@
+lib/protocols/hotstuff.ml: Chained_core Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/hotstuff.mli: Chained_core Protocol_intf

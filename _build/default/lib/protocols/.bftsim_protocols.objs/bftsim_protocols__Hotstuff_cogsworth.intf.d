@@ -1,0 +1,1 @@
+lib/protocols/hotstuff_cogsworth.mli: Chained_core Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/librabft.ml: Chained_core Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/librabft.mli: Chained_core Protocol_intf

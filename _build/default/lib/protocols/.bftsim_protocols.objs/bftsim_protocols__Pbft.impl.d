@@ -1,0 +1,1 @@
+lib/protocols/pbft.ml: Bftsim_net Bftsim_sim Context Hashtbl List Message Option Printf Protocol_intf Quorum Tally Timer

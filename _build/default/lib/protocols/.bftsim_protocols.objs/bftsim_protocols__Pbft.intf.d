@@ -1,0 +1,1 @@
+lib/protocols/pbft.mli: Bftsim_net Bftsim_sim Message Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/protocol_intf.ml: Bftsim_net Bftsim_sim Context

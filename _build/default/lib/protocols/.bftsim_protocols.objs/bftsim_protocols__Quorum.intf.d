@@ -1,0 +1,1 @@
+lib/protocols/quorum.mli:

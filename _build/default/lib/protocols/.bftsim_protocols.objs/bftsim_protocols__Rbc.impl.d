@@ -1,0 +1,1 @@
+lib/protocols/rbc.ml: Bftsim_net Context Hashtbl Message Printf Quorum Tally

@@ -1,0 +1,1 @@
+lib/protocols/rbc.mli: Bftsim_net Context Message

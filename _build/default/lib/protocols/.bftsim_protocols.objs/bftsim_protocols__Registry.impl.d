@@ -1,0 +1,1 @@
+lib/protocols/registry.ml: Add_v1 Add_v2 Add_v3 Algorand Async_ba Hotstuff Hotstuff_cogsworth Librabft List Pbft Printf Protocol_intf String Sync_hotstuff Tendermint

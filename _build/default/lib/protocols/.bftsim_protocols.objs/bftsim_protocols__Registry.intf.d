@@ -1,0 +1,1 @@
+lib/protocols/registry.mli: Protocol_intf

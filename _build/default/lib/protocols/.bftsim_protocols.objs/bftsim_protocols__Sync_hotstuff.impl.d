@@ -1,0 +1,1 @@
+lib/protocols/sync_hotstuff.ml: Bftsim_net Bftsim_sim Chain Context Format Hashtbl Message Printf Protocol_intf Quorum Stdlib String Tally Timer

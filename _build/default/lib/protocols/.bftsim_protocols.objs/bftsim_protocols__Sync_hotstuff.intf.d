@@ -1,0 +1,1 @@
+lib/protocols/sync_hotstuff.mli: Bftsim_net Bftsim_sim Chain Message Protocol_intf

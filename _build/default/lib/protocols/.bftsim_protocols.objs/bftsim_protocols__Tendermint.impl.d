@@ -1,0 +1,1 @@
+lib/protocols/tendermint.ml: Bftsim_net Bftsim_sim Context Hashtbl List Message Printf Protocol_intf Quorum String Tally Timer

@@ -1,0 +1,5 @@
+(** ADD+ BA, basic variant (paper §III-B1): deterministic round-robin
+    leaders.  Vulnerable to the static attack of Fig. 8 (left): crashing the
+    first [f] scheduled leaders wastes the first [f] iterations. *)
+
+include Protocol_intf.S with type node = Add_common.node

@@ -1,0 +1,17 @@
+let name = "add-v2"
+
+let model = Protocol_intf.Synchronous
+
+let pipelined = false
+
+type node = Add_common.node
+
+let create ctx = Add_common.create Add_common.V2 ctx
+
+let on_start = Add_common.on_start
+
+let on_message = Add_common.on_message
+
+let on_timer = Add_common.on_timer
+
+let view = Add_common.current_iteration

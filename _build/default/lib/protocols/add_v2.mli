@@ -1,0 +1,6 @@
+(** ADD+ BA with VRF leader election (paper §III-B1): immune to the static
+    attack, but a rushing adaptive attacker corrupting each revealed winner
+    before its proposal still delays termination by one iteration per
+    corruption (Fig. 8 right). *)
+
+include Protocol_intf.S with type node = Add_common.node

@@ -1,0 +1,6 @@
+(** ADD+ BA with VRF election and a prepare round (paper §III-B1): proposal
+    contents are broadcast before credentials are revealed, so corrupting
+    the elected leader is too late — expected-constant-round termination
+    even under the rushing adaptive attacker. *)
+
+include Protocol_intf.S with type node = Add_common.node

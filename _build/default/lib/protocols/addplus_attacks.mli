@@ -1,0 +1,23 @@
+(** The two protocol-aware attackers against the ADD+ family
+    (paper §III-C, Table II; evaluated in Fig. 8).
+
+    Both are built on the abstracted global attacker: corruption of a node
+    means silencing all of its subsequent messages, which — since nodes only
+    interact through messages — is indistinguishable from crashing it. *)
+
+open Bftsim_attack
+
+val static : f:int -> Attacker.t
+(** The {b static} attack: the adversary fixes its victims before the run —
+    it crashes nodes [0 .. f-1], which are exactly ADD+v1's first [f]
+    round-robin leaders, forcing [f] wasted iterations.  Against v2/v3 the
+    VRF schedule makes this choice no better than random. *)
+
+val rushing_adaptive : ?budget:int -> unit -> Attacker.t
+(** The {b rushing adaptive} attack: the adversary watches the in-flight
+    credential messages of each iteration, and just before the next slot
+    boundary corrupts the node holding the winning (lowest) ticket, spending
+    its corruption budget ([budget], default the tolerance bound [f]).  Against v2 the winner's proposal is
+    thereby suppressed and the iteration wasted; against v3 the winner's
+    prepared value is already delivered, so the corruption achieves
+    nothing. *)

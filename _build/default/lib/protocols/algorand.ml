@@ -1,0 +1,172 @@
+open Bftsim_sim
+open Bftsim_net
+module Vrf = Bftsim_crypto.Vrf
+
+type Message.payload +=
+  | Alg_proposal of { period : int; value : string; credential : Vrf.evaluation }
+  | Alg_soft of { period : int; value : string }
+  | Alg_cert of { period : int; value : string }
+  | Alg_next of { period : int; value : string }
+
+type Timer.payload += Alg_step of { period : int; step : int }
+
+let name = "algorand"
+
+let model = Protocol_intf.Synchronous
+
+let pipelined = false
+
+(* Every step waits two lambda: one delay bound for the previous step's
+   broadcast to land everywhere, one of slack — the protocol's synchrony
+   assumption. *)
+let step_ms ctx = 2. *. ctx.Context.lambda_ms
+
+let bot = ""
+
+type node = {
+  mutable period : int;
+  mutable value : string;  (** Current preferred / starting value. *)
+  mutable decided : string option;
+  mutable timer : Timer.id option;
+  (* Best (lowest-ticket) verified proposal seen per period. *)
+  best_proposal : (int, int64 * string) Hashtbl.t;
+  softs : (int * string) Tally.t;
+  certs : (int * string) Tally.t;
+  nexts : (int * string) Tally.t;
+  sent_soft : (int, unit) Hashtbl.t;
+  sent_cert : (int, unit) Hashtbl.t;
+  sent_next : (int, unit) Hashtbl.t;
+}
+
+let create ctx =
+  {
+    period = 0;
+    value = ctx.Context.input;
+    decided = None;
+    timer = None;
+    best_proposal = Hashtbl.create 16;
+    softs = Tally.create ();
+    certs = Tally.create ();
+    nexts = Tally.create ();
+    sent_soft = Hashtbl.create 16;
+    sent_cert = Hashtbl.create 16;
+    sent_next = Hashtbl.create 16;
+  }
+
+let current_period t = t.period
+
+let set_step_timer t ctx ~period ~step ~delay_ms =
+  Option.iter ctx.Context.cancel_timer t.timer;
+  t.timer <- Some (ctx.Context.set_timer ~delay_ms ~tag:"alg-step" (Alg_step { period; step }))
+
+let start_period t ctx period =
+  t.period <- period;
+  let credential =
+    Vrf.eval ~seed:ctx.Context.seed ~node:ctx.Context.node_id
+      ~input:(Printf.sprintf "alg|%d" period)
+  in
+  Context.broadcast ctx ~tag:"alg-proposal" ~size:320
+    (Alg_proposal { period; value = t.value; credential });
+  set_step_timer t ctx ~period ~step:2 ~delay_ms:(step_ms ctx)
+
+let soft_vote t ctx =
+  if not (Hashtbl.mem t.sent_soft t.period) then begin
+    Hashtbl.replace t.sent_soft t.period ();
+    let value =
+      match Hashtbl.find_opt t.best_proposal t.period with
+      | Some (_, v) -> v
+      | None -> t.value
+    in
+    Context.broadcast ctx ~tag:"alg-soft" (Alg_soft { period = t.period; value })
+  end
+
+(* Cert-votes fire as soon as the soft quorum is in (the step-3 timer is
+   just the fallback deadline for moving on to next-votes). *)
+let maybe_cert t ctx ~period ~value =
+  if
+    period = t.period
+    && (not (Hashtbl.mem t.sent_cert period))
+    && Tally.count t.softs (period, value) >= Quorum.supermajority ctx.Context.n
+  then begin
+    Hashtbl.replace t.sent_cert period ();
+    Context.broadcast ctx ~tag:"alg-cert" (Alg_cert { period; value })
+  end
+
+let next_vote t ctx ~rebroadcast =
+  if rebroadcast || not (Hashtbl.mem t.sent_next t.period) then begin
+    Hashtbl.replace t.sent_next t.period ();
+    (* Next-vote the value we saw certified support for, else bottom. *)
+    let value =
+      let candidates = Tally.keys t.softs in
+      let supported =
+        List.find_opt
+          (fun (p, v) ->
+            p = t.period && Tally.count t.softs (p, v) >= Quorum.supermajority ctx.Context.n)
+          candidates
+      in
+      match supported with Some (_, v) -> v | None -> bot
+    in
+    Context.broadcast ctx ~tag:"alg-next" (Alg_next { period = t.period; value })
+  end
+
+let advance_period t ctx ~starting =
+  if String.length starting > 0 then t.value <- starting;
+  start_period t ctx (t.period + 1)
+
+let on_start t ctx = start_period t ctx 1
+
+let on_message t ctx (msg : Message.t) =
+  match msg.payload with
+  | Alg_proposal { period; value; credential } ->
+    if
+      credential.Vrf.node = msg.src
+      && Vrf.verify ~seed:ctx.Context.seed credential
+      && String.equal credential.Vrf.input (Printf.sprintf "alg|%d" period)
+    then begin
+      let ticket = Vrf.ticket credential in
+      match Hashtbl.find_opt t.best_proposal period with
+      | Some (best, _) when Int64.compare best ticket <= 0 -> ()
+      | _ -> Hashtbl.replace t.best_proposal period (ticket, value)
+    end
+  | Alg_soft { period; value } ->
+    let _ = Tally.add t.softs (period, value) ~voter:msg.src in
+    maybe_cert t ctx ~period ~value
+  | Alg_cert { period; value } ->
+    let count = Tally.add t.certs (period, value) ~voter:msg.src in
+    if count >= Quorum.supermajority ctx.Context.n && t.decided = None then begin
+      t.decided <- Some value;
+      ctx.Context.decide value
+    end
+  | Alg_next { period; value } ->
+    let count = Tally.add t.nexts (period, value) ~voter:msg.src in
+    if period = t.period && count >= Quorum.supermajority ctx.Context.n then
+      advance_period t ctx ~starting:value
+  | _ -> ()
+
+let on_timer t ctx (timer : Timer.t) =
+  match timer.payload with
+  | Alg_step { period; step } ->
+    if period = t.period && t.decided = None then begin
+      match step with
+      | 2 ->
+        soft_vote t ctx;
+        set_step_timer t ctx ~period ~step:4 ~delay_ms:(2. *. step_ms ctx)
+      | _ ->
+        (* Step 4 and beyond: (re-)broadcast the next-vote until the period
+           advances; the re-broadcast lets quorums form after a partition
+           heals even though the original votes were dropped. *)
+        next_vote t ctx ~rebroadcast:true;
+        set_step_timer t ctx ~period ~step:4 ~delay_ms:(step_ms ctx)
+    end
+  | _ -> ()
+
+let view = current_period
+
+let () =
+  Message.register_printer (function
+    | Alg_proposal { period; value; _ } -> Some (Printf.sprintf "AlgProp(p=%d,%s)" period value)
+    | Alg_soft { period; value } -> Some (Printf.sprintf "AlgSoft(p=%d,%s)" period value)
+    | Alg_cert { period; value } -> Some (Printf.sprintf "AlgCert(p=%d,%s)" period value)
+    | Alg_next { period; value } ->
+      Some (Printf.sprintf "AlgNext(p=%d,%s)" period (if value = bot then "bot" else value))
+    | _ -> None)

@@ -1,0 +1,301 @@
+open Bftsim_sim
+open Bftsim_net
+
+type pacemaker = Naive_doubling | Timeout_certificates | Cogsworth
+
+type Message.payload +=
+  | Proposal of { block : Chain.block }
+  | Vote of { view : int; digest : string }
+  | Timeout_vote of { view : int }
+  | Timeout_cert of { view : int }
+  | Sync_request of { view : int }
+      (** Cogsworth: unicast plea to the leader of [view] to start it. *)
+  | Sync_advance of { view : int }
+      (** Cogsworth: the leader's relay moving everyone to [view]. *)
+
+type Timer.payload += View_timer of { view : int }
+
+(* A view must fit a proposal broadcast plus a vote flight, so the base
+   timeout is twice the assumed delay bound. *)
+let base_view_factor = 2.0
+
+type node = {
+  pacemaker : pacemaker;
+  store : Chain.store;
+  mutable cur_view : int;
+  mutable high_qc : Chain.qc;
+  mutable locked : Chain.qc;
+  mutable last_committed : string;
+  mutable timeouts : int;
+  mutable timer : Timer.id option;
+  votes : (int * string) Tally.t;
+  timeout_votes : int Tally.t;
+  sync_requests : int Tally.t;
+  voted : (int, unit) Hashtbl.t;
+  proposed : (int, unit) Hashtbl.t;
+  qc_formed : (int, unit) Hashtbl.t;
+  sent_timeout : (int, unit) Hashtbl.t;
+  (* Proposals for views this node has not entered yet (e.g. the proposal
+     raced ahead of the pacemaker's view-change message); re-examined on
+     view entry. *)
+  pending_proposals : (int, Chain.block) Hashtbl.t;
+  mutable committed : int;
+}
+
+let create pacemaker _ctx =
+  {
+    pacemaker;
+    store = Chain.create ();
+    cur_view = 0;
+    high_qc = Chain.genesis_qc;
+    locked = Chain.genesis_qc;
+    last_committed = Chain.genesis.digest;
+    timeouts = 0;
+    timer = None;
+    votes = Tally.create ();
+    timeout_votes = Tally.create ();
+    sync_requests = Tally.create ();
+    voted = Hashtbl.create 64;
+    proposed = Hashtbl.create 64;
+    qc_formed = Hashtbl.create 64;
+    sent_timeout = Hashtbl.create 64;
+    pending_proposals = Hashtbl.create 64;
+    committed = 0;
+  }
+
+let current_view t = t.cur_view
+
+let timeout_count t = t.timeouts
+
+let committed_count t = t.committed
+
+let leader ctx view = Context.leader_round_robin ctx ~view
+
+(* HotStuff+NS uses the naive view-doubling synchronizer (Naor et al.): the
+   view timeout doubles on every local timeout.  The BFTSIM_NAIVE_RESET
+   knob selects when (if ever) the back-off resets — "commit" (default)
+   resets on every local commit, "never" keeps growing, "view" derives the
+   budget from the view number itself.  LibraBFT's pacemaker doubles per
+   consecutive timeout and resets on any progress. *)
+type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
+
+let naive_reset_policy_ref =
+  ref
+    (match Sys.getenv_opt "BFTSIM_NAIVE_RESET" with
+    | Some "never" -> Never_reset
+    | Some "view" -> Per_view_number
+    | Some "commit" | Some _ | None -> Reset_on_commit)
+
+let naive_reset_policy () = !naive_reset_policy_ref
+
+let set_naive_reset_policy policy = naive_reset_policy_ref := policy
+
+let view_duration_ms t ctx =
+  let exponent =
+    match t.pacemaker with
+    | Naive_doubling -> (
+      match naive_reset_policy () with
+      | Per_view_number -> Stdlib.min t.cur_view 24
+      | Reset_on_commit | Never_reset -> Stdlib.min t.timeouts 24)
+    | Timeout_certificates | Cogsworth -> Stdlib.min t.timeouts 24
+  in
+  base_view_factor *. ctx.Context.lambda_ms *. (2. ** float_of_int exponent)
+
+let restart_timer t ctx =
+  Option.iter ctx.Context.cancel_timer t.timer;
+  let id =
+    ctx.Context.set_timer ~delay_ms:(view_duration_ms t ctx) ~tag:"view-timer"
+      (View_timer { view = t.cur_view })
+  in
+  t.timer <- Some id
+
+let propose t ctx =
+  if not (Hashtbl.mem t.proposed t.cur_view) then
+    match Chain.find t.store t.high_qc.Chain.block with
+    | None -> ()
+    | Some parent ->
+      Hashtbl.replace t.proposed t.cur_view ();
+      let block =
+        Chain.make_block ~view:t.cur_view ~parent ~justify:t.high_qc ~proposer:ctx.Context.node_id
+      in
+      Chain.add t.store block;
+      Context.broadcast ctx ~tag:"proposal" ~size:512 (Proposal { block })
+
+(* Commit rule: a QC heading a three-chain of consecutive views commits the
+   tail block and all its uncommitted ancestors, in chain order — each one
+   is a decided value reported to the controller. *)
+let try_commit t ctx qc =
+  match Chain.three_chain_tail t.store qc with
+  | None -> ()
+  | Some b3 ->
+    if
+      (not (String.equal b3.Chain.digest t.last_committed))
+      && Chain.extends t.store b3 ~ancestor:t.last_committed
+    then begin
+      let newly = Chain.chain_between t.store ~after:t.last_committed ~upto:b3 in
+      List.iter
+        (fun (b : Chain.block) ->
+          t.committed <- t.committed + 1;
+          ctx.Context.decide b.digest)
+        newly;
+      t.last_committed <- b3.Chain.digest;
+      if t.pacemaker = Naive_doubling && naive_reset_policy () = Reset_on_commit then
+        t.timeouts <- 0
+    end
+
+let process_qc t ctx (qc : Chain.qc) =
+  if qc.view > t.high_qc.Chain.view then t.high_qc <- qc;
+  (match Chain.find t.store qc.block with
+  | Some b1 -> if b1.justify.view > t.locked.Chain.view then t.locked <- b1.justify
+  | None -> ());
+  try_commit t ctx qc
+
+let vote_for t ctx (b : Chain.block) =
+  Hashtbl.replace t.voted b.view ();
+  Context.send ctx
+    ~dst:(leader ctx (b.view + 1))
+    ~tag:"vote"
+    (Vote { view = b.view; digest = b.digest })
+
+let safe_to_vote t (b : Chain.block) =
+  b.justify.view > t.locked.Chain.view || Chain.extends t.store b ~ancestor:t.locked.Chain.block
+
+(* On entering a view, act on a proposal that arrived before we did. *)
+let vote_pending t ctx =
+  match Hashtbl.find_opt t.pending_proposals t.cur_view with
+  | Some b when (not (Hashtbl.mem t.voted b.view)) && safe_to_vote t b -> vote_for t ctx b
+  | Some _ | None -> ()
+
+(* [fresh] marks entry through protocol progress (a QC or TC) rather than a
+   local timeout; LibraBFT's pacemaker resets its back-off on progress,
+   the naive synchronizer never does. *)
+let enter_view t ctx ~fresh view =
+  if view > t.cur_view then begin
+    t.cur_view <- view;
+    if fresh && (t.pacemaker = Timeout_certificates || t.pacemaker = Cogsworth) then
+      t.timeouts <- 0;
+    restart_timer t ctx;
+    if leader ctx view = ctx.Context.node_id then propose t ctx;
+    vote_pending t ctx
+  end
+
+let handle_proposal t ctx (msg : Message.t) (b : Chain.block) =
+  if msg.src = leader ctx b.view then begin
+    Chain.add t.store b;
+    if b.view > t.cur_view then Hashtbl.replace t.pending_proposals b.view b;
+    process_qc t ctx b.justify;
+    (* Optimistic responsiveness: a proposal carrying a QC for the directly
+       preceding view proves that view succeeded, so jump to the proposal's
+       view without waiting for the timer. *)
+    if b.view > t.cur_view && b.justify.view = b.view - 1 then enter_view t ctx ~fresh:true b.view;
+    if b.view = t.cur_view && (not (Hashtbl.mem t.voted b.view)) && safe_to_vote t b then
+      vote_for t ctx b
+  end
+
+let handle_vote t ctx (msg : Message.t) ~view ~digest =
+  (* Staleness: the leader of view v+1 aggregates votes of view v only
+     while its own view clock has not moved past v+1; later votes belong to
+     a view it is no longer responsible for.  Under the naive synchronizer
+     this is what turns clock divergence into failed views (Figs. 5, 9) —
+     the timeout-certificate pacemaker keeps clocks close enough that the
+     rule rarely bites. *)
+  if leader ctx (view + 1) = ctx.Context.node_id && t.cur_view <= view + 1 then begin
+    let count = Tally.add t.votes (view, digest) ~voter:msg.src in
+    if count >= Quorum.quorum ctx.Context.n && not (Hashtbl.mem t.qc_formed view) then begin
+      Hashtbl.replace t.qc_formed view ();
+      let qc = { Chain.view; block = digest } in
+      process_qc t ctx qc;
+      enter_view t ctx ~fresh:true (view + 1);
+      (* Already in a later view (clock ran ahead): still propose on the
+         freshest QC if leadership matches. *)
+      if leader ctx t.cur_view = ctx.Context.node_id then propose t ctx
+    end
+  end
+
+let broadcast_timeout ?(force = false) t ctx view =
+  if force || not (Hashtbl.mem t.sent_timeout view) then begin
+    Hashtbl.replace t.sent_timeout view ();
+    Context.broadcast ctx ~tag:"timeout-vote" (Timeout_vote { view })
+  end
+
+let handle_timeout_vote t ctx (msg : Message.t) ~view =
+  if t.pacemaker = Timeout_certificates then begin
+    let count = Tally.add t.timeout_votes view ~voter:msg.src in
+    if view >= t.cur_view then begin
+      (* f+1 timeouts prove an honest node is stuck: join the timeout. *)
+      if count >= Quorum.one_honest ctx.Context.n then broadcast_timeout t ctx view;
+      if Tally.count t.timeout_votes view >= Quorum.quorum ctx.Context.n then begin
+        Context.broadcast ctx ~tag:"timeout-cert" (Timeout_cert { view });
+        enter_view t ctx ~fresh:true (view + 1)
+      end
+    end
+  end
+
+let on_start t ctx = enter_view t ctx ~fresh:false 1
+
+(* Cogsworth view synchronization (Naor et al.): a stuck replica asks the
+   *next leader* to start the next view (linear communication); the leader
+   relays once it holds f+1 requests, which proves an honest replica is
+   stuck and lets every honest replica jump within one message delay. *)
+let handle_sync_request t ctx (msg : Message.t) ~view =
+  if t.pacemaker = Cogsworth && leader ctx view = ctx.Context.node_id then begin
+    let count = Tally.add t.sync_requests view ~voter:msg.src in
+    if count >= Quorum.one_honest ctx.Context.n && view > t.cur_view then begin
+      Context.broadcast ctx ~tag:"sync-advance" (Sync_advance { view });
+      enter_view t ctx ~fresh:true view
+    end
+  end
+
+let on_message t ctx (msg : Message.t) =
+  match msg.payload with
+  | Proposal { block } -> handle_proposal t ctx msg block
+  | Vote { view; digest } -> handle_vote t ctx msg ~view ~digest
+  | Timeout_vote { view } -> handle_timeout_vote t ctx msg ~view
+  | Timeout_cert { view } ->
+    if t.pacemaker = Timeout_certificates && view >= t.cur_view then
+      enter_view t ctx ~fresh:true (view + 1)
+  | Sync_request { view } -> handle_sync_request t ctx msg ~view
+  | Sync_advance { view } ->
+    if t.pacemaker = Cogsworth && msg.src = leader ctx view then enter_view t ctx ~fresh:true view
+  | _ -> ()
+
+let on_timer t ctx (timer : Timer.t) =
+  match timer.payload with
+  | View_timer { view } when view = t.cur_view -> (
+    t.timeouts <- t.timeouts + 1;
+    match t.pacemaker with
+    | Naive_doubling ->
+      (* Unilateral advance with doubled duration; never resets. *)
+      enter_view t ctx ~fresh:false (t.cur_view + 1)
+    | Timeout_certificates | Cogsworth ->
+      (* Stay in the view, (re-)signal the pacemaker and re-arm at the base
+         cadence so the signal keeps flowing until the view can change —
+         this is what bounds recovery once a partition heals. *)
+      (match t.pacemaker with
+      | Timeout_certificates -> broadcast_timeout ~force:true t ctx t.cur_view
+      | Naive_doubling | Cogsworth ->
+        (* Cogsworth: ask a later leader to start its view; consecutive
+           timeouts escalate the target so a stretch of crashed leaders is
+           skipped (the k-th timeout asks leader(v + k)). *)
+        let target = t.cur_view + Stdlib.max 1 t.timeouts in
+        Context.send ctx ~dst:(leader ctx target) ~tag:"sync-request"
+          (Sync_request { view = target }));
+      Option.iter ctx.Context.cancel_timer t.timer;
+      let id =
+        ctx.Context.set_timer
+          ~delay_ms:(base_view_factor *. ctx.Context.lambda_ms)
+          ~tag:"view-timer"
+          (View_timer { view = t.cur_view })
+      in
+      t.timer <- Some id)
+  | _ -> ()
+
+let () =
+  Message.register_printer (function
+    | Proposal { block } -> Some (Format.asprintf "Proposal(%a)" Chain.pp_block block)
+    | Vote { view; digest } -> Some (Printf.sprintf "Vote(v=%d,%s)" view digest)
+    | Timeout_vote { view } -> Some (Printf.sprintf "TimeoutVote(v=%d)" view)
+    | Timeout_cert { view } -> Some (Printf.sprintf "TC(v=%d)" view)
+    | Sync_request { view } -> Some (Printf.sprintf "SyncReq(v=%d)" view)
+    | Sync_advance { view } -> Some (Printf.sprintf "SyncAdv(v=%d)" view)
+    | _ -> None)

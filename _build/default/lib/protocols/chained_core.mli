@@ -1,0 +1,64 @@
+(** Chained HotStuff consensus core with pluggable pacemaker.
+
+    HotStuff and LibraBFT share the identical safety machinery — pipelined
+    blocks, quorum certificates, the three-chain commit rule — and differ
+    only in the PaceMaker, the view-synchronization component (paper
+    §III-B5/B6).  This module implements the shared core; the two protocol
+    modules instantiate it with their pacemaker:
+
+    - {!Naive_doubling} (HotStuff+NS): a local view-doubling synchronizer
+      after Naor et al. — on expiry a node unilaterally advances one view
+      and doubles its timeout, and the counter {e never resets}.  This is
+      the source of the pathologies in the paper's Figs. 5, 6 and 9.
+    - {!Timeout_certificates} (LibraBFT): on expiry a node broadcasts a
+      timeout vote; 2f+1 such votes form a timeout certificate that moves
+      every honest node to the next view within one message delay, and the
+      doubling counter resets on progress — bounding recovery after GST.
+    - {!Cogsworth} (Naor et al.'s leader-relayed synchronizer, the paper's
+      citation for view synchronization): a stuck replica unicasts a sync
+      request to the next leader; f+1 requests make the leader broadcast a
+      relay that moves everyone — linear communication when leaders are
+      honest, at the cost of one extra hop. *)
+
+open Bftsim_net
+
+type pacemaker = Naive_doubling | Timeout_certificates | Cogsworth
+
+type Message.payload +=
+  | Proposal of { block : Chain.block }
+  | Vote of { view : int; digest : string }
+  | Timeout_vote of { view : int }
+  | Timeout_cert of { view : int }
+  | Sync_request of { view : int }
+  | Sync_advance of { view : int }
+
+type Bftsim_sim.Timer.payload += View_timer of { view : int }
+
+type node
+
+val create : pacemaker -> Context.t -> node
+
+val on_start : node -> Context.t -> unit
+
+val on_message : node -> Context.t -> Message.t -> unit
+
+val on_timer : node -> Context.t -> Bftsim_sim.Timer.t -> unit
+
+val current_view : node -> int
+(** The node's view, exposed for the view tracker (Fig. 9). *)
+
+val timeout_count : node -> int
+(** Number of local timeouts experienced so far. *)
+
+val committed_count : node -> int
+
+type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
+(** When HotStuff+NS's view-doubling back-off resets: on every local commit
+    (default, and the configuration that reproduces the paper's shapes),
+    never, or derived from the view number.  Initialized from the
+    BFTSIM_NAIVE_RESET environment variable ([commit] | [never] | [view]);
+    settable at run time for ablation studies. *)
+
+val naive_reset_policy : unit -> naive_reset_policy
+
+val set_naive_reset_policy : naive_reset_policy -> unit

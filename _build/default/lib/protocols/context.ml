@@ -1,0 +1,27 @@
+open Bftsim_sim
+open Bftsim_net
+
+type t = {
+  node_id : int;
+  n : int;
+  f : int;
+  lambda_ms : float;
+  seed : int;
+  input : string;
+  rng : Rng.t;
+  now : unit -> Time.t;
+  send_raw : dst:int -> tag:string -> size:int -> Message.payload -> unit;
+  broadcast_raw : include_self:bool -> tag:string -> size:int -> Message.payload -> unit;
+  set_timer : delay_ms:float -> tag:string -> Timer.payload -> Timer.id;
+  cancel_timer : Timer.id -> unit;
+  decide : string -> unit;
+}
+
+let send t ~dst ~tag ?(size = Message.default_size) payload = t.send_raw ~dst ~tag ~size payload
+
+let broadcast t ?(include_self = true) ~tag ?(size = Message.default_size) payload =
+  t.broadcast_raw ~include_self ~tag ~size payload
+
+let leader_round_robin t ~view = ((view mod t.n) + t.n) mod t.n
+
+let is_leader_round_robin t ~view = leader_round_robin t ~view = t.node_id

@@ -1,0 +1,48 @@
+(** Execution context handed to every consensus node (paper §III-A3).
+
+    A node never touches the event queue, network or controller directly; it
+    acts through these capabilities.  [send]/[broadcast] route through the
+    network and attacker modules; [set_timer] registers a time event;
+    [decide] is the paper's [reportToSystem], delivering a consensus result
+    to the controller, which computes the metrics. *)
+
+open Bftsim_sim
+open Bftsim_net
+
+type t = {
+  node_id : int;
+  n : int;  (** Total number of nodes, including crashed/Byzantine ones. *)
+  f : int;  (** Fault budget the protocol is configured to tolerate. *)
+  lambda_ms : float;
+      (** The protocol's {e assumed} network-delay bound / timeout parameter
+          (the paper's lambda).  The real network may violate it. *)
+  seed : int;  (** Key domain for simulated crypto (signatures, VRFs). *)
+  input : string;  (** This node's input value for the consensus. *)
+  rng : Rng.t;  (** Node-private randomness stream. *)
+  now : unit -> Time.t;
+  send_raw : dst:int -> tag:string -> size:int -> Message.payload -> unit;
+  broadcast_raw : include_self:bool -> tag:string -> size:int -> Message.payload -> unit;
+      (** One-to-all dissemination.  The controller implements it either as
+          n point-to-point sends (the paper's model) or as epidemic gossip
+          (the blockchain-style transport extension); protocols stay
+          oblivious and use {!broadcast}. *)
+  set_timer : delay_ms:float -> tag:string -> Timer.payload -> Timer.id;
+  cancel_timer : Timer.id -> unit;
+  decide : string -> unit;
+      (** Report one decided value.  SMR protocols call it once per slot. *)
+}
+
+val send : t -> dst:int -> tag:string -> ?size:int -> Message.payload -> unit
+(** Point-to-point send; [size] defaults to {!Message.default_size}. *)
+
+val broadcast : t -> ?include_self:bool -> tag:string -> ?size:int -> Message.payload -> unit
+(** Disseminates to every node through the configured transport.
+    [include_self] (default [true]) also delivers a zero-delay local copy,
+    which lets protocols treat their own votes uniformly with everyone
+    else's. *)
+
+val is_leader_round_robin : t -> view:int -> bool
+(** [true] iff this node is the round-robin leader of [view]
+    ([view mod n]). *)
+
+val leader_round_robin : t -> view:int -> int

@@ -1,0 +1,18 @@
+(** Equivocation attack on PBFT's primary.
+
+    Demonstrates the global attacker's message-{e modification} capability
+    (paper §III-C: a corrupted node's behaviour is controlled "by dropping,
+    modifying, or inserting messages"), and covers the Byzantine behaviour
+    class the Twins work [15] tests for: the victim primary appears to send
+    {e different} proposals to different replicas.
+
+    Mechanically: pre-prepares (and new-views) from the victim to
+    odd-numbered replicas are dropped and replaced with an injected copy
+    carrying a conflicting value.  PBFT's prepare quorum (2f+1 of n, any
+    two quorums intersect in an honest replica) must prevent both values
+    from committing — the attack costs a view change, never agreement. *)
+
+open Bftsim_attack
+
+val pbft_equivocation : victim:int -> Attacker.t
+(** Equivocates every proposal the [victim] primary sends. *)

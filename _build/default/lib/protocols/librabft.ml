@@ -1,0 +1,19 @@
+let name = "librabft"
+
+let model = Protocol_intf.Partially_synchronous
+
+let pipelined = true
+
+type node = Chained_core.node
+
+let create ctx = Chained_core.create Chained_core.Timeout_certificates ctx
+
+let on_start = Chained_core.on_start
+
+let on_message = Chained_core.on_message
+
+let on_timer = Chained_core.on_timer
+
+let current_view = Chained_core.current_view
+
+let view = Chained_core.current_view

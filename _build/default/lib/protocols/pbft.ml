@@ -1,0 +1,226 @@
+open Bftsim_sim
+open Bftsim_net
+
+type Message.payload +=
+  | Pre_prepare of { view : int; slot : int; value : string }
+  | Prepare of { view : int; slot : int; value : string }
+  | Commit of { view : int; slot : int; value : string }
+  | View_change of { new_view : int }
+  | New_view of { view : int; slot : int; value : string }
+
+type Timer.payload += Progress of { view : int; slot : int }
+
+let name = "pbft"
+
+let model = Protocol_intf.Partially_synchronous
+
+let pipelined = false
+
+(* The view-change timeout starts at [base_timeout_factor * lambda] and
+   doubles on every view change, as the paper describes PBFT's adaptation to
+   partial synchrony ("doubling its timeout every time it changes its
+   view"). *)
+let base_timeout_factor = 2.0
+
+type node = {
+  mutable view : int;
+  mutable slot : int;  (** Lowest undecided slot. *)
+  mutable timeouts : int;  (** View changes since the last decision. *)
+  mutable timer : Timer.id option;
+  prepares : (int * int * string) Tally.t;
+  commits : (int * int * string) Tally.t;
+  view_changes : int Tally.t;
+  accepted : (int * int, string) Hashtbl.t;  (** (view, slot) -> pre-prepared value. *)
+  proposals : (int * int, string) Hashtbl.t;
+      (** Every proposal seen from a valid primary, buffered so a node that
+          is still deciding slot [s] can pick up the pre-prepare for [s+1]
+          once it advances. *)
+  sent_prepare : (int * int, unit) Hashtbl.t;
+  sent_commit : (int * int, unit) Hashtbl.t;
+  decided : (int, string) Hashtbl.t;
+}
+
+let create _ctx =
+  {
+    view = 0;
+    slot = 1;
+    timeouts = 0;
+    timer = None;
+    prepares = Tally.create ();
+    commits = Tally.create ();
+    view_changes = Tally.create ();
+    accepted = Hashtbl.create 64;
+    proposals = Hashtbl.create 64;
+    sent_prepare = Hashtbl.create 64;
+    sent_commit = Hashtbl.create 64;
+    decided = Hashtbl.create 64;
+  }
+
+let primary ctx view = Context.leader_round_robin ctx ~view
+
+let proposal_value ctx slot = Printf.sprintf "%s/slot%d" ctx.Context.input slot
+
+let timeout_ms ctx t = base_timeout_factor *. ctx.Context.lambda_ms *. (2. ** float_of_int t.timeouts)
+
+let restart_timer t ctx =
+  Option.iter ctx.Context.cancel_timer t.timer;
+  let id =
+    ctx.Context.set_timer ~delay_ms:(timeout_ms ctx t) ~tag:"pbft-progress"
+      (Progress { view = t.view; slot = t.slot })
+  in
+  t.timer <- Some id
+
+let propose t ctx =
+  if primary ctx t.view = ctx.Context.node_id then
+    Context.broadcast ctx ~tag:"pre-prepare" ~size:256
+      (Pre_prepare { view = t.view; slot = t.slot; value = proposal_value ctx t.slot })
+
+let on_start t ctx =
+  restart_timer t ctx;
+  propose t ctx
+
+let send_prepare t ctx ~view ~slot ~value =
+  if not (Hashtbl.mem t.sent_prepare (view, slot)) then begin
+    Hashtbl.replace t.sent_prepare (view, slot) ();
+    Context.broadcast ctx ~tag:"prepare" (Prepare { view; slot; value })
+  end
+
+let accept_proposal t ctx ~view ~slot ~value =
+  Hashtbl.replace t.proposals (view, slot) value;
+  if view = t.view && slot = t.slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
+    Hashtbl.replace t.accepted (view, slot) value;
+    send_prepare t ctx ~view ~slot ~value
+  end
+
+(* After advancing slot or view, adopt any buffered proposal that fits. *)
+let catch_up t ctx =
+  match Hashtbl.find_opt t.proposals (t.view, t.slot) with
+  | Some value when not (Hashtbl.mem t.accepted (t.view, t.slot)) ->
+    Hashtbl.replace t.accepted (t.view, t.slot) value;
+    send_prepare t ctx ~view:t.view ~slot:t.slot ~value
+  | _ -> ()
+
+(* Entering a view resets the progress timer (with its doubled duration);
+   the new primary re-proposes the pending slot.  Only a value backed by a
+   prepared *certificate* (a prepare quorum it observed) may be carried
+   over — a value merely pre-prepared by the old primary could be one side
+   of an equivocation and must not survive the view change. *)
+let prepared_certificate t ctx ~slot ~below_view =
+  let candidates = Tally.keys t.prepares in
+  List.find_map
+    (fun (v, s, value) ->
+      if
+        s = slot && v < below_view
+        && Tally.count t.prepares (v, s, value) >= Quorum.quorum ctx.Context.n
+      then Some (v, value)
+      else None)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare b a) candidates)
+
+let enter_view t ctx new_view =
+  t.view <- new_view;
+  restart_timer t ctx;
+  if primary ctx t.view = ctx.Context.node_id then begin
+    let value =
+      match prepared_certificate t ctx ~slot:t.slot ~below_view:new_view with
+      | Some (_, value) -> value
+      | None -> proposal_value ctx t.slot
+    in
+    Context.broadcast ctx ~tag:"new-view" ~size:512
+      (New_view { view = t.view; slot = t.slot; value })
+  end
+
+let start_view_change t ctx ~first =
+  if first then t.timeouts <- t.timeouts + 1;
+  let target = t.view + 1 in
+  Context.broadcast ctx ~tag:"view-change" (View_change { new_view = target });
+  (* The doubled timeout decides when to *start* a view change; while one
+     is pending, the vote is re-broadcast at a fixed cadence so it survives
+     loss (e.g. across a partition heal) without an exponential overhang. *)
+  Option.iter ctx.Context.cancel_timer t.timer;
+  let delay_ms =
+    if first then timeout_ms ctx t else base_timeout_factor *. ctx.Context.lambda_ms
+  in
+  let id =
+    ctx.Context.set_timer ~delay_ms ~tag:"pbft-progress" (Progress { view = t.view; slot = t.slot })
+  in
+  t.timer <- Some id
+
+let try_decide t ctx ~slot ~value =
+  if not (Hashtbl.mem t.decided slot) then begin
+    Hashtbl.replace t.decided slot value;
+    ctx.Context.decide value;
+    if slot = t.slot then begin
+      t.slot <- t.slot + 1;
+      t.timeouts <- 0;
+      restart_timer t ctx;
+      propose t ctx;
+      catch_up t ctx
+    end
+  end
+
+let on_message t ctx (msg : Message.t) =
+  match msg.payload with
+  | Pre_prepare { view; slot; value } ->
+    if msg.src = primary ctx view then accept_proposal t ctx ~view ~slot ~value
+  | Prepare { view; slot; value } ->
+    let count = Tally.add t.prepares (view, slot, value) ~voter:msg.src in
+    if
+      count >= Quorum.quorum ctx.Context.n
+      && view = t.view
+      && not (Hashtbl.mem t.sent_commit (view, slot))
+    then begin
+      Hashtbl.replace t.sent_commit (view, slot) ();
+      Hashtbl.replace t.accepted (view, slot) value;
+      Context.broadcast ctx ~tag:"commit" (Commit { view; slot; value })
+    end
+  | Commit { view; slot; value } ->
+    let count = Tally.add t.commits (view, slot, value) ~voter:msg.src in
+    if count >= Quorum.quorum ctx.Context.n then try_decide t ctx ~slot ~value
+  | View_change { new_view } ->
+    let count = Tally.add t.view_changes new_view ~voter:msg.src in
+    if new_view > t.view then begin
+      (* Amplify: f+1 view changes prove an honest node timed out. *)
+      if
+        count >= Quorum.one_honest ctx.Context.n
+        && not (Tally.has_voted t.view_changes new_view ~voter:ctx.Context.node_id)
+      then Context.broadcast ctx ~tag:"view-change" (View_change { new_view });
+      if Tally.count t.view_changes new_view >= Quorum.quorum ctx.Context.n then begin
+        enter_view t ctx new_view;
+        catch_up t ctx
+      end
+    end
+  | New_view { view; slot; value } ->
+    if msg.src = primary ctx view && view >= t.view then begin
+      if view > t.view then begin
+        t.view <- view;
+        restart_timer t ctx
+      end;
+      Hashtbl.replace t.proposals (view, slot) value;
+      if slot = t.slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
+        Hashtbl.replace t.accepted (view, slot) value;
+        send_prepare t ctx ~view ~slot ~value
+      end
+    end
+  | _ -> ()
+
+let on_timer t ctx (timer : Timer.t) =
+  match timer.payload with
+  | Progress { view; slot } ->
+    if view = t.view && slot = t.slot && not (Hashtbl.mem t.decided slot) then begin
+      let first = not (Tally.has_voted t.view_changes (t.view + 1) ~voter:ctx.Context.node_id) in
+      start_view_change t ctx ~first
+    end
+  | _ -> ()
+
+let view t = t.view
+
+let () =
+  Message.register_printer (function
+    | Pre_prepare { view; slot; value } ->
+      Some (Printf.sprintf "PrePrepare(v=%d,s=%d,%s)" view slot value)
+    | Prepare { view; slot; value } -> Some (Printf.sprintf "Prepare(v=%d,s=%d,%s)" view slot value)
+    | Commit { view; slot; value } -> Some (Printf.sprintf "Commit(v=%d,s=%d,%s)" view slot value)
+    | View_change { new_view } -> Some (Printf.sprintf "ViewChange(v=%d)" new_view)
+    | New_view { view; slot; value } ->
+      Some (Printf.sprintf "NewView(v=%d,s=%d,%s)" view slot value)
+    | _ -> None)

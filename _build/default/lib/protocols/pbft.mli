@@ -1,0 +1,23 @@
+(** Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI '99).
+
+    Partially-synchronous, responsive (paper §III-B4): a slot decides after
+    the pre-prepare → prepare → commit exchange regardless of the timeout
+    parameter, and the view-change timeout doubles every time the view
+    changes, so the protocol eventually outlasts any actual network delay.
+
+    This implementation runs consecutive slots (state-machine replication):
+    once slot [s] decides, the primary proposes slot [s+1]; the controller
+    stops the run when its decision target is met. *)
+
+open Bftsim_net
+
+type Message.payload +=
+  | Pre_prepare of { view : int; slot : int; value : string }
+  | Prepare of { view : int; slot : int; value : string }
+  | Commit of { view : int; slot : int; value : string }
+  | View_change of { new_view : int }
+  | New_view of { view : int; slot : int; value : string }
+
+type Bftsim_sim.Timer.payload += Progress of { view : int; slot : int }
+
+include Protocol_intf.S

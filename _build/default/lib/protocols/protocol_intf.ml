@@ -1,0 +1,57 @@
+(** The consensus-module interface (paper §III-A3).
+
+    "To simulate a customized protocol, a user of our simulator needs only
+    to implement three functions": [onMsgEvent], [onTimeEvent] and
+    [reportToSystem].  Here the first two are [on_message] and [on_timer];
+    reporting happens through {!Context.t.decide}.  [on_start] additionally
+    marks the beginning of the run (the reference implementation does this
+    with an initial self-scheduled event). *)
+
+type network_model = Synchronous | Partially_synchronous | Asynchronous
+
+let network_model_to_string = function
+  | Synchronous -> "synchronous"
+  | Partially_synchronous -> "partially-synchronous"
+  | Asynchronous -> "asynchronous"
+
+module type S = sig
+  val name : string
+  (** Stable identifier used by the registry, CLI and experiment tables. *)
+
+  val model : network_model
+  (** The network model the protocol is designed for (paper Table I). *)
+
+  val pipelined : bool
+  (** [true] for protocols that amortize cost over consecutive decisions
+      (HotStuff, LibraBFT); the runner then measures per-decision averages
+      over ten decisions instead of a single decision (paper §IV). *)
+
+  type node
+  (** Per-replica protocol state. *)
+
+  val create : Context.t -> node
+  (** Builds the state of one replica; must not send or schedule anything —
+      that happens in [on_start]. *)
+
+  val on_start : node -> Context.t -> unit
+  (** Invoked once at simulation time zero for every live node. *)
+
+  val on_message : node -> Context.t -> Bftsim_net.Message.t -> unit
+  (** The paper's [onMsgEvent]: a message event reached this node. *)
+
+  val on_timer : node -> Context.t -> Bftsim_sim.Timer.t -> unit
+  (** The paper's [onTimeEvent]: a timer registered by this node fired. *)
+
+  val view : node -> int
+  (** The node's current view / round / period / iteration — the protocol's
+      notion of logical progress, sampled by the view tracker (Fig. 9). *)
+end
+
+type t = (module S)
+(** A protocol packaged as a first-class module. *)
+
+let name (module P : S) = P.name
+
+let model (module P : S) = P.model
+
+let pipelined (module P : S) = P.pipelined

@@ -1,0 +1,11 @@
+let max_faulty n = (n - 1) / 3
+
+let quorum n = n - max_faulty n
+
+let one_honest n = max_faulty n + 1
+
+let supermajority n = (2 * max_faulty n) + 1
+
+let check ~n ~f =
+  if f < 0 then invalid_arg "Quorum.check: negative f";
+  if n <= 3 * f then invalid_arg (Printf.sprintf "Quorum.check: n=%d <= 3*f=%d" n (3 * f))

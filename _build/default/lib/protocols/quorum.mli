@@ -1,0 +1,23 @@
+(** Quorum arithmetic shared by every protocol.
+
+    With [n] nodes of which at most [f] are faulty, BFT protocols rely on
+    two thresholds: a {e quorum} of [n - f] (any two quorums intersect in an
+    honest node when [n > 3f]) and [f + 1] (at least one honest node).  The
+    experiments run configurations like [n = 16] that are not of the tight
+    [3f + 1] form, so thresholds are computed from [n] alone via the maximal
+    tolerable [f]. *)
+
+val max_faulty : int -> int
+(** [max_faulty n] is [(n - 1) / 3], the largest [f] with [n > 3f]. *)
+
+val quorum : int -> int
+(** [quorum n = n - max_faulty n]; e.g. 11 for [n = 16]. *)
+
+val one_honest : int -> int
+(** [one_honest n = max_faulty n + 1]: any such set contains an honest node. *)
+
+val supermajority : int -> int
+(** [2 f + 1] for [f = max_faulty n] — Algorand's certification threshold. *)
+
+val check : n:int -> f:int -> unit
+(** @raise Invalid_argument unless [0 <= f] and [n > 3 f]. *)

@@ -1,0 +1,82 @@
+open Bftsim_net
+
+type Message.payload +=
+  | Rbc_init of { origin : int; tag : string; value : string }
+  | Rbc_echo of { origin : int; tag : string; value : string }
+  | Rbc_ready of { origin : int; tag : string; value : string }
+
+type t = {
+  echoes : (int * string * string) Tally.t;
+  readies : (int * string * string) Tally.t;
+  sent_echo : (int * string, unit) Hashtbl.t;
+  sent_ready : (int * string, unit) Hashtbl.t;
+  delivered_values : (int * string, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    echoes = Tally.create ();
+    readies = Tally.create ();
+    sent_echo = Hashtbl.create 32;
+    sent_ready = Hashtbl.create 32;
+    delivered_values = Hashtbl.create 32;
+  }
+
+let broadcast _t ctx ~tag ~value =
+  Context.broadcast ctx ~tag:"rbc-init"
+    (Rbc_init { origin = ctx.Context.node_id; tag; value })
+
+let send_echo t ctx ~origin ~tag ~value =
+  if not (Hashtbl.mem t.sent_echo (origin, tag)) then begin
+    Hashtbl.replace t.sent_echo (origin, tag) ();
+    Context.broadcast ctx ~tag:"rbc-echo" (Rbc_echo { origin; tag; value })
+  end
+
+let send_ready t ctx ~origin ~tag ~value =
+  if not (Hashtbl.mem t.sent_ready (origin, tag)) then begin
+    Hashtbl.replace t.sent_ready (origin, tag) ();
+    Context.broadcast ctx ~tag:"rbc-ready" (Rbc_ready { origin; tag; value })
+  end
+
+(* Threshold checks shared by echo and ready arrivals. *)
+let progress t ctx ~origin ~tag ~value =
+  let n = ctx.Context.n in
+  if Tally.count t.echoes (origin, tag, value) >= Quorum.supermajority n then
+    send_ready t ctx ~origin ~tag ~value;
+  let readies = Tally.count t.readies (origin, tag, value) in
+  (* f+1 readies prove an honest node will deliver: join in (amplification,
+     the step that gives totality). *)
+  if readies >= Quorum.one_honest n then send_ready t ctx ~origin ~tag ~value;
+  if readies >= Quorum.supermajority n && not (Hashtbl.mem t.delivered_values (origin, tag)) then begin
+    Hashtbl.replace t.delivered_values (origin, tag) value;
+    Some (origin, tag, value)
+  end
+  else None
+
+let handle t ctx (msg : Message.t) =
+  match msg.payload with
+  | Rbc_init { origin; tag; value } ->
+    (* Only the authentic origin's first init for a tag earns an echo; a
+       second, different init is equivocation and is ignored (the echo
+       quorum then arbitrates which value, if any, gets through). *)
+    if msg.src = origin then send_echo t ctx ~origin ~tag ~value;
+    None
+  | Rbc_echo { origin; tag; value } ->
+    ignore (Tally.add t.echoes (origin, tag, value) ~voter:msg.src);
+    progress t ctx ~origin ~tag ~value
+  | Rbc_ready { origin; tag; value } ->
+    ignore (Tally.add t.readies (origin, tag, value) ~voter:msg.src);
+    progress t ctx ~origin ~tag ~value
+  | _ -> None
+
+let delivered t ~origin ~tag = Hashtbl.find_opt t.delivered_values (origin, tag)
+
+let delivered_count t = Hashtbl.length t.delivered_values
+
+let () =
+  Message.register_printer (function
+    | Rbc_init { origin; tag; value } -> Some (Printf.sprintf "RbcInit(%d,%s,%s)" origin tag value)
+    | Rbc_echo { origin; tag; value } -> Some (Printf.sprintf "RbcEcho(%d,%s,%s)" origin tag value)
+    | Rbc_ready { origin; tag; value } ->
+      Some (Printf.sprintf "RbcReady(%d,%s,%s)" origin tag value)
+    | _ -> None)

@@ -1,0 +1,44 @@
+(** Bracha reliable broadcast (the primitive under async BA, §III-B3).
+
+    Bracha's asynchronous BA "limits the behavior of Byzantine nodes using
+    reliable broadcast plus a validation function"; this module provides
+    that primitive as an embeddable component: any protocol can hold an
+    {!t} in its node state, call {!broadcast}, route RBC messages through
+    {!handle}, and receive at most one {e delivery} per (origin, tag) with
+    the guarantees:
+
+    - {b validity}: a broadcast by an honest origin is eventually delivered
+      by every honest node;
+    - {b totality / agreement}: if any honest node delivers [(origin, tag,
+      v)], every honest node delivers the same [v] for that broadcast —
+      even if the origin equivocated its init messages.
+
+    Echo (2f+1) and ready (2f+1 to deliver, f+1 to amplify) thresholds are
+    the classic ones. *)
+
+open Bftsim_net
+
+type Message.payload +=
+  | Rbc_init of { origin : int; tag : string; value : string }
+  | Rbc_echo of { origin : int; tag : string; value : string }
+  | Rbc_ready of { origin : int; tag : string; value : string }
+
+type t
+(** Per-node broadcast state (covers any number of concurrent broadcasts,
+    keyed by (origin, tag)). *)
+
+val create : unit -> t
+
+val broadcast : t -> Context.t -> tag:string -> value:string -> unit
+(** Start reliably broadcasting [value] as this node; [tag] distinguishes
+    concurrent broadcasts by the same origin. *)
+
+val handle : t -> Context.t -> Message.t -> (int * string * string) option
+(** Process one incoming message.  Returns [Some (origin, tag, value)] the
+    first time that broadcast becomes deliverable at this node, [None] for
+    non-RBC messages and duplicates. *)
+
+val delivered : t -> origin:int -> tag:string -> string option
+(** The delivered value of a broadcast, if any. *)
+
+val delivered_count : t -> int

@@ -1,0 +1,35 @@
+let builtin : Protocol_intf.t list =
+  [
+    (module Add_v1);
+    (module Add_v2);
+    (module Add_v3);
+    (module Algorand);
+    (module Async_ba);
+    (module Pbft);
+    (module Hotstuff);
+    (module Librabft);
+    (* Extension protocols beyond the paper's Table I. *)
+    (module Tendermint);
+    (module Sync_hotstuff);
+    (module Hotstuff_cogsworth);
+  ]
+
+let registered : Protocol_intf.t list ref = ref builtin
+
+let all () = !registered
+
+let names () = List.map (fun (module P : Protocol_intf.S) -> P.name) !registered
+
+let find name =
+  List.find_opt (fun (module P : Protocol_intf.S) -> String.equal P.name name) !registered
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown protocol %S (known: %s)" name (String.concat ", " (names ())))
+
+let register (module P : Protocol_intf.S) =
+  if find P.name <> None then invalid_arg (Printf.sprintf "protocol %S already registered" P.name);
+  registered := !registered @ [ (module P : Protocol_intf.S) ]

@@ -1,0 +1,24 @@
+(** The catalogue of implemented protocols (paper Table I).
+
+    The CLI, the experiment runner and the benchmark harness resolve
+    protocols by name through this registry.  It is extensible at run time:
+    a user protocol becomes available everywhere (CLI names, configs,
+    sweeps) after one {!register} call — the paper's "users can also import
+    or write customized BFT protocols" (§III-A). *)
+
+val all : unit -> Protocol_intf.t list
+(** Registered protocols: the paper's eight in Table I order, the two
+    extension protocols (Tendermint, Sync HotStuff), then any
+    user-registered ones in registration order. *)
+
+val names : unit -> string list
+
+val find : string -> Protocol_intf.t option
+
+val find_exn : string -> Protocol_intf.t
+(** @raise Invalid_argument on an unknown name (the message lists the known
+    ones). *)
+
+val register : Protocol_intf.t -> unit
+(** Adds a protocol.
+    @raise Invalid_argument if the name is already taken. *)

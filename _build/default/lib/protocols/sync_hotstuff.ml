@@ -1,0 +1,186 @@
+open Bftsim_sim
+open Bftsim_net
+
+type Message.payload +=
+  | Sh_propose of { view : int; block : Chain.block }
+  | Sh_vote of { view : int; digest : string }
+  | Sh_blame of { view : int }
+
+type Timer.payload +=
+  | Sh_commit_wait of { view : int; digest : string }
+  | Sh_progress of { view : int; deadline_id : int }
+  | Sh_newview_wait of { view : int }
+
+let name = "sync-hotstuff"
+
+let model = Protocol_intf.Synchronous
+
+let pipelined = true
+
+let majority n = (n / 2) + 1
+
+type node = {
+  store : Chain.store;
+  mutable view : int;
+  mutable highest_cert : Chain.block;  (** Tip of the certified chain. *)
+  mutable committed_height : int;
+  mutable quit_view : bool;  (** Stopped participating in the current view. *)
+  mutable progress_deadline : int;  (** Monotonic id invalidating old progress timers. *)
+  votes : string Tally.t;
+  blames : int Tally.t;
+  certified : (string, unit) Hashtbl.t;
+  committed : (string, unit) Hashtbl.t;
+  (* (view, height) -> digest of the first proposal seen; a second distinct
+     digest is leader equivocation. *)
+  seen_proposal : (int * int, string) Hashtbl.t;
+  mutable blamed : (int, unit) Hashtbl.t;
+  proposed_height : (int, unit) Hashtbl.t;
+}
+
+let create _ctx =
+  {
+    store = Chain.create ();
+    view = 0;
+    highest_cert = Chain.genesis;
+    committed_height = 0;
+    quit_view = false;
+    progress_deadline = 0;
+    votes = Tally.create ();
+    blames = Tally.create ();
+    certified = Hashtbl.create 64;
+    committed = Hashtbl.create 64;
+    seen_proposal = Hashtbl.create 64;
+    blamed = Hashtbl.create 16;
+    proposed_height = Hashtbl.create 64;
+  }
+
+let view t = t.view
+
+let leader ctx view = Context.leader_round_robin ctx ~view
+
+let delta ctx = ctx.Context.lambda_ms
+
+let reset_progress_timer t ctx =
+  t.progress_deadline <- t.progress_deadline + 1;
+  ignore
+    (ctx.Context.set_timer ~delay_ms:(3. *. delta ctx) ~tag:"sh-progress"
+       (Sh_progress { view = t.view; deadline_id = t.progress_deadline }))
+
+(* Heights serve as the chained-HotStuff "view" field of the block; each
+   block extends the previous certified one. *)
+let propose t ctx =
+  let height = t.highest_cert.Chain.view + 1 in
+  if not (Hashtbl.mem t.proposed_height height) then begin
+    Hashtbl.replace t.proposed_height height ();
+    let justify = { Chain.view = t.highest_cert.Chain.view; block = t.highest_cert.Chain.digest } in
+    let block =
+      Chain.make_block ~view:height ~parent:t.highest_cert ~justify ~proposer:ctx.Context.node_id
+    in
+    Chain.add t.store block;
+    Context.broadcast ctx ~tag:"sh-propose" ~size:512 (Sh_propose { view = t.view; block })
+  end
+
+let blame t ctx view =
+  if not (Hashtbl.mem t.blamed view) then begin
+    Hashtbl.replace t.blamed view ();
+    Context.broadcast ctx ~tag:"sh-blame" (Sh_blame { view })
+  end
+
+let enter_view t ctx new_view =
+  if new_view > t.view then begin
+    t.view <- new_view;
+    t.quit_view <- false;
+    reset_progress_timer t ctx;
+    (* The incoming leader waits 2 delta so every replica's highest
+       certificate reaches it before it extends the chain. *)
+    if leader ctx new_view = ctx.Context.node_id then
+      ignore
+        (ctx.Context.set_timer ~delay_ms:(2. *. delta ctx) ~tag:"sh-newview"
+           (Sh_newview_wait { view = new_view }))
+  end
+
+(* Commit in chain order once the 2-delta window closed cleanly. *)
+let commit t ctx (block : Chain.block) =
+  if
+    (not (Hashtbl.mem t.committed block.Chain.digest))
+    && block.Chain.view = t.committed_height + 1
+  then begin
+    Hashtbl.replace t.committed block.Chain.digest ();
+    t.committed_height <- block.Chain.view;
+    ctx.Context.decide block.Chain.digest
+  end
+
+let handle_proposal t ctx (msg : Message.t) view (block : Chain.block) =
+  if msg.src = leader ctx view && view = t.view && not t.quit_view then begin
+    Chain.add t.store block;
+    let key = (view, block.Chain.view) in
+    match Hashtbl.find_opt t.seen_proposal key with
+    | Some digest when not (String.equal digest block.Chain.digest) ->
+      (* Equivocation: two proposals for the same height in one view. *)
+      t.quit_view <- true;
+      blame t ctx view
+    | Some _ -> ()
+    | None ->
+      if block.Chain.view = t.committed_height + 1 || block.Chain.view > t.highest_cert.Chain.view
+      then begin
+        Hashtbl.replace t.seen_proposal key block.Chain.digest;
+        reset_progress_timer t ctx;
+        Context.broadcast ctx ~tag:"sh-vote" (Sh_vote { view; digest = block.Chain.digest });
+        ignore
+          (ctx.Context.set_timer ~delay_ms:(2. *. delta ctx) ~tag:"sh-commit"
+             (Sh_commit_wait { view; digest = block.Chain.digest }))
+      end
+  end
+
+let handle_vote t ctx (msg : Message.t) view digest =
+  if view = t.view then begin
+    let count = Tally.add t.votes digest ~voter:msg.src in
+    if count >= majority ctx.Context.n && not (Hashtbl.mem t.certified digest) then begin
+      Hashtbl.replace t.certified digest ();
+      (match Chain.find t.store digest with
+      | Some block when block.Chain.view > t.highest_cert.Chain.view -> t.highest_cert <- block
+      | Some _ | None -> ());
+      (* A certified tip lets the leader pipeline the next height. *)
+      if leader ctx t.view = ctx.Context.node_id && not t.quit_view then propose t ctx
+    end
+  end
+
+let handle_blame t ctx (msg : Message.t) view =
+  if view >= t.view then begin
+    let count = Tally.add t.blames view ~voter:msg.src in
+    let f = (ctx.Context.n - 1) / 2 in
+    if count >= Stdlib.min (f + 1) (Quorum.one_honest ctx.Context.n) then blame t ctx view;
+    if count >= f + 1 && view >= t.view then enter_view t ctx (view + 1)
+  end
+
+let on_start t ctx = enter_view t ctx 1
+
+let on_message t ctx (msg : Message.t) =
+  match msg.payload with
+  | Sh_propose { view; block } -> handle_proposal t ctx msg view block
+  | Sh_vote { view; digest } -> handle_vote t ctx msg view digest
+  | Sh_blame { view } -> handle_blame t ctx msg view
+  | _ -> ()
+
+let on_timer t ctx (timer : Timer.t) =
+  match timer.payload with
+  | Sh_commit_wait { view; digest } ->
+    (* Safe to commit iff the 2-delta window elapsed inside the same view
+       with no equivocation (quit_view covers both blame paths). *)
+    if view = t.view && not t.quit_view then (
+      match Chain.find t.store digest with Some block -> commit t ctx block | None -> ())
+  | Sh_progress { view; deadline_id } ->
+    if view = t.view && deadline_id = t.progress_deadline && not t.quit_view then begin
+      t.quit_view <- true;
+      blame t ctx view
+    end
+  | Sh_newview_wait { view } ->
+    if view = t.view && leader ctx view = ctx.Context.node_id then propose t ctx
+  | _ -> ()
+
+let () =
+  Message.register_printer (function
+    | Sh_propose { view; block } -> Some (Format.asprintf "ShPropose(v=%d,%a)" view Chain.pp_block block)
+    | Sh_vote { view; digest } -> Some (Printf.sprintf "ShVote(v=%d,%s)" view digest)
+    | Sh_blame { view } -> Some (Printf.sprintf "ShBlame(v=%d)" view)
+    | _ -> None)

@@ -1,0 +1,30 @@
+(** Sync HotStuff (Abraham, Malkhi, Nayak, Ren, Yin 2020) — extension
+    protocol beyond the paper's Table I.
+
+    A synchronous SMR protocol tolerating a {e minority} of faults
+    (n >= 2f+1): replicas vote on the leader's proposal and commit after
+    waiting two delay bounds (2 * lambda) without observing leader
+    equivocation.  Certificates need only a simple majority.  A replica
+    that sees no progress for 3 * lambda blames the leader; f+1 blames
+    change the view.  The paper cites the force-locking attack on this
+    protocol [27] as the kind of sophisticated strategy a flexible
+    simulator should be able to express — the commit path here is exactly
+    the timing-sensitive step that attack targets. *)
+
+open Bftsim_net
+
+type Message.payload +=
+  | Sh_propose of { view : int; block : Chain.block }
+  | Sh_vote of { view : int; digest : string }
+  | Sh_blame of { view : int }
+
+type Bftsim_sim.Timer.payload +=
+  | Sh_commit_wait of { view : int; digest : string }
+  | Sh_progress of { view : int; deadline_id : int }
+  | Sh_newview_wait of { view : int }
+
+include Protocol_intf.S
+
+val majority : int -> int
+(** [n/2 + 1]: the certificate threshold under the synchronous minority
+    assumption. *)

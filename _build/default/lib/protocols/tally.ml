@@ -1,0 +1,49 @@
+type 'k entry = { voters : (int, unit) Hashtbl.t }
+
+type 'k t = {
+  table : ('k, 'k entry) Hashtbl.t;
+  mutable order : 'k list;  (** Keys in first-seen order, newest first. *)
+}
+
+let create () = { table = Hashtbl.create 32; order = [] }
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+    let e = { voters = Hashtbl.create 8 } in
+    Hashtbl.replace t.table key e;
+    t.order <- key :: t.order;
+    e
+
+let add t key ~voter =
+  let e = entry t key in
+  if not (Hashtbl.mem e.voters voter) then Hashtbl.replace e.voters voter ();
+  Hashtbl.length e.voters
+
+let count t key =
+  match Hashtbl.find_opt t.table key with None -> 0 | Some e -> Hashtbl.length e.voters
+
+let has_voted t key ~voter =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some e -> Hashtbl.mem e.voters voter
+
+let voters t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some e -> Hashtbl.fold (fun voter () acc -> voter :: acc) e.voters [] |> List.sort compare
+
+let keys t = t.order
+
+let max_count t =
+  (* Walk keys in first-seen order so ties resolve deterministically. *)
+  List.fold_left
+    (fun best key ->
+      let c = count t key in
+      match best with Some (_, bc) when bc >= c -> best | _ -> Some (key, c))
+    None (List.rev t.order)
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- []

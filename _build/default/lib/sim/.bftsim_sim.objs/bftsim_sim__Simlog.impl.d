@@ -1,0 +1,1 @@
+lib/sim/simlog.ml: Format Logs Time

@@ -1,0 +1,1 @@
+lib/sim/simlog.mli: Format Logs Time

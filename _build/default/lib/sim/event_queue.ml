@@ -1,0 +1,34 @@
+type 'a t = { queue : 'a Pqueue.t; mutable clock : Time.t; mutable popped : int }
+
+let create () = { queue = Pqueue.create (); clock = Time.zero; popped = 0 }
+
+let now q = q.clock
+
+let schedule q ~at ev =
+  if Time.is_before at q.clock then
+    invalid_arg
+      (Printf.sprintf "Event_queue.schedule: %s is in the past (now %s)" (Time.to_string at)
+         (Time.to_string q.clock));
+  Pqueue.push q.queue ~priority:(Time.to_ms at) ev
+
+let schedule_after q ~delay_ms ev =
+  let delay_ms = if delay_ms < 0. then 0. else delay_ms in
+  schedule q ~at:(Time.add_ms q.clock delay_ms) ev
+
+let next q =
+  match Pqueue.pop q.queue with
+  | None -> None
+  | Some (priority, ev) ->
+    let at = Time.of_ms priority in
+    q.clock <- Time.max q.clock at;
+    q.popped <- q.popped + 1;
+    Some (q.clock, ev)
+
+let peek_time q =
+  match Pqueue.peek q.queue with
+  | None -> None
+  | Some (priority, _) -> Some (Time.of_ms priority)
+
+let pending q = Pqueue.length q.queue
+
+let popped q = q.popped

@@ -1,0 +1,36 @@
+(** Event queue with an attached simulation clock (paper §III-A2).
+
+    All simulation progress flows through this structure: scheduling places a
+    future event, and {!next} pops the earliest event while advancing the
+    clock to its timestamp.  Scheduling into the past is a programming error
+    and raises, which catches causality bugs in protocols early. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh queue with the clock at {!Time.zero}. *)
+
+val now : 'a t -> Time.t
+(** Current simulation time — the timestamp of the last popped event. *)
+
+val schedule : 'a t -> at:Time.t -> 'a -> unit
+(** [schedule q ~at ev] enqueues [ev] for time [at].
+    @raise Invalid_argument if [at] precedes [now q]. *)
+
+val schedule_after : 'a t -> delay_ms:float -> 'a -> unit
+(** [schedule_after q ~delay_ms ev] enqueues [ev] at [now + delay_ms];
+    negative delays clamp to zero (deliver "immediately", i.e. at the current
+    instant but after all earlier-queued simultaneous events). *)
+
+val next : 'a t -> (Time.t * 'a) option
+(** Pops the earliest event and advances the clock to its timestamp. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the next event without popping. *)
+
+val pending : 'a t -> int
+(** Number of queued events. *)
+
+val popped : 'a t -> int
+(** Total number of events processed so far (a cheap progress metric and a
+    guard counter against runaway simulations). *)

@@ -1,0 +1,80 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?initial_capacity:_ () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* [before a b] decides heap order: smaller priority first, insertion order on
+   ties.  This is the invariant the whole simulator's determinism rests on. *)
+let before a b =
+  a.priority < b.priority || (Float.equal a.priority b.priority && a.seq < b.seq)
+
+(* Growth takes a witness entry so the fresh slots are well-typed without
+   resorting to unsafe tricks. *)
+let grow q witness =
+  let cap = Stdlib.max 64 (2 * Array.length q.heap) in
+  let heap' = Array.make cap witness in
+  Array.blit q.heap 0 heap' 0 q.size;
+  q.heap <- heap'
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < q.size && before q.heap.(left) q.heap.(i) then left else i in
+  let smallest =
+    if right < q.size && before q.heap.(right) q.heap.(smallest) then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let push q ~priority value =
+  if Float.is_nan priority then invalid_arg "Pqueue.push: NaN priority";
+  let entry = { priority; seq = q.next_seq; value } in
+  if q.size = Array.length q.heap then grow q entry;
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).priority, q.heap.(0).value)
+
+let clear q = q.size <- 0
+
+let to_sorted_list q =
+  let entries = Array.sub q.heap 0 q.size |> Array.to_list in
+  let sorted = List.sort (fun a b -> if before a b then -1 else 1) entries in
+  List.map (fun e -> (e.priority, e.value)) sorted

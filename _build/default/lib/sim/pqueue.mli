@@ -1,0 +1,37 @@
+(** Imperative binary min-heap with deterministic tie-breaking.
+
+    The event queue of the simulator (paper §III-A2) must pop events in
+    timestamp order; events carrying the same timestamp must come out in the
+    order they were pushed, otherwise two runs with the same seed could
+    interleave simultaneous deliveries differently and traces would not be
+    reproducible.  The heap therefore keys entries on the pair
+    [(priority, sequence-number)] where the sequence number is a
+    monotonically increasing insertion counter. *)
+
+type 'a t
+(** A mutable priority queue holding values of type ['a]. *)
+
+val create : ?initial_capacity:int -> unit -> 'a t
+(** [create ()] is a fresh empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** [push q ~priority v] inserts [v].  Entries with smaller [priority] pop
+    first; equal priorities pop in insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop q] removes and returns the minimum entry, or [None] if empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** [peek q] is the minimum entry without removing it. *)
+
+val clear : 'a t -> unit
+(** Removes every entry. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** [to_sorted_list q] is a non-destructive snapshot of the queue contents in
+    pop order.  Intended for tests and debugging; costs O(n log n). *)

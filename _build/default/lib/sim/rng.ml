@@ -1,0 +1,92 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64: state advances by a fixed gamma; output is a bijective mix of
+   the state, so distinct states never collide within a stream. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    (* Reject the tail to keep the distribution exactly uniform. *)
+    if r - v + (bound - 1) < 0 then draw () else v
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits give a uniform double in [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let normal t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u <= 0. then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let truncated_normal t ~mu ~sigma ~lo =
+  let rec attempt k =
+    let x = normal t ~mu ~sigma in
+    if x >= lo then x
+    else if k >= 64 then lo
+    else attempt (k + 1)
+  in
+  attempt 0
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u <= 0. then nonzero () else u
+  in
+  -.mean *. log (nonzero ())
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: negative mean";
+  let limit = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. float t 1.0 in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,39 @@
+let src = Logs.Src.create "bftsim" ~doc:"BFT simulator events"
+
+
+let now_ref = ref (fun () -> Time.zero)
+
+let set_now f = now_ref := f
+
+let level_to_int = function
+  | Logs.App -> 0
+  | Logs.Error -> 1
+  | Logs.Warning -> 2
+  | Logs.Info -> 3
+  | Logs.Debug -> 4
+
+let enabled level =
+  match Logs.Src.level src with
+  | None -> false
+  | Some max_level -> level_to_int level <= level_to_int max_level
+
+(* Formatting happens only when the level is enabled, so per-message debug
+   calls cost one comparison in large benchmark runs. *)
+let log level fmt =
+  if enabled level then
+    Format.kasprintf
+      (fun s -> Logs.msg ~src level (fun m -> m "[%a] %s" Time.pp (!now_ref ()) s))
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let debug fmt = log Logs.Debug fmt
+
+let info fmt = log Logs.Info fmt
+
+let warn fmt = log Logs.Warning fmt
+
+let err fmt = log Logs.Error fmt
+
+let setup_for_cli ~level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src level

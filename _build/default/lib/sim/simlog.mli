@@ -1,0 +1,22 @@
+(** Simulation-aware logging.
+
+    Thin layer over {!Logs} that prefixes every line with the virtual clock,
+    so a log of a run reads as a timeline.  The current time is injected by
+    the controller via {!set_now}; library code only calls the level
+    helpers. *)
+
+val src : Logs.src
+(** The [bftsim] log source; adjust its level with [Logs.Src.set_level]. *)
+
+val set_now : (unit -> Time.t) -> unit
+(** Installs the clock accessor.  Called by the controller at start-up; the
+    default reports {!Time.zero}. *)
+
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+val err : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val setup_for_cli : level:Logs.level option -> unit
+(** Installs a [Fmt]-based reporter on stderr; used by [bin/] and
+    [examples/]. *)

@@ -1,0 +1,34 @@
+type t = float
+
+let zero = 0.
+
+let of_ms ms =
+  if not (Float.is_finite ms) || ms < 0. then
+    invalid_arg (Printf.sprintf "Time.of_ms: %f" ms)
+  else ms
+
+let to_ms t = t
+
+let of_sec s = of_ms (s *. 1000.)
+
+let to_sec t = t /. 1000.
+
+let add_ms t d =
+  let t' = t +. d in
+  if t' < 0. then 0. else t'
+
+let diff_ms later earlier = later -. earlier
+
+let compare = Float.compare
+
+let equal a b = Float.equal a b
+
+let min = Float.min
+
+let max = Float.max
+
+let is_before a b = a < b
+
+let pp ppf t = Format.fprintf ppf "%.3fs" (to_sec t)
+
+let to_string t = Format.asprintf "%a" pp t

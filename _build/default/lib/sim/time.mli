@@ -1,0 +1,52 @@
+(** Simulation time.
+
+    The simulator measures time on a virtual clock, advanced only by popping
+    events from the event queue (never by the wall clock).  The unit is the
+    millisecond, matching the paper's [lambda] and network-delay parameters. *)
+
+type t = private float
+(** A point in simulation time, in milliseconds since the start of the run.
+    The representation is exposed read-only so that times can be compared
+    with the polymorphic operators, but construction goes through the
+    functions below which enforce non-negativity. *)
+
+val zero : t
+(** The start of the simulation. *)
+
+val of_ms : float -> t
+(** [of_ms ms] is the time [ms] milliseconds after the start.
+    @raise Invalid_argument if [ms] is negative or not finite. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val of_sec : float -> t
+(** [of_sec s] is the time [s] seconds after the start. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val add_ms : t -> float -> t
+(** [add_ms t d] is [t] shifted [d] milliseconds into the future.  Negative
+    [d] is clamped so the result never precedes {!zero}. *)
+
+val diff_ms : t -> t -> float
+(** [diff_ms later earlier] is the (possibly negative) span between two
+    instants, in milliseconds. *)
+
+val compare : t -> t -> int
+(** Total order on instants. *)
+
+val equal : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val is_before : t -> t -> bool
+(** [is_before a b] is [true] iff [a] is strictly earlier than [b]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as seconds with millisecond precision, e.g. ["12.345s"]. *)
+
+val to_string : t -> string

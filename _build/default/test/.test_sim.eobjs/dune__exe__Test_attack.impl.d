@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attacker Bftsim_attack Bftsim_crypto Bftsim_net Bftsim_protocols Bftsim_sim Failstop Hashtbl List Message Option Partition_attack Rng Time Timer Topology

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bftsim_baseline Bftsim_core Bftsim_net Bytes List

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Bftsim_attack Bftsim_core Bftsim_net Bftsim_protocols Bftsim_sim Filename List Printf String Sys

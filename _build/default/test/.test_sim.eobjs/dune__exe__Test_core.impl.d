@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bftsim_attack Bftsim_core Bftsim_net Gen List Option Printf QCheck QCheck_alcotest String

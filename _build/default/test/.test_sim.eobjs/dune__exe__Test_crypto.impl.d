@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bftsim_crypto Gen Hmac Int64 List Merkle Option Printf QCheck QCheck_alcotest Sha256 Sig_sim String Vrf

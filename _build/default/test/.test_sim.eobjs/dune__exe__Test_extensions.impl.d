@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bftsim_core Bftsim_net Bftsim_protocols Fun List Printf String

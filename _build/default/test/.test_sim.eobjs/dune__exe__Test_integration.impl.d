@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bftsim_core Bftsim_net List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bftsim_net Bftsim_protocols Bftsim_sim Delay_model Float List Message Network QCheck QCheck_alcotest Rng Time Topology

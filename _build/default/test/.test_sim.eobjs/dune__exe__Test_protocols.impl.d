@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Bftsim_core Bftsim_net Bftsim_protocols List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bftsim_sim Event_queue Float List Option Pqueue QCheck QCheck_alcotest Rng Time

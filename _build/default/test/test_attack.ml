@@ -1,0 +1,207 @@
+(* Tests for the abstracted-global-attacker framework and the generic
+   attacker implementations (fail-stop, partition, delay injection). *)
+
+open Bftsim_sim
+open Bftsim_net
+open Bftsim_attack
+
+(* A self-contained attacker environment over mutable test state. *)
+let make_env ?(n = 8) ?(f = 2) ?(now = 0.) () =
+  let corrupted = Hashtbl.create 8 in
+  let injected = ref [] in
+  let timers = ref [] in
+  let now_ref = ref now in
+  let env =
+    {
+      Attacker.n;
+      f;
+      lambda_ms = 1000.;
+      now = (fun () -> Time.of_ms !now_ref);
+      rng = Rng.create 1;
+      topology = Topology.fully_connected n;
+      set_timer =
+        (fun ~delay_ms ~tag payload ->
+          timers := (delay_ms, tag, payload) :: !timers;
+          List.length !timers);
+      inject =
+        (fun ~src ~dst ~delay_ms ~tag ~size:_ payload ->
+          injected := (src, dst, delay_ms, tag, payload) :: !injected);
+      corrupt =
+        (fun node ->
+          if Hashtbl.mem corrupted node || Hashtbl.length corrupted >= f then false
+          else begin
+            Hashtbl.replace corrupted node ();
+            true
+          end);
+      is_corrupted = Hashtbl.mem corrupted;
+      corrupted =
+        (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) corrupted [] |> List.sort compare);
+    }
+  in
+  (env, now_ref, injected, timers)
+
+let msg ?(src = 0) ?(dst = 1) ?(sent_at = 0.) ?(tag = "m") () =
+  Message.make ~id:1 ~src ~dst ~sent_at:(Time.of_ms sent_at) ~tag (Message.Blob "x")
+
+let is_deliver = function Attacker.Deliver -> true | Attacker.Drop -> false
+
+(* --- passthrough & helpers --- *)
+
+let test_passthrough () =
+  let env, _, _, _ = make_env () in
+  Alcotest.(check bool) "delivers" true (is_deliver (Attacker.passthrough.attack env (msg ())))
+
+let test_corruption_budget () =
+  let env, _, _, _ = make_env ~f:2 () in
+  Alcotest.(check bool) "first corruption ok" true (env.corrupt 0);
+  Alcotest.(check bool) "second corruption ok" true (env.corrupt 1);
+  Alcotest.(check bool) "budget exhausted" false (env.corrupt 2);
+  Alcotest.(check bool) "re-corruption refused" false (env.corrupt 0);
+  Alcotest.(check (list int)) "ledger" [ 0; 1 ] (env.corrupted ())
+
+let test_drop_from_corrupted () =
+  let env, _, _, _ = make_env () in
+  ignore (env.corrupt 3);
+  Alcotest.(check bool) "corrupted sender dropped" false
+    (is_deliver (Attacker.drop_from_corrupted env (msg ~src:3 ())));
+  Alcotest.(check bool) "honest sender delivered" true
+    (is_deliver (Attacker.drop_from_corrupted env (msg ~src:4 ())))
+
+let test_delay_all () =
+  let env, _, _, _ = make_env () in
+  let attacker = Attacker.delay_all ~extra_ms:500. in
+  let m = msg () in
+  m.Message.delay_ms <- 100.;
+  Alcotest.(check bool) "delivers" true (is_deliver (attacker.attack env m));
+  Alcotest.(check (float 1e-9)) "delay extended" 600. m.Message.delay_ms
+
+(* --- fail-stop --- *)
+
+let test_failstop_from_start () =
+  let env, _, _, _ = make_env () in
+  let attacker = Failstop.from_start ~nodes:[ 1; 2 ] in
+  Alcotest.(check bool) "victim silenced" false (is_deliver (attacker.attack env (msg ~src:1 ())));
+  Alcotest.(check bool) "other node fine" true (is_deliver (attacker.attack env (msg ~src:0 ())))
+
+let test_failstop_at_time () =
+  let env, now_ref, _, _ = make_env () in
+  let attacker = Failstop.at_time ~nodes:[ 5 ] ~at_ms:1000. in
+  Alcotest.(check bool) "honest before the crash" true
+    (is_deliver (attacker.attack env (msg ~src:5 ())));
+  now_ref := 1500.;
+  Alcotest.(check bool) "silenced after the crash" false
+    (is_deliver (attacker.attack env (msg ~src:5 ())))
+
+(* --- partition --- *)
+
+let partition_spec ?(mode = Partition_attack.Drop_cross_traffic) () =
+  Partition_attack.
+    { groups = [| 0; 0; 0; 0; 1; 1; 1; 1 |]; start_ms = 1000.; heal_ms = 5000.; mode }
+
+let test_partition_window () =
+  let env, now_ref, _, _ = make_env () in
+  let attacker = Partition_attack.make (partition_spec ()) in
+  let cross () = msg ~src:0 ~dst:7 ~sent_at:!now_ref () in
+  Alcotest.(check bool) "before the attack" true (is_deliver (attacker.attack env (cross ())));
+  now_ref := 2000.;
+  Alcotest.(check bool) "during: cross dropped" false (is_deliver (attacker.attack env (cross ())));
+  Alcotest.(check bool) "during: intra delivered" true
+    (is_deliver (attacker.attack env (msg ~src:0 ~dst:3 ())));
+  now_ref := 5000.;
+  Alcotest.(check bool) "at heal boundary delivered" true (is_deliver (attacker.attack env (cross ())))
+
+let test_partition_delay_mode () =
+  let env, now_ref, _, _ = make_env () in
+  let attacker =
+    Partition_attack.make (partition_spec ~mode:(Partition_attack.Delay_until_heal { jitter_ms = 0. }) ())
+  in
+  now_ref := 2000.;
+  let m = msg ~src:1 ~dst:6 ~sent_at:2000. () in
+  m.Message.delay_ms <- 250.;
+  Alcotest.(check bool) "delivered (buffered)" true (is_deliver (attacker.attack env m));
+  Alcotest.(check (float 1e-9)) "released at heal" 5000.
+    (Time.to_ms (Message.arrival_time m))
+
+let test_partition_validation () =
+  match
+    Partition_attack.make
+      { groups = [| 0; 1 |]; start_ms = 10.; heal_ms = 5.; mode = Partition_attack.Drop_cross_traffic }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "heal before start accepted"
+
+let test_two_subnets_builder () =
+  let env, now_ref, _, _ = make_env () in
+  let attacker =
+    Partition_attack.two_subnets ~n:8 ~first_size:4 ~start_ms:0. ~heal_ms:1000.
+      Partition_attack.Drop_cross_traffic
+  in
+  now_ref := 500.;
+  Alcotest.(check bool) "0 -> 4 crosses" false
+    (is_deliver (attacker.attack env (msg ~src:0 ~dst:4 ())));
+  Alcotest.(check bool) "4 -> 7 intra" true (is_deliver (attacker.attack env (msg ~src:4 ~dst:7 ())))
+
+(* --- ADD+ attacks (unit level; end-to-end covered in test_integration) --- *)
+
+let test_add_static_marks_victims () =
+  let env, _, _, _ = make_env ~f:3 () in
+  let attacker = Bftsim_protocols.Addplus_attacks.static ~f:3 in
+  attacker.on_start env;
+  Alcotest.(check (list int)) "first f nodes corrupted" [ 0; 1; 2 ] (env.corrupted ());
+  Alcotest.(check bool) "their messages dropped" false
+    (is_deliver (attacker.attack env (msg ~src:0 ())))
+
+let test_add_adaptive_corrupts_winner () =
+  let env, now_ref, _, timers = make_env ~f:3 () in
+  let attacker = Bftsim_protocols.Addplus_attacks.rushing_adaptive () in
+  (* Replay an iteration's credential flow through the attacker. *)
+  let creds =
+    List.init 8 (fun node ->
+        Bftsim_crypto.Vrf.eval ~seed:1 ~node ~input:"add|0")
+  in
+  List.iter
+    (fun (c : Bftsim_crypto.Vrf.evaluation) ->
+      let m =
+        Message.make ~id:c.node ~src:c.node ~dst:0 ~sent_at:Time.zero ~tag:"add-credential"
+          (Bftsim_protocols.Add_common.Add_credential { iter = 0; credential = c })
+      in
+      ignore (attacker.attack env m))
+    creds;
+  Alcotest.(check int) "one corruption timer armed" 1 (List.length !timers);
+  (* Fire the armed timer. *)
+  let delay_ms, tag, payload = List.hd !timers in
+  now_ref := delay_ms;
+  attacker.on_time_event env
+    { Timer.id = 1; owner = Timer.attacker_owner; deadline = Time.of_ms delay_ms; tag; payload };
+  let winner = (Option.get (Bftsim_crypto.Vrf.winner creds)).Bftsim_crypto.Vrf.node in
+  Alcotest.(check (list int)) "exactly the VRF winner corrupted" [ winner ] (env.corrupted ())
+
+let () =
+  Alcotest.run "attack"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "passthrough" `Quick test_passthrough;
+          Alcotest.test_case "corruption budget" `Quick test_corruption_budget;
+          Alcotest.test_case "drop_from_corrupted" `Quick test_drop_from_corrupted;
+          Alcotest.test_case "delay_all" `Quick test_delay_all;
+        ] );
+      ( "failstop",
+        [
+          Alcotest.test_case "from start" `Quick test_failstop_from_start;
+          Alcotest.test_case "mid-run crash" `Quick test_failstop_at_time;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "attack window" `Quick test_partition_window;
+          Alcotest.test_case "delay-until-heal mode" `Quick test_partition_delay_mode;
+          Alcotest.test_case "validation" `Quick test_partition_validation;
+          Alcotest.test_case "two_subnets builder" `Quick test_two_subnets_builder;
+        ] );
+      ( "addplus",
+        [
+          Alcotest.test_case "static picks scheduled leaders" `Quick test_add_static_marks_victims;
+          Alcotest.test_case "adaptive corrupts the revealed winner" `Quick
+            test_add_adaptive_corrupts_winner;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the packet-level baseline simulator: packet framing, the
+   physical-layer models, and cross-validation against the main simulator
+   (the §III-D substitution: two independent engines must agree on PBFT's
+   decisions). *)
+
+module B = Bftsim_baseline
+module Core = Bftsim_core
+
+(* --- Packet --- *)
+
+let test_packet_make () =
+  let p = B.Packet.make ~id:1 ~src:0 ~dst:1 ~payload_bytes:100 B.Packet.Syn in
+  Alcotest.(check int) "size includes header" (100 + B.Packet.header_bytes) p.B.Packet.size_bytes;
+  Alcotest.(check bool) "fresh packet verifies" true (B.Packet.verify p)
+
+let test_packet_checksum_detects_corruption () =
+  let p =
+    B.Packet.make ~id:1 ~src:0 ~dst:1 ~payload_bytes:100
+      (B.Packet.Data { msg_id = 7; seq = 0; total = 1 })
+  in
+  Bytes.set p.B.Packet.payload 10 'X';
+  Alcotest.(check bool) "corrupted frame rejected" false (B.Packet.verify p)
+
+let test_packet_copy_at_hop () =
+  let p = B.Packet.make ~id:1 ~src:0 ~dst:1 ~payload_bytes:10 B.Packet.Syn in
+  let before = p.B.Packet.payload in
+  B.Packet.copy_at_hop p;
+  Alcotest.(check bool) "fresh buffer" true (p.B.Packet.payload != before);
+  Alcotest.(check bool) "same content" true (Bytes.equal p.B.Packet.payload before)
+
+(* --- Phys --- *)
+
+let test_link_serialization_and_propagation () =
+  let link = B.Phys.make_link ~bandwidth_mbps:8. ~propagation_ms:10. in
+  (* 1000 bytes at 8 Mbps = 1 ms serialization, plus 10 ms propagation. *)
+  let arrival = B.Phys.transmit link ~now_ms:0. ~bytes:1000 in
+  Alcotest.(check (float 1e-6)) "arrival" 11. arrival
+
+let test_link_queuing () =
+  let link = B.Phys.make_link ~bandwidth_mbps:8. ~propagation_ms:0. in
+  let a1 = B.Phys.transmit link ~now_ms:0. ~bytes:1000 in
+  let a2 = B.Phys.transmit link ~now_ms:0. ~bytes:1000 in
+  Alcotest.(check (float 1e-6)) "first done at 1ms" 1. a1;
+  Alcotest.(check (float 1e-6)) "second queues behind first" 2. a2;
+  Alcotest.(check bool) "queue depth visible" true (B.Phys.link_queue_depth_ms link ~now_ms:0. > 0.)
+
+let test_cpu_charge () =
+  let cpu = B.Phys.make_cpu () in
+  let f1 = B.Phys.charge cpu ~now_ms:0. ~cost_ms:5. in
+  let f2 = B.Phys.charge cpu ~now_ms:0. ~cost_ms:5. in
+  Alcotest.(check (float 1e-9)) "first job" 5. f1;
+  Alcotest.(check (float 1e-9)) "second job queues" 10. f2;
+  let f3 = B.Phys.charge cpu ~now_ms:100. ~cost_ms:5. in
+  Alcotest.(check (float 1e-9)) "idle gap skipped" 105. f3
+
+let test_link_validation () =
+  match B.Phys.make_link ~bandwidth_mbps:0. ~propagation_ms:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bandwidth accepted"
+
+(* --- Engine --- *)
+
+let test_engine_pbft_decides () =
+  let r = B.Engine.run ~n:8 ~seed:1 () in
+  Alcotest.(check bool) "decides" true r.B.Engine.outcome_ok;
+  Alcotest.(check bool) "agreement" true r.B.Engine.safety_ok;
+  Alcotest.(check bool) "packets moved" true (r.B.Engine.packets > 0);
+  Alcotest.(check bool) "many more events than main sim" true (r.B.Engine.events > 100)
+
+let test_engine_deterministic () =
+  let a = B.Engine.run ~n:8 ~seed:5 () and b = B.Engine.run ~n:8 ~seed:5 () in
+  Alcotest.(check (float 1e-9)) "same sim time" a.B.Engine.time_ms b.B.Engine.time_ms;
+  Alcotest.(check int) "same packets" a.B.Engine.packets b.B.Engine.packets
+
+let test_engine_other_protocols () =
+  (* The baseline reuses the protocol implementations unchanged. *)
+  List.iter
+    (fun protocol ->
+      let r = B.Engine.run ~protocol ~n:8 ~seed:2 () in
+      Alcotest.(check bool) (protocol ^ " decides over packets") true r.B.Engine.outcome_ok;
+      Alcotest.(check bool) (protocol ^ " agreement") true r.B.Engine.safety_ok)
+    [ "librabft"; "add-v1" ]
+
+let test_engine_memory_model () =
+  Alcotest.(check bool) "memory grows quadratically" true
+    (B.Engine.estimated_memory_bytes ~n:64 > 16 * B.Engine.estimated_memory_bytes ~n:16 / 2);
+  Alcotest.(check bool) "512 nodes are infeasible (> 4 GiB)" true
+    (B.Engine.estimated_memory_bytes ~n:512 > 4 * 1024 * 1024 * 1024)
+
+let test_engine_cross_validation_with_main () =
+  (* §III-D substitution: the same PBFT logic on two independent engines
+     must produce the same decided value (node 0 is primary and proposes
+     its own input in both worlds). *)
+  let b = B.Engine.run ~n:8 ~seed:3 () in
+  let m =
+    Core.Controller.run
+      (Core.Config.make "pbft" ~n:8 ~seed:3 ~delay:(Bftsim_net.Delay_model.normal ~mu:250. ~sigma:50.))
+  in
+  let value_of decisions =
+    match List.find_opt (fun (_, values) -> values <> []) decisions with
+    | Some (_, v :: _) -> v
+    | _ -> Alcotest.fail "no decision"
+  in
+  Alcotest.(check string) "same decided value across engines" (value_of m.Core.Controller.decisions)
+    (value_of b.B.Engine.decisions)
+
+let test_engine_slower_than_main () =
+  let wall_b, _ = B.Engine.wall_clock_of_run ~n:16 ~seed:1 () in
+  let wall_m, _ = Core.Controller.wall_clock_of_run (Core.Experiments.fig2_config ~n:16) in
+  Alcotest.(check bool) "packet-level is at least 10x slower" true (wall_b > 10. *. wall_m)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "framing" `Quick test_packet_make;
+          Alcotest.test_case "checksum catches corruption" `Quick
+            test_packet_checksum_detects_corruption;
+          Alcotest.test_case "hop copies" `Quick test_packet_copy_at_hop;
+        ] );
+      ( "phys",
+        [
+          Alcotest.test_case "serialization + propagation" `Quick
+            test_link_serialization_and_propagation;
+          Alcotest.test_case "queuing" `Quick test_link_queuing;
+          Alcotest.test_case "cpu accounting" `Quick test_cpu_charge;
+          Alcotest.test_case "validation" `Quick test_link_validation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pbft decides" `Quick test_engine_pbft_decides;
+          Alcotest.test_case "determinism" `Quick test_engine_deterministic;
+          Alcotest.test_case "other protocols run" `Slow test_engine_other_protocols;
+          Alcotest.test_case "memory model" `Quick test_engine_memory_model;
+          Alcotest.test_case "cross-validation with main simulator" `Quick
+            test_engine_cross_validation_with_main;
+          Alcotest.test_case "fidelity costs wall time" `Slow test_engine_slower_than_main;
+        ] );
+    ]

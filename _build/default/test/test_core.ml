@@ -1,0 +1,420 @@
+(* Tests for the simulator core: configuration parsing, the controller's
+   event loop and metrics, statistics, the repetition runner, traces, the
+   validator, the view tracker and the LoC inventory. *)
+
+module Core = Bftsim_core
+module Net = Bftsim_net
+
+let base_config ?(protocol = "pbft") ?(seed = 1) () =
+  Core.Config.make protocol ~seed ~delay:(Net.Delay_model.normal ~mu:100. ~sigma:20.)
+
+(* --- Config --- *)
+
+let test_config_defaults () =
+  let c = Core.Config.make "pbft" in
+  Alcotest.(check int) "n" 16 c.n;
+  Alcotest.(check (float 1e-9)) "lambda" 1000. c.lambda_ms;
+  Alcotest.(check int) "non-pipelined target" 1 c.decisions_target;
+  let h = Core.Config.make "hotstuff-ns" in
+  Alcotest.(check int) "pipelined target" 10 h.decisions_target
+
+let test_config_validation () =
+  (match Core.Config.make "unknown-protocol" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown protocol accepted");
+  (match Core.Config.make "pbft" ~n:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 0 accepted");
+  (match Core.Config.make "pbft" ~crashed:[ 99 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range crash accepted");
+  match Core.Config.make "pbft" ~lambda_ms:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lambda = 0 accepted"
+
+let test_config_inputs () =
+  let distinct = Core.Config.make "pbft" ~inputs:Core.Config.Distinct in
+  Alcotest.(check string) "distinct" "v3" (Core.Config.input_for distinct 3);
+  let same = Core.Config.make "pbft" ~inputs:(Core.Config.Same "x") in
+  Alcotest.(check string) "same" "x" (Core.Config.input_for same 3);
+  let binary = Core.Config.make "pbft" ~inputs:Core.Config.Random_binary in
+  let bit = Core.Config.input_for binary 3 in
+  Alcotest.(check bool) "binary" true (bit = "0" || bit = "1");
+  Alcotest.(check string) "binary deterministic" bit (Core.Config.input_for binary 3)
+
+let test_config_of_keyvalues () =
+  match
+    Core.Config.of_keyvalues
+      [
+        ("protocol", "librabft"); ("n", "7"); ("lambda", "500"); ("delay", "normal:100,10");
+        ("seed", "9"); ("attack", "partition:3,0,5000"); ("crashed", "6"); ("target", "2");
+        ("inputs", "same:z");
+      ]
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok c ->
+    Alcotest.(check string) "protocol" "librabft" c.protocol;
+    Alcotest.(check int) "n" 7 c.n;
+    Alcotest.(check (float 1e-9)) "lambda" 500. c.lambda_ms;
+    Alcotest.(check int) "seed" 9 c.seed;
+    Alcotest.(check int) "target" 2 c.decisions_target;
+    Alcotest.(check (list int)) "crashed" [ 6 ] c.crashed;
+    (match c.attack with
+    | Core.Config.Partition { first_size = 3; heal_ms = 5000.; drop = true; _ } -> ()
+    | _ -> Alcotest.fail "partition spec wrong")
+
+let test_config_of_keyvalues_errors () =
+  let expect_error kvs =
+    match Core.Config.of_keyvalues kvs with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" (String.concat "," (List.map fst kvs))
+  in
+  expect_error [ ("n", "16") ] (* missing protocol *);
+  expect_error [ ("protocol", "pbft"); ("n", "abc") ];
+  expect_error [ ("protocol", "pbft"); ("delay", "bogus") ];
+  expect_error [ ("protocol", "pbft"); ("attack", "bogus") ];
+  expect_error [ ("protocol", "nope") ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let test_config_describe () =
+  let c = Core.Config.make "pbft" ~attack:(Core.Config.Add_static { f = 2 }) in
+  let s = Core.Config.describe c in
+  Alcotest.(check bool) "mentions protocol" true (String.length s > 0 && String.sub s 0 4 = "pbft");
+  Alcotest.(check bool) "mentions attack" true (contains ~needle:"add-static" s)
+
+(* --- Controller --- *)
+
+let test_controller_determinism () =
+  let config = base_config () in
+  let a = Core.Controller.run config and b = Core.Controller.run config in
+  Alcotest.(check (float 1e-9)) "same time" a.time_ms b.time_ms;
+  Alcotest.(check int) "same messages" a.messages_sent b.messages_sent;
+  Alcotest.(check int) "same events" a.events_processed b.events_processed;
+  Alcotest.(check bool) "same decisions" true (a.decisions = b.decisions)
+
+let test_controller_seed_sensitivity () =
+  let a = Core.Controller.run (base_config ~seed:1 ()) in
+  let b = Core.Controller.run (base_config ~seed:2 ()) in
+  Alcotest.(check bool) "different seeds, different timings" true (a.time_ms <> b.time_ms)
+
+let test_controller_metrics_consistency () =
+  let r = Core.Controller.run (base_config ()) in
+  Alcotest.(check (float 1e-6)) "per-decision latency = time / target" r.time_ms
+    (r.per_decision_latency_ms *. float_of_int r.config.decisions_target);
+  Alcotest.(check bool) "bytes positive" true (r.bytes_sent > 0);
+  Alcotest.(check bool) "events processed" true (r.events_processed > 0)
+
+let test_controller_crashed_nodes_silent () =
+  let config = Core.Config.make "pbft" ~crashed:[ 3; 4 ] ~seed:1 ~delay:(Net.Delay_model.Constant 50.) in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "still live" true (r.outcome = Core.Controller.Reached_target);
+  List.iter
+    (fun (node, values) ->
+      if List.mem node [ 3; 4 ] then
+        Alcotest.(check int) (Printf.sprintf "node %d decided nothing" node) 0 (List.length values))
+    r.decisions
+
+let test_controller_timeout_cap () =
+  (* All nodes but too few to make quorum: liveness failure must surface as
+     Timed_out (or queue drained for timer-free protocols), not hang. *)
+  let config =
+    Core.Config.make "pbft" ~crashed:[ 0; 1; 2; 3; 4; 5; 6 ] ~seed:1 ~max_time_ms:20_000.
+      ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "did not reach target" true (r.outcome <> Core.Controller.Reached_target);
+  Alcotest.(check bool) "time capped" true (r.time_ms <= 20_000.)
+
+let test_controller_attacker_override () =
+  let dropped_all =
+    {
+      Bftsim_attack.Attacker.name = "blackhole";
+      on_start = (fun _ -> ());
+      attack = (fun _ _ -> Bftsim_attack.Attacker.Drop);
+      on_time_event = (fun _ _ -> ());
+    }
+  in
+  let config = { (base_config ()) with Core.Config.max_time_ms = 10_000. } in
+  let r = Core.Controller.run ~attacker:dropped_all config in
+  Alcotest.(check bool) "nothing decided under blackhole" true
+    (r.outcome <> Core.Controller.Reached_target);
+  Alcotest.(check bool) "drops counted" true (r.messages_dropped > 0)
+
+let test_controller_trace_recording () =
+  let config = { (base_config ()) with Core.Config.record_trace = true } in
+  let r = Core.Controller.run config in
+  match r.trace with
+  | None -> Alcotest.fail "trace missing"
+  | Some t ->
+    Alcotest.(check bool) "trace non-empty" true (Core.Trace.length t > 0);
+    let kinds = List.map (fun (e : Core.Trace.entry) -> e.kind) (Core.Trace.entries t) in
+    Alcotest.(check bool) "has sends" true (List.mem Core.Trace.Send kinds);
+    Alcotest.(check bool) "has delivers" true (List.mem Core.Trace.Deliver kinds);
+    Alcotest.(check bool) "has decides" true (List.mem Core.Trace.Decide kinds)
+
+let test_controller_view_sampling () =
+  let config = { (base_config ()) with Core.Config.view_sample_ms = Some 100. } in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "samples collected" true (List.length r.view_samples > 0);
+  List.iter
+    (fun (at, views) ->
+      Alcotest.(check bool) "sample in range" true (at <= r.time_ms +. 100.);
+      Alcotest.(check int) "one view per node" 16 (Array.length views))
+    r.view_samples
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Core.Stats.of_list [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.max;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.median;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) s.stddev;
+  Alcotest.(check int) "count" 4 s.count
+
+let test_stats_single () =
+  let s = Core.Stats.of_list [ 7. ] in
+  Alcotest.(check (float 1e-9)) "mean" 7. s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0. s.stddev
+
+let test_stats_percentile () =
+  let samples = [ 10.; 20.; 30.; 40.; 50. ] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Core.Stats.percentile samples 0.);
+  Alcotest.(check (float 1e-9)) "p50" 30. (Core.Stats.percentile samples 50.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Core.Stats.percentile samples 100.);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 20. (Core.Stats.percentile samples 25.)
+
+let test_stats_errors () =
+  (match Core.Stats.of_list [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Core.Stats.percentile [ 1. ] 101. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range percentile accepted"
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let s = Core.Stats.of_list xs in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+(* --- Runner --- *)
+
+let test_runner_aggregates () =
+  let summary = Core.Runner.run_many ~reps:5 (base_config ()) in
+  Alcotest.(check int) "reps" 5 summary.reps;
+  Alcotest.(check int) "results" 5 (List.length summary.results);
+  Alcotest.(check int) "no liveness failures" 0 summary.liveness_failures;
+  Alcotest.(check int) "no safety violations" 0 summary.safety_violations;
+  Alcotest.(check bool) "latency positive" true (summary.latency_ms.mean > 0.)
+
+let test_runner_distinct_seeds () =
+  let summary = Core.Runner.run_many ~reps:4 (base_config ()) in
+  let times = List.map (fun (r : Core.Controller.result) -> r.time_ms) summary.results in
+  Alcotest.(check bool) "seeds vary" true (List.length (List.sort_uniq compare times) > 1)
+
+(* --- Trace & Validator --- *)
+
+let traced_config ?(protocol = "pbft") () =
+  { (base_config ~protocol ()) with Core.Config.record_trace = true }
+
+let test_trace_decisions () =
+  let r = Core.Controller.run (traced_config ()) in
+  let t = Option.get r.trace in
+  let from_trace = Core.Trace.decisions t in
+  let from_result = List.filter (fun (_, values) -> values <> []) r.decisions in
+  Alcotest.(check bool) "trace decisions match controller's" true (from_trace = from_result)
+
+let test_trace_delays_reconstruction () =
+  let r = Core.Controller.run (traced_config ()) in
+  let t = Option.get r.trace in
+  let delays = Core.Trace.delays t in
+  Alcotest.(check bool) "some links reconstructed" true (List.length delays > 0);
+  List.iter
+    (fun ((src, dst, _), ds) ->
+      List.iter
+        (fun d ->
+          if d < 0. then Alcotest.failf "negative reconstructed delay %f on %d->%d" d src dst)
+        ds)
+    delays
+
+let test_trace_divergence_detection () =
+  let a = Core.Trace.create () and b = Core.Trace.create () in
+  let entry tag = { Core.Trace.at_ms = 1.; kind = Core.Trace.Send; node = 0; peer = 1; tag; detail = "" } in
+  Core.Trace.record a (entry "x");
+  Core.Trace.record b (entry "x");
+  Alcotest.(check bool) "equal traces" true (Core.Trace.equal a b);
+  Core.Trace.record a (entry "y");
+  Core.Trace.record b (entry "z");
+  Alcotest.(check bool) "diverged" false (Core.Trace.equal a b);
+  match Core.Trace.first_divergence a b with
+  | Some (1, Some ea, Some eb) ->
+    Alcotest.(check string) "left entry" "y" ea.tag;
+    Alcotest.(check string) "right entry" "z" eb.tag
+  | _ -> Alcotest.fail "divergence not located"
+
+let test_validator_determinism () =
+  let report = Core.Validator.check_determinism (base_config ()) in
+  Alcotest.(check bool) "decisions match" true report.decisions_match;
+  Alcotest.(check (option bool)) "traces match" (Some true) report.trace_match
+
+let test_validator_replay () =
+  let ground = Core.Controller.run (traced_config ()) in
+  (* Replay with a different sampling seed: delays come from the recorded
+     trace, so the decisions must still match the ground truth. *)
+  let other_seed = { (traced_config ()) with Core.Config.seed = 999 } in
+  let report = Core.Validator.validate_against ~ground_truth:ground other_seed in
+  Alcotest.(check bool) "replayed decisions match" true report.decisions_match
+
+let test_validator_detects_difference () =
+  let a = Core.Controller.run (base_config ~seed:1 ()) in
+  let b = Core.Controller.run (base_config ~protocol:"pbft" ~seed:500 ()) in
+  (* Different seeds usually decide the same value here, so compare against a
+     crashed-primary run which must decide a different value. *)
+  let c =
+    Core.Controller.run
+      (Core.Config.make "pbft" ~crashed:[ 0 ] ~seed:1 ~delay:(Net.Delay_model.Constant 50.))
+  in
+  Alcotest.(check bool) "same-protocol same-value runs match" true (Core.Validator.same_decisions a b);
+  Alcotest.(check bool) "crashed-primary run differs" false (Core.Validator.same_decisions a c)
+
+(* --- View tracker --- *)
+
+let test_view_tracker_analyze () =
+  let samples =
+    [
+      (0., [| 1; 1; 1 |]); (250., [| 1; 2; 1 |]); (500., [| 2; 2; 2 |]); (750., [| 3; 3; 3 |]);
+    ]
+  in
+  let d = Core.View_tracker.analyze ~sample_ms:250. samples in
+  Alcotest.(check int) "max spread" 1 d.max_spread;
+  Alcotest.(check (float 1e-9)) "desync time" 250. d.time_desynced_ms;
+  Alcotest.(check (option (float 1e-9))) "first desync" (Some 250.) d.first_desync_ms;
+  Alcotest.(check (option (float 1e-9))) "resync" (Some 500.) d.resync_ms
+
+let test_view_tracker_crashed_nodes () =
+  let d = Core.View_tracker.analyze ~sample_ms:100. [ (0., [| 3; -1; 3 |]) ] in
+  Alcotest.(check int) "crashed nodes ignored" 0 d.max_spread
+
+let test_view_tracker_render () =
+  let out = Core.View_tracker.render [ (0., [| 1; 2 |]); (250., [| 2; 2 |]) ] in
+  Alcotest.(check bool) "renders one row per node" true
+    (List.length (String.split_on_char '\n' out) >= 3);
+  Alcotest.(check string) "empty samples" "(no samples)" (Core.View_tracker.render [])
+
+(* --- Experiments presets --- *)
+
+let test_experiments_presets_valid () =
+  (* Every preset must build a valid config; cheap guard against drift. *)
+  ignore (Core.Experiments.fig2_config ~n:8);
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun (_, delay) -> ignore (Core.Experiments.fig3_config ~protocol ~delay ~seed:1))
+        Core.Experiments.network_environments)
+    Core.Experiments.all_protocols;
+  List.iter
+    (fun lambda_ms -> ignore (Core.Experiments.fig4_config ~protocol:"pbft" ~lambda_ms ~seed:1))
+    Core.Experiments.fig4_lambdas;
+  List.iter
+    (fun protocol -> ignore (Core.Experiments.fig6_config ~protocol ~seed:1))
+    Core.Experiments.fig6_protocols;
+  List.iter
+    (fun failstop -> ignore (Core.Experiments.fig7_config ~protocol:"pbft" ~failstop ~seed:1))
+    Core.Experiments.fig7_failstop_counts;
+  List.iter
+    (fun f ->
+      ignore (Core.Experiments.fig8_static_config ~protocol:"add-v1" ~f ~seed:1);
+      ignore (Core.Experiments.fig8_adaptive_config ~protocol:"add-v2" ~f ~seed:1))
+    Core.Experiments.fig8_f_values;
+  ignore (Core.Experiments.fig9_config ~seed:1)
+
+let test_experiments_fig7_bounds () =
+  match Core.Experiments.fig7_config ~protocol:"pbft" ~failstop:6 ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "failstop beyond tolerance accepted"
+
+(* --- LoC inventory --- *)
+
+let test_loc_inventory () =
+  match Core.Loc_count.find_root () with
+  | None -> () (* sources not present (e.g. installed package); nothing to check *)
+  | Some root ->
+    let t1 = Core.Loc_count.table1 ~root in
+    Alcotest.(check int) "eight protocol rows" 8 (List.length t1);
+    List.iter
+      (fun (e : Core.Loc_count.entry) ->
+        Alcotest.(check bool) (e.label ^ " has code") true (e.loc > 50))
+      t1;
+    let t2 = Core.Loc_count.table2 ~root in
+    Alcotest.(check int) "three attack rows" 3 (List.length t2);
+    List.iter
+      (fun (e : Core.Loc_count.entry) ->
+        Alcotest.(check bool) (e.label ^ " has code") true (e.loc > 10))
+      t2
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "inputs" `Quick test_config_inputs;
+          Alcotest.test_case "key-value parsing" `Quick test_config_of_keyvalues;
+          Alcotest.test_case "key-value errors" `Quick test_config_of_keyvalues_errors;
+          Alcotest.test_case "describe" `Quick test_config_describe;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "determinism" `Quick test_controller_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_controller_seed_sensitivity;
+          Alcotest.test_case "metric consistency" `Quick test_controller_metrics_consistency;
+          Alcotest.test_case "crashed nodes silent" `Quick test_controller_crashed_nodes_silent;
+          Alcotest.test_case "liveness cap" `Quick test_controller_timeout_cap;
+          Alcotest.test_case "attacker override" `Quick test_controller_attacker_override;
+          Alcotest.test_case "trace recording" `Quick test_controller_trace_recording;
+          Alcotest.test_case "view sampling" `Quick test_controller_view_sampling;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "single sample" `Quick test_stats_single;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          qc prop_stats_mean_bounded;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "aggregation" `Quick test_runner_aggregates;
+          Alcotest.test_case "distinct seeds" `Quick test_runner_distinct_seeds;
+        ] );
+      ( "trace+validator",
+        [
+          Alcotest.test_case "trace decisions" `Quick test_trace_decisions;
+          Alcotest.test_case "delay reconstruction" `Quick test_trace_delays_reconstruction;
+          Alcotest.test_case "divergence detection" `Quick test_trace_divergence_detection;
+          Alcotest.test_case "determinism check" `Quick test_validator_determinism;
+          Alcotest.test_case "trace replay" `Quick test_validator_replay;
+          Alcotest.test_case "difference detection" `Quick test_validator_detects_difference;
+        ] );
+      ( "view_tracker",
+        [
+          Alcotest.test_case "analyze" `Quick test_view_tracker_analyze;
+          Alcotest.test_case "crashed nodes" `Quick test_view_tracker_crashed_nodes;
+          Alcotest.test_case "render" `Quick test_view_tracker_render;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "presets valid" `Quick test_experiments_presets_valid;
+          Alcotest.test_case "fig7 bounds" `Quick test_experiments_fig7_bounds;
+        ] );
+      ("loc", [ Alcotest.test_case "inventory" `Quick test_loc_inventory ]);
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the simulated-cryptography substrate: SHA-256 against FIPS/NIST
+   vectors, HMAC against RFC 4231 vectors, and the derived signature / VRF /
+   Merkle constructions. *)
+
+open Bftsim_crypto
+
+(* --- SHA-256 known-answer tests --- *)
+
+let sha_hex s = Sha256.to_hex (Sha256.digest_string s)
+
+let test_sha256_empty () =
+  Alcotest.(check string)
+    "empty string" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" (sha_hex "")
+
+let test_sha256_abc () =
+  Alcotest.(check string)
+    "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" (sha_hex "abc")
+
+let test_sha256_two_blocks () =
+  Alcotest.(check string)
+    "448-bit NIST vector" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (sha_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_896_bit () =
+  Alcotest.(check string)
+    "896-bit NIST vector" "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (sha_hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha256_thousand_a () =
+  Alcotest.(check string)
+    "1000 x 'a'" "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+    (sha_hex (String.make 1000 'a'))
+
+let test_sha256_padding_boundaries () =
+  (* 55, 56 and 64 bytes straddle the padding's length-field boundary. *)
+  Alcotest.(check string)
+    "55 bytes" "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"
+    (sha_hex (String.make 55 'a'));
+  Alcotest.(check string)
+    "56 bytes" "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+    (sha_hex (String.make 56 'a'));
+  Alcotest.(check string)
+    "64 bytes" "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+    (sha_hex (String.make 64 'a'))
+
+let test_sha256_digest_ops () =
+  let d = Sha256.digest_string "abc" in
+  Alcotest.(check bool) "equal to itself" true (Sha256.equal d (Sha256.digest_string "abc"));
+  Alcotest.(check bool) "different input differs" false (Sha256.equal d (Sha256.digest_string "abd"));
+  Alcotest.(check int) "compare consistent" 0 (Sha256.compare d d);
+  Alcotest.(check string) "raw round-trip" (Sha256.to_hex d)
+    (Sha256.to_hex (Sha256.of_raw (Sha256.to_raw d)));
+  (match Sha256.of_raw "short" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_raw accepted wrong length");
+  (* ba7816bf... -> first 8 bytes big-endian *)
+  Alcotest.(check int64) "first64 big-endian" 0xba7816bf8f01cfeaL
+    (Int64.logand (Sha256.first64 d) (-1L))
+
+let prop_sha256_deterministic =
+  QCheck.Test.make ~name:"sha256 is deterministic" ~count:200 QCheck.string (fun s ->
+      Sha256.equal (Sha256.digest_string s) (Sha256.digest_string s))
+
+let prop_sha256_injective_on_samples =
+  QCheck.Test.make ~name:"sha256 distinct on distinct inputs (sampled)" ~count:200
+    QCheck.(pair string string)
+    (fun (a, b) -> String.equal a b || not (Sha256.equal (Sha256.digest_string a) (Sha256.digest_string b)))
+
+(* --- HMAC (RFC 4231) --- *)
+
+let test_hmac_rfc4231_case1 () =
+  let key = String.make 20 '\x0b' in
+  Alcotest.(check string)
+    "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.to_hex (Hmac.mac ~key "Hi There"))
+
+let test_hmac_rfc4231_case2 () =
+  Alcotest.(check string)
+    "case 2 (Jefe)" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.to_hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_rfc4231_case3 () =
+  let key = String.make 20 '\xaa' in
+  let data = String.make 50 '\xdd' in
+  Alcotest.(check string)
+    "case 3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Sha256.to_hex (Hmac.mac ~key data))
+
+let test_hmac_long_key () =
+  (* RFC 4231 case 6: 131-byte key forces the key-hashing path. *)
+  let key = String.make 131 '\xaa' in
+  Alcotest.(check string)
+    "case 6 (long key)" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.to_hex (Hmac.mac ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let tag = Hmac.mac ~key:"k" "message" in
+  Alcotest.(check bool) "verify accepts" true (Hmac.verify ~key:"k" "message" tag);
+  Alcotest.(check bool) "wrong key rejected" false (Hmac.verify ~key:"k2" "message" tag);
+  Alcotest.(check bool) "wrong message rejected" false (Hmac.verify ~key:"k" "message2" tag)
+
+(* --- Simulated signatures --- *)
+
+let test_sig_roundtrip () =
+  let kp = Sig_sim.keygen ~seed:99 ~node:3 in
+  let s = Sig_sim.sign kp "vote for block 7" in
+  Alcotest.(check bool) "valid signature verifies" true (Sig_sim.verify ~seed:99 s "vote for block 7");
+  Alcotest.(check int) "signer recorded" 3 s.Sig_sim.signer
+
+let test_sig_rejections () =
+  let kp = Sig_sim.keygen ~seed:99 ~node:3 in
+  let s = Sig_sim.sign kp "msg" in
+  Alcotest.(check bool) "other message rejected" false (Sig_sim.verify ~seed:99 s "other");
+  Alcotest.(check bool) "other key domain rejected" false (Sig_sim.verify ~seed:98 s "msg");
+  let forged = { s with Sig_sim.signer = 4 } in
+  Alcotest.(check bool) "claimed wrong signer rejected" false (Sig_sim.verify ~seed:99 forged "msg")
+
+let test_sig_keys_deterministic () =
+  let a = Sig_sim.keygen ~seed:1 ~node:0 and b = Sig_sim.keygen ~seed:1 ~node:0 in
+  Alcotest.(check string) "same public key" a.Sig_sim.public b.Sig_sim.public;
+  let c = Sig_sim.keygen ~seed:1 ~node:1 in
+  Alcotest.(check bool) "different node, different key" true (a.Sig_sim.public <> c.Sig_sim.public)
+
+(* --- VRF --- *)
+
+let test_vrf_eval_verify () =
+  let ev = Vrf.eval ~seed:5 ~node:2 ~input:"round-9" in
+  Alcotest.(check bool) "evaluation verifies" true (Vrf.verify ~seed:5 ev);
+  let ev' = Vrf.eval ~seed:5 ~node:2 ~input:"round-9" in
+  Alcotest.(check bool) "deterministic" true (Sha256.equal ev.Vrf.output ev'.Vrf.output)
+
+let test_vrf_rejects_tampering () =
+  let ev = Vrf.eval ~seed:5 ~node:2 ~input:"round-9" in
+  let wrong_node = { ev with Vrf.node = 3 } in
+  Alcotest.(check bool) "claimed wrong node rejected" false (Vrf.verify ~seed:5 wrong_node);
+  let wrong_output = { ev with Vrf.output = Sha256.digest_string "forged" } in
+  Alcotest.(check bool) "forged output rejected" false (Vrf.verify ~seed:5 wrong_output);
+  let wrong_input = { ev with Vrf.input = "round-10" } in
+  Alcotest.(check bool) "swapped input rejected" false (Vrf.verify ~seed:5 wrong_input)
+
+let test_vrf_tickets_vary () =
+  let tickets =
+    List.init 16 (fun node -> Vrf.ticket (Vrf.eval ~seed:5 ~node ~input:"round-1"))
+  in
+  let distinct = List.sort_uniq Int64.compare tickets in
+  Alcotest.(check int) "16 distinct tickets" 16 (List.length distinct);
+  List.iter (fun t -> Alcotest.(check bool) "non-negative" true (Int64.compare t 0L >= 0)) tickets
+
+let test_vrf_winner () =
+  let evs = List.init 8 (fun node -> Vrf.eval ~seed:7 ~node ~input:"i") in
+  let w = Option.get (Vrf.winner evs) in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "winner has minimal ticket" true
+        (Int64.compare (Vrf.ticket w) (Vrf.ticket ev) <= 0))
+    evs;
+  Alcotest.(check bool) "winner of [] is None" true (Vrf.winner [] = None)
+
+let prop_vrf_leader_rotates =
+  QCheck.Test.make ~name:"vrf winner varies across rounds" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let winner_of round =
+        (Option.get
+           (Vrf.winner (List.init 16 (fun node -> Vrf.eval ~seed ~node ~input:(string_of_int round)))))
+          .Vrf.node
+      in
+      let winners = List.init 12 winner_of in
+      List.length (List.sort_uniq compare winners) > 1)
+
+(* --- Merkle --- *)
+
+let test_merkle_single_leaf () =
+  let leaves = [ "only" ] in
+  let root = Merkle.root leaves in
+  let proof = Merkle.prove leaves 0 in
+  Alcotest.(check bool) "single-leaf proof verifies" true (Merkle.verify ~root ~leaf:"only" proof);
+  Alcotest.(check int) "single-leaf proof is empty" 0 (List.length proof)
+
+let test_merkle_proofs_verify () =
+  let leaves = [ "a"; "b"; "c"; "d"; "e" ] in
+  let root = Merkle.root leaves in
+  List.iteri
+    (fun i leaf ->
+      let proof = Merkle.prove leaves i in
+      Alcotest.(check bool) (Printf.sprintf "leaf %d verifies" i) true
+        (Merkle.verify ~root ~leaf proof))
+    leaves
+
+let test_merkle_rejects_wrong_leaf () =
+  let leaves = [ "a"; "b"; "c"; "d" ] in
+  let root = Merkle.root leaves in
+  let proof = Merkle.prove leaves 1 in
+  Alcotest.(check bool) "wrong leaf rejected" false (Merkle.verify ~root ~leaf:"x" proof);
+  Alcotest.(check bool) "wrong position rejected" false (Merkle.verify ~root ~leaf:"a" proof)
+
+let test_merkle_root_depends_on_order () =
+  Alcotest.(check bool) "leaf order matters" true
+    (not (Sha256.equal (Merkle.root [ "a"; "b" ]) (Merkle.root [ "b"; "a" ])))
+
+let test_merkle_out_of_bounds () =
+  match Merkle.prove [ "a" ] 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds leaf accepted"
+
+let prop_merkle_all_proofs =
+  QCheck.Test.make ~name:"every leaf of a random tree proves" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 24) (string_gen_of_size (Gen.int_range 0 8) Gen.printable))
+    (fun leaves ->
+      let root = Merkle.root leaves in
+      List.for_all
+        (fun i -> Merkle.verify ~root ~leaf:(List.nth leaves i) (Merkle.prove leaves i))
+        (List.init (List.length leaves) (fun i -> i)))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "empty" `Quick test_sha256_empty;
+          Alcotest.test_case "abc" `Quick test_sha256_abc;
+          Alcotest.test_case "two blocks" `Quick test_sha256_two_blocks;
+          Alcotest.test_case "896-bit" `Quick test_sha256_896_bit;
+          Alcotest.test_case "1000 a" `Quick test_sha256_thousand_a;
+          Alcotest.test_case "padding boundaries" `Quick test_sha256_padding_boundaries;
+          Alcotest.test_case "digest operations" `Quick test_sha256_digest_ops;
+          qc prop_sha256_deterministic;
+          qc prop_sha256_injective_on_samples;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 case 1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 case 2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 case 3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 case 6 long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "signatures",
+        [
+          Alcotest.test_case "sign/verify round-trip" `Quick test_sig_roundtrip;
+          Alcotest.test_case "rejections" `Quick test_sig_rejections;
+          Alcotest.test_case "deterministic keys" `Quick test_sig_keys_deterministic;
+        ] );
+      ( "vrf",
+        [
+          Alcotest.test_case "eval/verify" `Quick test_vrf_eval_verify;
+          Alcotest.test_case "tamper rejection" `Quick test_vrf_rejects_tampering;
+          Alcotest.test_case "ticket distribution" `Quick test_vrf_tickets_vary;
+          Alcotest.test_case "winner selection" `Quick test_vrf_winner;
+          qc prop_vrf_leader_rotates;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "proofs verify" `Quick test_merkle_proofs_verify;
+          Alcotest.test_case "wrong leaf rejected" `Quick test_merkle_rejects_wrong_leaf;
+          Alcotest.test_case "order sensitivity" `Quick test_merkle_root_depends_on_order;
+          Alcotest.test_case "bounds" `Quick test_merkle_out_of_bounds;
+          qc prop_merkle_all_proofs;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* End-to-end integration tests: the protocol × attack × network matrix the
+   paper's evaluation walks through, asserted at the level of qualitative
+   shapes (who degrades, who stays flat, who recovers). *)
+
+module Core = Bftsim_core
+module Net = Bftsim_net
+
+let mean_latency ?(reps = 5) config =
+  (Core.Runner.run_many ~reps config).Core.Runner.latency_ms.Core.Stats.mean
+
+let assert_live name (r : Core.Controller.result) =
+  Alcotest.(check bool) (name ^ " live") true (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) (name ^ " safe") true r.safety_ok
+
+(* --- Fig 3: every protocol under every network environment --- *)
+
+let test_fig3_matrix () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun (env_name, delay) ->
+          let r = Core.Controller.run (Core.Experiments.fig3_config ~protocol ~delay ~seed:31) in
+          assert_live (Printf.sprintf "%s @ %s" protocol env_name) r)
+        Core.Experiments.network_environments)
+    Core.Experiments.all_protocols
+
+let test_fig3_hotstuff_cheapest_messages () =
+  (* Paper: "As for message usage, HotStuff+NS also outperformed the other
+     protocols" — linear leader communication vs everyone's broadcasts. *)
+  let delay = Net.Delay_model.normal ~mu:250. ~sigma:50. in
+  let messages protocol =
+    let summary =
+      Core.Runner.run_many ~reps:5 (Core.Experiments.fig3_config ~protocol ~delay ~seed:32)
+    in
+    summary.Core.Runner.messages.Core.Stats.mean
+  in
+  let hotstuff = messages "hotstuff-ns" in
+  List.iter
+    (fun protocol ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hotstuff cheaper than %s" protocol)
+        true
+        (hotstuff < messages protocol))
+    [ "pbft"; "algorand"; "async-ba"; "add-v1"; "add-v2"; "add-v3" ]
+
+(* --- Fig 4: responsiveness --- *)
+
+let test_fig4_responsive_protocols_flat () =
+  List.iter
+    (fun protocol ->
+      let at lambda_ms =
+        mean_latency (Core.Experiments.fig4_config ~protocol ~lambda_ms ~seed:41)
+      in
+      let low = at 1000. and high = at 3000. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s unaffected by timeout overestimation" protocol)
+        true
+        (high < 1.5 *. low))
+    [ "pbft"; "hotstuff-ns"; "librabft"; "async-ba" ]
+
+let test_fig4_synchronous_protocols_scale_with_lambda () =
+  List.iter
+    (fun protocol ->
+      let at lambda_ms =
+        mean_latency (Core.Experiments.fig4_config ~protocol ~lambda_ms ~seed:42)
+      in
+      let low = at 1000. and high = at 3000. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s latency grows with lambda" protocol)
+        true
+        (high > 2. *. low))
+    [ "add-v1"; "add-v2"; "add-v3"; "algorand" ]
+
+(* --- Fig 5: underestimated delay --- *)
+
+let test_fig5_librabft_flat () =
+  let at lambda_ms =
+    mean_latency (Core.Experiments.fig5_config ~protocol:"librabft" ~lambda_ms ~seed:51)
+  in
+  Alcotest.(check bool) "librabft unaffected by underestimation" true (at 150. < 1.5 *. at 1000.)
+
+let test_fig5_hotstuff_degrades_at_150 () =
+  let at ~protocol lambda_ms =
+    mean_latency ~reps:10 (Core.Experiments.fig5_config ~protocol ~lambda_ms ~seed:52)
+  in
+  (* The naive synchronizer's churn must cost HotStuff+NS something at
+     lambda = 150 relative to its own well-configured latency. *)
+  Alcotest.(check bool) "hotstuff-ns pays for underestimation" true
+    (at ~protocol:"hotstuff-ns" 150. > 1.05 *. at ~protocol:"hotstuff-ns" 1000.)
+
+(* --- Fig 6: partition --- *)
+
+let test_fig6_all_protocols_recover () =
+  List.iter
+    (fun protocol ->
+      let r = Core.Controller.run (Core.Experiments.fig6_config ~protocol ~seed:61) in
+      assert_live ("partition recovery: " ^ protocol) r;
+      Alcotest.(check bool)
+        (protocol ^ " cannot decide during the partition")
+        true
+        (r.time_ms >= Core.Experiments.fig6_heal_ms))
+    Core.Experiments.fig6_protocols
+
+let test_fig6_hotstuff_worst_recovery () =
+  let recovery protocol =
+    let r = Core.Controller.run (Core.Experiments.fig6_config ~protocol ~seed:62) in
+    r.Core.Controller.time_ms
+  in
+  let hotstuff = recovery "hotstuff-ns" in
+  List.iter
+    (fun protocol ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hotstuff-ns recovers slower than %s" protocol)
+        true
+        (hotstuff > recovery protocol))
+    [ "pbft"; "librabft"; "algorand" ]
+
+(* --- Fig 7: fail-stop --- *)
+
+let test_fig7_matrix_live () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun failstop ->
+          let r = Core.Controller.run (Core.Experiments.fig7_config ~protocol ~failstop ~seed:71) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s safe at %d fail-stop" protocol failstop)
+            true r.safety_ok)
+        [ 0; 2; 5 ])
+    [ "add-v1"; "algorand"; "async-ba"; "pbft"; "librabft" ]
+
+let test_fig7_librabft_graceful_hotstuff_not () =
+  let latency protocol =
+    let r = Core.Controller.run (Core.Experiments.fig7_config ~protocol ~failstop:5 ~seed:72) in
+    r.Core.Controller.per_decision_latency_ms
+  in
+  Alcotest.(check bool) "hotstuff-ns degrades drastically vs librabft" true
+    (latency "hotstuff-ns" > 2.5 *. latency "librabft")
+
+(* --- Fig 8 shapes --- *)
+
+let test_fig8_static_shape () =
+  let lat protocol f =
+    mean_latency ~reps:3 (Core.Experiments.fig8_static_config ~protocol ~f ~seed:81)
+  in
+  Alcotest.(check bool) "v1 grows with f" true (lat "add-v1" 5 > lat "add-v1" 1 +. 5000.);
+  Alcotest.(check bool) "v2 flat" true (lat "add-v2" 5 < lat "add-v2" 1 +. 2000.);
+  Alcotest.(check bool) "v3 flat" true (lat "add-v3" 5 < lat "add-v3" 1 +. 2000.)
+
+let test_fig8_adaptive_shape () =
+  let lat protocol f =
+    mean_latency ~reps:3 (Core.Experiments.fig8_adaptive_config ~protocol ~f ~seed:82)
+  in
+  Alcotest.(check bool) "v2 grows with budget" true (lat "add-v2" 5 > lat "add-v2" 1 +. 8000.);
+  Alcotest.(check bool) "v3 flat under adaptive" true (lat "add-v3" 5 < lat "add-v3" 1 +. 2000.)
+
+(* --- Fig 9: view divergence --- *)
+
+let test_fig9_views_diverge_then_converge () =
+  let r = Core.Controller.run (Core.Experiments.fig9_config ~seed:91) in
+  assert_live "fig9 run" r;
+  let d = Core.View_tracker.analyze ~sample_ms:250. r.view_samples in
+  Alcotest.(check bool) "views diverged at some point" true (d.max_spread >= 1);
+  Alcotest.(check bool) "some desynchronized time" true (d.time_desynced_ms > 0.)
+
+let test_fig9_well_configured_stays_tight () =
+  let config =
+    Core.Config.make "hotstuff-ns" ~lambda_ms:1000. ~seed:92
+      ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+      ~view_sample_ms:250.
+  in
+  let r = Core.Controller.run config in
+  let d = Core.View_tracker.analyze ~sample_ms:250. r.view_samples in
+  Alcotest.(check bool) "correct bound keeps spread tiny" true (d.max_spread <= 1)
+
+(* --- Attack/protocol cross checks --- *)
+
+let test_silence_attack_equals_crash () =
+  (* Silencing a node from t=0 through the attacker must leave the same
+     survivors deciding as never starting it. *)
+  let silenced =
+    Core.Controller.run
+      (Core.Config.make "pbft" ~seed:13 ~delay:(Net.Delay_model.Constant 100.)
+         ~attack:(Core.Config.Silence { nodes = [ 5 ]; at_ms = 0. }))
+  in
+  let crashed =
+    Core.Controller.run
+      (Core.Config.make "pbft" ~seed:13 ~delay:(Net.Delay_model.Constant 100.) ~crashed:[ 5 ])
+  in
+  assert_live "silenced run" silenced;
+  let value r =
+    match List.find_opt (fun (node, _) -> node = 0) r.Core.Controller.decisions with
+    | Some (_, v :: _) -> v
+    | _ -> Alcotest.fail "node 0 decided nothing"
+  in
+  Alcotest.(check string) "same decided value" (value crashed) (value silenced)
+
+let test_extra_delay_slows_everyone () =
+  let plain = Core.Controller.run (Core.Config.make "pbft" ~seed:14) in
+  let delayed =
+    Core.Controller.run
+      (Core.Config.make "pbft" ~seed:14 ~attack:(Core.Config.Extra_delay { extra_ms = 400. }))
+  in
+  assert_live "delayed run" delayed;
+  Alcotest.(check bool) "slower under injected delay" true (delayed.time_ms > plain.time_ms +. 500.)
+
+let prop_no_attack_matrix =
+  QCheck.Test.make ~name:"matrix: protocol x n x seed stays live and safe" ~count:30
+    QCheck.(triple (int_range 0 7) (int_range 0 2) (int_range 0 999))
+    (fun (proto_idx, n_idx, seed) ->
+      let protocol = List.nth Core.Experiments.all_protocols proto_idx in
+      let n = List.nth [ 4; 10; 16 ] n_idx in
+      let config =
+        Core.Config.make protocol ~n ~seed ~delay:(Net.Delay_model.normal ~mu:150. ~sigma:30.)
+      in
+      let r = Core.Controller.run config in
+      r.safety_ok && r.outcome = Core.Controller.Reached_target)
+
+let prop_failstop_safety =
+  QCheck.Test.make ~name:"fail-stop within tolerance never breaks agreement" ~count:20
+    QCheck.(pair (int_range 0 7) (int_range 0 5))
+    (fun (proto_idx, failstop) ->
+      let protocol = List.nth Core.Experiments.all_protocols proto_idx in
+      let config = Core.Experiments.fig7_config ~protocol ~failstop ~seed:7 in
+      let config = { config with Core.Config.max_time_ms = 120_000. } in
+      (Core.Controller.run config).safety_ok)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "integration"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "matrix live+safe" `Slow test_fig3_matrix;
+          Alcotest.test_case "hotstuff cheapest in messages" `Slow
+            test_fig3_hotstuff_cheapest_messages;
+        ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "responsive protocols flat" `Slow test_fig4_responsive_protocols_flat;
+          Alcotest.test_case "synchronous protocols scale" `Slow
+            test_fig4_synchronous_protocols_scale_with_lambda;
+        ] );
+      ( "fig5",
+        [
+          Alcotest.test_case "librabft flat" `Slow test_fig5_librabft_flat;
+          Alcotest.test_case "hotstuff pays at lambda=150" `Slow test_fig5_hotstuff_degrades_at_150;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "all recover after heal" `Slow test_fig6_all_protocols_recover;
+          Alcotest.test_case "hotstuff worst recovery" `Slow test_fig6_hotstuff_worst_recovery;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "matrix safe" `Slow test_fig7_matrix_live;
+          Alcotest.test_case "librabft graceful, hotstuff drastic" `Slow
+            test_fig7_librabft_graceful_hotstuff_not;
+        ] );
+      ( "fig8",
+        [
+          Alcotest.test_case "static shape" `Slow test_fig8_static_shape;
+          Alcotest.test_case "adaptive shape" `Slow test_fig8_adaptive_shape;
+        ] );
+      ( "fig9",
+        [
+          Alcotest.test_case "views diverge then converge" `Quick
+            test_fig9_views_diverge_then_converge;
+          Alcotest.test_case "well-configured stays tight" `Quick
+            test_fig9_well_configured_stays_tight;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "silence equals crash" `Quick test_silence_attack_equals_crash;
+          Alcotest.test_case "extra delay slows" `Quick test_extra_delay_slows_everyone;
+          qc prop_no_attack_matrix;
+          qc prop_failstop_safety;
+        ] );
+    ]

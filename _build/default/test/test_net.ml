@@ -1,0 +1,238 @@
+(* Tests for the network module: envelopes, delay models (including the
+   mapping to the paper's three network models), topology and counters. *)
+
+open Bftsim_sim
+open Bftsim_net
+
+let rng () = Rng.create 1234
+
+(* --- Message --- *)
+
+let test_message_make () =
+  let m = Message.make ~id:7 ~src:1 ~dst:2 ~sent_at:(Time.of_ms 100.) (Message.Blob "hello") in
+  Alcotest.(check int) "id" 7 m.Message.id;
+  Alcotest.(check string) "default tag" "msg" m.Message.tag;
+  Alcotest.(check int) "default size" Message.default_size m.Message.size;
+  Alcotest.(check (float 1e-9)) "no delay yet" 0. m.Message.delay_ms
+
+let test_message_arrival () =
+  let m = Message.make ~id:1 ~src:0 ~dst:1 ~sent_at:(Time.of_ms 100.) (Message.Blob "x") in
+  m.Message.delay_ms <- 40.;
+  Alcotest.(check (float 1e-9)) "arrival = sent + delay" 140. (Time.to_ms (Message.arrival_time m))
+
+let test_message_printer_registry () =
+  Alcotest.(check string) "blob fallback" "Blob(hi)" (Message.payload_to_string (Message.Blob "hi"));
+  (* Registered printers see protocol payloads. *)
+  let s = Message.payload_to_string (Bftsim_protocols.Pbft.Prepare { view = 1; slot = 2; value = "v" }) in
+  Alcotest.(check string) "pbft prepare rendered" "Prepare(v=1,s=2,v)" s
+
+(* --- Delay_model --- *)
+
+let test_delay_constant () =
+  let m = Delay_model.Constant 42. in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 1e-9)) "constant" 42. (Delay_model.sample m (rng ()))
+  done;
+  Alcotest.(check (option (float 1e-9))) "bound" (Some 42.) (Delay_model.upper_bound m)
+
+let test_delay_uniform_bounds () =
+  let m = Delay_model.Uniform { lo = 10.; hi = 20. } in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Delay_model.sample m r in
+    if v < 10. || v >= 20. then Alcotest.failf "uniform delay out of bounds: %f" v
+  done;
+  Alcotest.(check (option (float 1e-9))) "upper bound" (Some 20.) (Delay_model.upper_bound m)
+
+let test_delay_normal_nonnegative () =
+  (* Truncation matters when mu is close to 0 relative to sigma. *)
+  let m = Delay_model.normal ~mu:10. ~sigma:100. in
+  let r = rng () in
+  for _ = 1 to 5000 do
+    let v = Delay_model.sample m r in
+    if v < 0. then Alcotest.failf "negative delay: %f" v
+  done;
+  Alcotest.(check (option (float 1e-9))) "normal unbounded" None (Delay_model.upper_bound m)
+
+let test_delay_bounded () =
+  let m = Delay_model.bounded (Delay_model.normal ~mu:250. ~sigma:50.) ~bound:260. in
+  let r = rng () in
+  for _ = 1 to 2000 do
+    let v = Delay_model.sample m r in
+    if v > 260. then Alcotest.failf "bound violated: %f" v
+  done;
+  Alcotest.(check (option (float 1e-9))) "bound reported" (Some 260.) (Delay_model.upper_bound m)
+
+let test_delay_mean () =
+  Alcotest.(check (float 1e-9)) "uniform mean" 15.
+    (Delay_model.mean (Delay_model.Uniform { lo = 10.; hi = 20. }));
+  Alcotest.(check (float 1e-9)) "normal mean" 250. (Delay_model.mean (Delay_model.normal ~mu:250. ~sigma:50.));
+  Alcotest.(check (float 1e-9)) "exp mean" 300. (Delay_model.mean (Delay_model.Exponential { mean = 300. }))
+
+let test_delay_describe_parse_roundtrip () =
+  let cases =
+    [ "constant:100"; "uniform:10,20"; "normal:250,50"; "exp:300"; "poisson:250";
+      "bounded:normal:250,50@1000" ]
+  in
+  List.iter
+    (fun s ->
+      match Delay_model.of_string s with
+      | Error e -> Alcotest.failf "parse %s failed: %s" s e
+      | Ok m -> ignore (Delay_model.describe m))
+    cases;
+  (match Delay_model.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense parsed");
+  (match Delay_model.of_string "uniform:20,10" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inverted uniform accepted");
+  match Delay_model.of_string "normal:250,50" with
+  | Ok (Delay_model.Normal { mu; sigma }) ->
+    Alcotest.(check (float 1e-9)) "mu" 250. mu;
+    Alcotest.(check (float 1e-9)) "sigma" 50. sigma
+  | _ -> Alcotest.fail "normal parse shape"
+
+let prop_delay_samples_nonnegative_finite =
+  let model_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun ms -> Delay_model.Constant (Float.abs ms)) (float_bound_exclusive 1e4);
+          map2
+            (fun lo span -> Delay_model.Uniform { lo = Float.abs lo; hi = Float.abs lo +. Float.abs span +. 1. })
+            (float_bound_exclusive 1e3) (float_bound_exclusive 1e3);
+          map2
+            (fun mu sigma -> Delay_model.Normal { mu = Float.abs mu; sigma = Float.abs sigma })
+            (float_bound_exclusive 1e3) (float_bound_exclusive 1e3);
+          map (fun mean -> Delay_model.Exponential { mean = Float.abs mean +. 1. }) (float_bound_exclusive 1e3);
+        ])
+  in
+  QCheck.Test.make ~name:"all delay models sample nonnegative finite values" ~count:200
+    (QCheck.make model_gen) (fun m ->
+      let r = rng () in
+      List.for_all
+        (fun _ ->
+          let v = Delay_model.sample m r in
+          Float.is_finite v && v >= 0.)
+        (List.init 50 (fun i -> i)))
+
+(* --- Topology --- *)
+
+let test_topology_default () =
+  let t = Topology.fully_connected 8 in
+  Alcotest.(check int) "n" 8 (Topology.n t);
+  Alcotest.(check bool) "all same subnet" true (Topology.same_subnet t 0 7);
+  Alcotest.(check (float 1e-9)) "default scale" 1.0 (Topology.pair_scale t ~src:0 ~dst:1)
+
+let test_topology_split () =
+  let t = Topology.split_in_two 10 ~first_size:4 in
+  Alcotest.(check int) "subnet of node 0" 0 (Topology.subnet_of t 0);
+  Alcotest.(check int) "subnet of node 3" 0 (Topology.subnet_of t 3);
+  Alcotest.(check int) "subnet of node 4" 1 (Topology.subnet_of t 4);
+  Alcotest.(check bool) "cross-subnet differs" false (Topology.same_subnet t 0 9)
+
+let test_topology_pair_scale () =
+  let t = Topology.fully_connected 4 in
+  Topology.set_pair_scale t ~src:1 ~dst:2 3.5;
+  Alcotest.(check (float 1e-9)) "scaled link" 3.5 (Topology.pair_scale t ~src:1 ~dst:2);
+  Alcotest.(check (float 1e-9)) "reverse direction untouched" 1.0 (Topology.pair_scale t ~src:2 ~dst:1)
+
+let test_topology_validation () =
+  (match Topology.fully_connected 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 0 accepted");
+  let t = Topology.fully_connected 4 in
+  match Topology.with_subnets t [| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched subnet assignment accepted"
+
+(* --- Network --- *)
+
+let make_msg ~src ~dst = Message.make ~id:1 ~src ~dst ~sent_at:Time.zero (Message.Blob "x")
+
+let test_network_assigns_delay () =
+  let net =
+    Network.create ~delay:(Delay_model.Constant 30.) ~topology:(Topology.fully_connected 4)
+      ~rng:(rng ())
+  in
+  let m = make_msg ~src:0 ~dst:1 in
+  Network.assign_delay net m;
+  Alcotest.(check (float 1e-9)) "constant delay" 30. m.Message.delay_ms
+
+let test_network_self_messages_free () =
+  let net =
+    Network.create ~delay:(Delay_model.Constant 30.) ~topology:(Topology.fully_connected 4)
+      ~rng:(rng ())
+  in
+  let m = make_msg ~src:2 ~dst:2 in
+  Network.assign_delay net m;
+  Alcotest.(check (float 1e-9)) "self delivery immediate" 0. m.Message.delay_ms;
+  Alcotest.(check int) "self delivery not counted" 0 (Network.stats net).Network.sent
+
+let test_network_counters () =
+  let net =
+    Network.create ~delay:(Delay_model.Constant 1.) ~topology:(Topology.fully_connected 4)
+      ~rng:(rng ())
+  in
+  Network.assign_delay net (make_msg ~src:0 ~dst:1);
+  Network.assign_delay net (make_msg ~src:1 ~dst:2);
+  let stats = Network.stats net in
+  Alcotest.(check int) "sent" 2 stats.Network.sent;
+  Alcotest.(check int) "bytes" (2 * Message.default_size) stats.Network.bytes;
+  Network.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Network.stats net).Network.sent
+
+let test_network_pair_scaling () =
+  let topology = Topology.fully_connected 4 in
+  Topology.set_pair_scale topology ~src:0 ~dst:1 2.0;
+  let net = Network.create ~delay:(Delay_model.Constant 10.) ~topology ~rng:(rng ()) in
+  let m = make_msg ~src:0 ~dst:1 in
+  Network.assign_delay net m;
+  Alcotest.(check (float 1e-9)) "scaled delay" 20. m.Message.delay_ms
+
+let test_network_override_delay () =
+  let net =
+    Network.create ~delay:(Delay_model.Constant 10.) ~topology:(Topology.fully_connected 4)
+      ~rng:(rng ())
+  in
+  Network.override_delay net (Delay_model.Constant 99.);
+  let m = make_msg ~src:0 ~dst:1 in
+  Network.assign_delay net m;
+  Alcotest.(check (float 1e-9)) "overridden model used" 99. m.Message.delay_ms
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [
+      ( "message",
+        [
+          Alcotest.test_case "make" `Quick test_message_make;
+          Alcotest.test_case "arrival time" `Quick test_message_arrival;
+          Alcotest.test_case "printer registry" `Quick test_message_printer_registry;
+        ] );
+      ( "delay_model",
+        [
+          Alcotest.test_case "constant" `Quick test_delay_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_delay_uniform_bounds;
+          Alcotest.test_case "normal nonnegative" `Quick test_delay_normal_nonnegative;
+          Alcotest.test_case "bounded clipping" `Quick test_delay_bounded;
+          Alcotest.test_case "means" `Quick test_delay_mean;
+          Alcotest.test_case "parse/describe" `Quick test_delay_describe_parse_roundtrip;
+          qc prop_delay_samples_nonnegative_finite;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "default" `Quick test_topology_default;
+          Alcotest.test_case "two subnets" `Quick test_topology_split;
+          Alcotest.test_case "pair scaling" `Quick test_topology_pair_scale;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "assigns sampled delay" `Quick test_network_assigns_delay;
+          Alcotest.test_case "self messages free and uncounted" `Quick test_network_self_messages_free;
+          Alcotest.test_case "counters" `Quick test_network_counters;
+          Alcotest.test_case "per-pair scaling" `Quick test_network_pair_scaling;
+          Alcotest.test_case "mid-run override" `Quick test_network_override_delay;
+        ] );
+    ]
