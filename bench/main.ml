@@ -340,6 +340,55 @@ let ablation_pacemaker () =
     policies;
   Bftsim_protocols.Chained_core.set_naive_reset_policy saved
 
+let chaos_suite () =
+  section
+    (Printf.sprintf
+       "Chaos sweep — crash the f=%d highest-numbered nodes at t=0, restart\n\
+        them at %.0f s, watchdog armed at %g*lambda; whether the restarted\n\
+        replicas manage to rejoin (there is no state transfer) separates the\n\
+        protocols: 'reached-target' means they caught up, 'stalled' means\n\
+        the survivors decided but the restarts never did"
+       (Bftsim_protocols.Quorum.max_faulty Core.Experiments.default_n)
+       (Core.Experiments.chaos_gst_ms /. 1000.)
+       Core.Experiments.chaos_watchdog);
+  Printf.printf "  %-14s %-28s %14s %12s %10s\n" "protocol" "outcome" "decided at (s)" "violations"
+    "msgs";
+  List.iter
+    (fun protocol ->
+      let r = Core.Controller.run (Core.Experiments.chaos_config ~protocol ~seed:1) in
+      Printf.printf "  %-14s %-28s %14.1f %12d %10.0f\n%!" protocol
+        (Format.asprintf "%a" Core.Controller.pp_outcome r.outcome)
+        (r.time_ms /. 1000.)
+        (List.length r.violations) r.per_decision_messages)
+    Core.Experiments.all_protocols;
+  section
+    "Chaos overload — crash f+1 nodes forever (beyond every tolerance\n\
+     bound); without the watchdog these runs burn to the event cap or the\n\
+     time cap, with it they abort as 'stalled' as soon as the plan is spent"
+  ;
+  Printf.printf "  %-14s %-34s %14s\n" "protocol" "outcome" "aborted at (s)";
+  List.iter
+    (fun protocol ->
+      let r = Core.Controller.run (Core.Experiments.chaos_overload_config ~protocol ~seed:1) in
+      Printf.printf "  %-14s %-34s %14.1f\n%!" protocol
+        (Format.asprintf "%a" Core.Controller.pp_outcome r.outcome)
+        (r.time_ms /. 1000.))
+    [ "pbft"; "hotstuff-ns"; "librabft"; "algorand" ];
+  section
+    (Printf.sprintf
+       "Chaos turbulence — 10%% loss + 500 ms delay spikes + 5%% duplication\n\
+        until GST at %.0f s, then the delay model shifts to N(100,20)"
+       (Core.Experiments.chaos_gst_ms /. 1000.));
+  Printf.printf "  %-14s %-28s %14s %12s\n" "protocol" "outcome" "decided at (s)" "violations";
+  List.iter
+    (fun protocol ->
+      let r = Core.Controller.run (Core.Experiments.chaos_turbulence_config ~protocol ~seed:1) in
+      Printf.printf "  %-14s %-28s %14.1f %12d\n%!" protocol
+        (Format.asprintf "%a" Core.Controller.pp_outcome r.outcome)
+        (r.time_ms /. 1000.)
+        (List.length r.violations))
+    Core.Experiments.partially_synchronous
+
 (* ---------------- Bechamel kernels ---------------- *)
 
 let bechamel_kernels () =
@@ -417,5 +466,6 @@ let () =
   extensions ();
   throughput_extension ();
   ablation_pacemaker ();
+  chaos_suite ();
   bechamel_kernels ();
   Printf.printf "\nAll experiments completed.\n"

@@ -28,7 +28,7 @@ let read_config_file path =
   List.rev !kvs
 
 let config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-    ~crashed ~target ~inputs ~max_time () =
+    ~crashed ~target ~inputs ~max_time ~chaos ~watchdog () =
   let file_kvs = match config_file with Some path -> read_config_file path | None -> [] in
   let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
   (* Flags override file values because assoc finds the first binding. *)
@@ -36,7 +36,7 @@ let config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~s
     flag "protocol" protocol @ flag "n" n @ flag "lambda" lambda @ flag "delay" delay
     @ flag "seed" seed @ flag "attack" attack @ flag "crashed" crashed @ flag "target" target
     @ flag "inputs" inputs @ flag "max_time_ms" max_time @ flag "transport" transport
-    @ flag "costs" costs @ file_kvs
+    @ flag "costs" costs @ flag "chaos" chaos @ flag "watchdog" watchdog @ file_kvs
   in
   Core.Config.of_keyvalues kvs
 
@@ -88,6 +88,21 @@ let costs_arg =
        & info [ "costs" ] ~docv:"SPEC"
            ~doc:"Computation costs: none | commodity | rsa2048 | custom:<sign_ms>,<verify_ms>.")
 
+let chaos_arg =
+  let doc =
+    "Timed fault schedule: semicolon-separated action@time steps, e.g. \
+     crash:3@0;recover:3@15000;loss:0.2@0-8000;partition:0,1|2,3@1000;heal@5000;\
+     spike:500@0-4000;dup:0.1@0-4000;gst:normal:100,10@15000."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"PLAN" ~doc)
+
+let watchdog_arg =
+  let doc =
+    "Liveness watchdog: abort as stalled after this many lambda without a decision \
+     (once all scheduled chaos steps have played out)."
+  in
+  Arg.(value & opt (some string) None & info [ "watchdog" ] ~docv:"K" ~doc)
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log simulation events.")
 
 let setup_logs verbose =
@@ -107,6 +122,10 @@ let print_result (r : Core.Controller.result) =
   Format.printf "safety          : %s@."
     (if r.safety_ok then "ok (agreement holds)"
      else "VIOLATED: " ^ Option.value ~default:"?" r.safety_violation);
+  if r.violations <> [] then
+    Format.printf "invariants      : %d violation(s)@.%s@." (List.length r.violations)
+      (String.concat "\n"
+         (List.map (fun v -> "  " ^ Core.Invariant.describe_violation v) r.violations));
   if r.corrupted <> [] then
     Format.printf "corrupted nodes : %s@."
       (String.concat ", " (List.map string_of_int r.corrupted));
@@ -126,11 +145,11 @@ let run_cmd =
     Arg.(value & flag & info [ "views" ] ~doc:"Sample views every 250 ms and render the timeline.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      transport costs trace views verbose =
+      chaos watchdog transport costs trace views verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-        ~crashed ~target ~inputs ~max_time ()
+        ~crashed ~target ~inputs ~max_time ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -156,8 +175,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
-      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ transport_arg
-      $ costs_arg $ trace_arg $ views_arg $ verbose_arg)
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
+      $ watchdog_arg $ transport_arg $ costs_arg $ trace_arg $ views_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics") term
 
@@ -171,11 +190,11 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      transport costs reps csv verbose =
+      chaos watchdog transport costs reps csv verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-        ~crashed ~target ~inputs ~max_time ()
+        ~crashed ~target ~inputs ~max_time ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -196,8 +215,8 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
-      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ transport_arg
-      $ costs_arg $ reps_arg $ csv_arg $ verbose_arg)
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
+      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ csv_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
 
@@ -220,12 +239,12 @@ let list_cmd =
 (* --- validate --- *)
 
 let validate_cmd =
-  let action config_file protocol n lambda delay seed attack crashed target inputs max_time verbose
-      =
+  let action config_file protocol n lambda delay seed attack crashed target inputs max_time chaos
+      watchdog verbose =
     setup_logs verbose;
     match
       config_of_args ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs
-        ~max_time ()
+        ~max_time ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -241,7 +260,8 @@ let validate_cmd =
   let term =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
-      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ verbose_arg)
+      $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
+      $ watchdog_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Cross-validate a configuration (determinism and trace replay)")

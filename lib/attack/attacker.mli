@@ -42,6 +42,11 @@ type env = {
           otherwise marks it and returns [true]. *)
   is_corrupted : int -> bool;
   corrupted : unit -> int list;  (** Currently corrupted nodes, ascending. *)
+  override_delay : Delay_model.t -> unit;
+      (** Swap the network's delay distribution mid-run — the attacker-side
+          face of {!Bftsim_net.Network.override_delay}, used by timed fault
+          schedules to model a network that stabilizes (GST) or degrades at
+          a known instant. *)
 }
 (** Capabilities the controller grants the attacker. *)
 
@@ -66,3 +71,13 @@ val drop_from_corrupted : env -> Message.t -> verdict
 val delay_all : extra_ms:float -> t
 (** Adds a fixed extra delay to every message — a crude WAN degradation used
     in tests and examples. *)
+
+val compose : t list -> t
+(** Stacks attackers into one: [on_start] and [on_time_event] fan out to
+    every layer (each ignores timer payloads it does not recognize), and a
+    message is delivered only if {e every} layer rules [Deliver] — any
+    [Drop] wins, and later layers never see a dropped message.  Delay
+    rewrites accumulate left to right.  [compose \[\]] is {!passthrough}.
+
+    This is what makes fault schedules stack with protocol-specific
+    attackers, e.g. a network partition plus an equivocating leader. *)

@@ -1,4 +1,5 @@
 open Bftsim_net
+module Attack = Bftsim_attack
 module Protocols = Bftsim_protocols
 module Sha256 = Bftsim_crypto.Sha256
 
@@ -30,11 +31,69 @@ type t = {
   costs : Cost_model.t;
   record_trace : bool;
   view_sample_ms : float option;
+  chaos : Attack.Fault_schedule.t;
+  watchdog : float option;
+  check_validity : bool;
 }
+
+(* Full consistency check, run by [make] and again at [Controller.run] entry
+   so hand-built records (e.g. [{ (make ...) with n = ... }]) are caught
+   before they silently misbehave. *)
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let p =
+    match Protocols.Registry.find t.protocol with
+    | Some p -> p
+    | None ->
+      fail "Config: unknown protocol %S (known: %s)" t.protocol
+        (String.concat ", " (Protocols.Registry.names ()))
+  in
+  if t.n <= 0 then fail "Config: n = %d, need at least one node" t.n;
+  if t.decisions_target <= 0 then
+    fail "Config: decisions_target = %d, nothing to wait for" t.decisions_target;
+  if Float.is_nan t.lambda_ms || t.lambda_ms <= 0. then
+    fail "Config: lambda = %g ms, the delay bound must be positive" t.lambda_ms;
+  if Float.is_nan t.max_time_ms || t.max_time_ms <= 0. then
+    fail "Config: max_time_ms = %g, the liveness cap must be positive" t.max_time_ms;
+  if t.max_events <= 0 then fail "Config: max_events = %d, the event cap must be positive" t.max_events;
+  (match t.transport with
+  | Gossip { fanout } when fanout <= 0 -> fail "Config: gossip fanout = %d, must be positive" fanout
+  | Gossip _ | Direct -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      if node < 0 || node >= t.n then
+        fail "Config: crashed node %d out of range 0..%d" node (t.n - 1);
+      if Hashtbl.mem seen node then fail "Config: node %d listed as crashed twice" node;
+      Hashtbl.replace seen node ())
+    t.crashed;
+  (* Fault-tolerance bound: config-crashed nodes are faults the protocol is
+     expected to mask, so they must respect the model's resilience —
+     (n-1)/2 crash faults under synchrony, (n-1)/3 otherwise.  Chaos-
+     schedule crashes are deliberately exempt: exceeding the bound is
+     exactly what a chaos experiment probes, and the watchdog reports the
+     resulting stall instead. *)
+  let tolerable =
+    match Protocols.Protocol_intf.model p with
+    | Protocols.Protocol_intf.Synchronous -> (t.n - 1) / 2
+    | Protocols.Protocol_intf.Partially_synchronous | Protocols.Protocol_intf.Asynchronous ->
+      (t.n - 1) / 3
+  in
+  if List.length t.crashed > tolerable then
+    fail "Config: %d crashed nodes with n = %d exceeds the %s tolerance of %d (use a chaos schedule to over-crash deliberately)"
+      (List.length t.crashed) t.n
+      (Protocols.Protocol_intf.network_model_to_string (Protocols.Protocol_intf.model p))
+      tolerable;
+  (match t.watchdog with
+  | Some k when Float.is_nan k || k <= 0. ->
+    fail "Config: watchdog multiplier %g must be positive" k
+  | Some _ | None -> ());
+  Attack.Fault_schedule.validate ~n:t.n t.chaos
 
 let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
-    ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms protocol
+    ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
+    ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) protocol
     =
   let p = Protocols.Registry.find_exn protocol in
   let decisions_target =
@@ -42,32 +101,30 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
     | Some target -> target
     | None -> if Protocols.Protocol_intf.pipelined p then 10 else 1
   in
-  if n <= 0 then invalid_arg "Config.make: n <= 0";
-  if decisions_target <= 0 then invalid_arg "Config.make: decisions_target <= 0";
-  if lambda_ms <= 0. then invalid_arg "Config.make: lambda <= 0";
-  (match transport with
-  | Gossip { fanout } when fanout <= 0 -> invalid_arg "Config.make: gossip fanout <= 0"
-  | Gossip _ | Direct -> ());
-  List.iter
-    (fun node -> if node < 0 || node >= n then invalid_arg "Config.make: crashed node out of range")
-    crashed;
-  {
-    protocol;
-    n;
-    crashed;
-    lambda_ms;
-    delay;
-    seed;
-    attack;
-    decisions_target;
-    max_time_ms;
-    max_events;
-    inputs;
-    transport;
-    costs;
-    record_trace;
-    view_sample_ms;
-  }
+  let t =
+    {
+      protocol;
+      n;
+      crashed;
+      lambda_ms;
+      delay;
+      seed;
+      attack;
+      decisions_target;
+      max_time_ms;
+      max_events;
+      inputs;
+      transport;
+      costs;
+      record_trace;
+      view_sample_ms;
+      chaos = Attack.Fault_schedule.normalize chaos;
+      watchdog;
+      check_validity;
+    }
+  in
+  validate t;
+  t
 
 let input_for t node =
   match t.inputs with
@@ -101,7 +158,13 @@ let describe t =
     ((if Cost_model.is_zero t.costs then "" else " costs=" ^ Cost_model.describe t.costs)
     ^ (match t.transport with
       | Direct -> ""
-      | Gossip { fanout } -> Printf.sprintf " transport=gossip:%d" fanout))
+      | Gossip { fanout } -> Printf.sprintf " transport=gossip:%d" fanout)
+    ^ (match t.chaos with
+      | [] -> ""
+      | steps -> Printf.sprintf " chaos=[%d steps]" (List.length steps))
+    ^ (match t.watchdog with
+      | None -> ""
+      | Some k -> Printf.sprintf " watchdog=%g*lambda" k))
 
 let parse_int_list s =
   try Ok (List.filter_map (fun x -> if x = "" then None else Some (int_of_string x)) (String.split_on_char ',' s))
@@ -215,6 +278,19 @@ let of_keyvalues kvs =
       | Some i -> Ok (Some i)
       | None -> Error (Printf.sprintf "invalid integer for target: %S" v))
   in
+  let* chaos =
+    match find "chaos" with
+    | None -> Ok Attack.Fault_schedule.empty
+    | Some s -> Attack.Fault_schedule.of_string s
+  in
+  let* watchdog =
+    match find "watchdog" with
+    | None -> Ok None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some k -> Ok (Some k)
+      | None -> Error (Printf.sprintf "invalid float for watchdog: %S" v))
+  in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -224,5 +300,5 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~inputs ~transport ~costs protocol)
+            ~inputs ~transport ~costs ~chaos ?watchdog protocol)
      with Invalid_argument msg -> Error msg)

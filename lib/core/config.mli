@@ -58,7 +58,30 @@ type t = {
   record_trace : bool;
   view_sample_ms : float option;
       (** If set, sample every node's view at this period (Fig. 9). *)
+  chaos : Bftsim_attack.Fault_schedule.t;
+      (** Timed fault plan (crashes, recoveries, partitions, bursts, GST
+          shifts); compiled into an attacker and composed with [attack].
+          Kept normalized (sorted by time). *)
+  watchdog : float option;
+      (** Liveness watchdog: abort with {!Controller.outcome.Stalled} once
+          no counted node has decided for [k * lambda_ms] (and no scheduled
+          chaos step intervened).  [None] disables the watchdog. *)
+  check_validity : bool;
+      (** Enable the online validity monitor (decided values must be
+          proposed values).  Off by default: chained protocols decide block
+          digests, not raw inputs, and would trip it spuriously. *)
 }
+
+val validate : t -> unit
+(** Full consistency check: positive [lambda_ms] / caps / decision target,
+    crashed ids in range and unique and within the protocol model's
+    tolerance ((n-1)/2 crash faults under synchrony, (n-1)/3 otherwise),
+    well-formed chaos schedule, positive watchdog multiplier.  Run by
+    {!make} and again at [Controller.run] entry so hand-built records are
+    rejected with a descriptive [Invalid_argument] rather than silently
+    misbehaving.  Chaos-schedule crashes are deliberately {e not} counted
+    against the tolerance bound — over-crashing is a legitimate chaos
+    experiment; the watchdog turns the resulting stall into a result. *)
 
 val make :
   ?n:int ->
@@ -75,6 +98,9 @@ val make :
   ?costs:Cost_model.t ->
   ?record_trace:bool ->
   ?view_sample_ms:float ->
+  ?chaos:Bftsim_attack.Fault_schedule.t ->
+  ?watchdog:float ->
+  ?check_validity:bool ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:
@@ -101,4 +127,7 @@ val of_keyvalues : (string * string) list -> (t, string) result
     ([none] | [partition:<first>,<start>,<heal>[,delay]] |
     [silence:<ids>@<ms>] | [add-static:<f>] | [add-adaptive] |
     [extra-delay:<ms>]), [target], [max_time_ms], [inputs]
-    ([distinct] | [same:<v>] | [binary]). *)
+    ([distinct] | [same:<v>] | [binary]), [chaos] (a
+    {!Bftsim_attack.Fault_schedule.of_string} plan, e.g.
+    ["crash:3@0;recover:3@15000"]) and [watchdog] (the stall multiplier
+    [k], in units of [lambda_ms]). *)

@@ -3,7 +3,12 @@ open Bftsim_net
 module Attack = Bftsim_attack
 module Protocols = Bftsim_protocols
 
-type outcome = Reached_target | Timed_out | Event_cap | Queue_drained
+type outcome =
+  | Reached_target
+  | Timed_out
+  | Event_cap
+  | Queue_drained
+  | Stalled of { last_progress_ms : float }
 
 type result = {
   config : Config.t;
@@ -16,6 +21,7 @@ type result = {
   decisions : (int * string list) list;
   safety_ok : bool;
   safety_violation : string option;
+  violations : Invariant.violation list;
   corrupted : int list;
   per_decision_latency_ms : float;
   per_decision_messages : float;
@@ -42,6 +48,8 @@ let pp_outcome ppf = function
   | Timed_out -> Format.pp_print_string ppf "timed-out"
   | Event_cap -> Format.pp_print_string ppf "event-cap"
   | Queue_drained -> Format.pp_print_string ppf "queue-drained"
+  | Stalled { last_progress_ms } ->
+    Format.fprintf ppf "stalled(last-progress=%gms)" last_progress_ms
 
 let build_attacker (config : Config.t) =
   match config.attack with
@@ -80,6 +88,7 @@ let check_safety ~counted decisions =
   !violation
 
 let run ?delay_override ?attacker:attacker_override (config : Config.t) =
+  Config.validate config;
   let (module P : Protocols.Protocol_intf.S) = Protocols.Registry.find_exn config.protocol in
   let n = config.n in
   let f = Protocols.Quorum.max_faulty n in
@@ -111,8 +120,15 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
   let finished = ref None in
   let outcome = ref Queue_drained in
   let view_samples = ref [] in
+  let chaos = Attack.Fault_schedule.normalize config.chaos in
   let attacker =
-    match attacker_override with Some a -> a | None -> build_attacker config
+    let base = match attacker_override with Some a -> a | None -> build_attacker config in
+    match chaos with
+    | [] -> base
+    | _ ->
+      (* Chaos first: a message a crashed source never sent must not reach
+         the scenario attacker either. *)
+      Attack.Attacker.compose [ Attack.Fault_schedule.to_attacker chaos; base ]
   in
   (* Throughput extension (§III-A3): sequential per-node CPUs charged for
      signing and verification; zero costs short-circuit to the paper's
@@ -124,7 +140,26 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
   (* Per node: gossip frames already processed (origin, gid). *)
   let gossip_seen : (int * int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 64) in
 
-  let counted node = (not crashed.(node)) && not corrupted.(node) in
+  (* Nodes the chaos plan fail-stops and never restarts can no more reach
+     the decision target than config-crashed ones; recovered nodes stay
+     counted and must catch up. *)
+  let chaos_gone =
+    Array.init n (fun node -> Attack.Fault_schedule.crashed_at chaos ~node ~at_ms:Float.infinity)
+  in
+  let counted node = (not crashed.(node)) && (not corrupted.(node)) && not chaos_gone.(node) in
+  (* Per-index agreement presumes complete logs; a node the plan crashes
+     and restarts misses the decisions made while it was down (there is no
+     state transfer), so only never-crashed nodes are index-aligned. *)
+  let aligned node = counted node && not (Attack.Fault_schedule.ever_crashed chaos ~node) in
+  let last_progress = ref 0. in
+  let monitor =
+    Invariant.create ~counted ~aligned
+      ~crashed_now:(fun ~node ~at_ms ->
+        crashed.(node) || Attack.Fault_schedule.crashed_at chaos ~node ~at_ms)
+      ?valid_values:
+        (if config.check_validity then Some (List.init n (Config.input_for config)) else None)
+      ()
+  in
   let check_target () =
     if !finished = None then begin
       let all_done = ref true in
@@ -188,18 +223,24 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
             end);
         is_corrupted = (fun node -> node >= 0 && node < n && corrupted.(node));
         corrupted = (fun () -> List.sort compare !corrupted_order);
+        override_delay = Network.override_delay network;
     }
   in
 
   let route (msg : Message.t) =
     Network.assign_delay network msg;
-    (match delay_override with
-    | None -> ()
-    | Some override ->
-      let seq = next_link_seq (msg.src, msg.dst, msg.tag) in
-      match override ~src:msg.src ~dst:msg.dst ~tag:msg.tag ~seq with
-      | Some delay_ms -> msg.delay_ms <- delay_ms
-      | None -> ());
+    (* The recorded delay is end-to-end (sample + crypto cost + attacker
+       modifications), so in replay mode it is applied last — after the
+       attacker has run (its verdicts and RNG draws must still happen) —
+       and the sequence number advances for every send, dropped or not, to
+       stay aligned with the recording. *)
+    let replay_delay =
+      match delay_override with
+      | None -> None
+      | Some override ->
+        let seq = next_link_seq (msg.src, msg.dst, msg.tag) in
+        override ~src:msg.src ~dst:msg.dst ~tag:msg.tag ~seq
+    in
     record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
       ~detail:(Message.payload_to_string msg.payload);
     (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < n then begin
@@ -212,6 +253,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       incr dropped;
       record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
     | Attack.Attacker.Deliver ->
+      (match replay_delay with Some delay_ms -> msg.Message.delay_ms <- delay_ms | None -> ());
       Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
   in
 
@@ -280,8 +322,12 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       cancel_timer = (fun id -> Hashtbl.replace cancelled id ());
       decide =
         (fun value ->
+          let at_ms = Time.to_ms (Event_queue.now queue) in
+          let index = List.length !(decisions.(node_id)) in
           decisions.(node_id) := value :: !(decisions.(node_id));
           record Trace.Decide ~node:node_id ~peer:(-1) ~tag:value ~detail:"";
+          Invariant.on_decide monitor ~node:node_id ~index ~value ~at_ms;
+          if counted node_id then last_progress := Float.max !last_progress at_ms;
           check_target ());
     }
   in
@@ -359,11 +405,24 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     | Node_timer timer ->
       if not (Hashtbl.mem cancelled timer.Timer.id) then begin
         let owner = timer.Timer.owner in
-        match nodes.(owner) with
-        | Some node ->
-          record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
-          P.on_timer node ctxs.(owner) timer
-        | None -> ()
+        let now_ms = Time.to_ms (Event_queue.now queue) in
+        if Attack.Fault_schedule.crashed_at chaos ~node:owner ~at_ms:now_ms then begin
+          (* Crash-recovery semantics: a down node's timer is deferred to
+             its restart instant (its timeout fires "on reboot"), or lost
+             with the node if it never comes back. *)
+          match Attack.Fault_schedule.next_recovery_after chaos ~node:owner ~at_ms:now_ms with
+          | Some recover_ms ->
+            let deadline = Time.of_ms recover_ms in
+            Event_queue.schedule queue ~at:deadline
+              (Node_timer { timer with Timer.deadline })
+          | None -> ()
+        end
+        else
+          match nodes.(owner) with
+          | Some node ->
+            record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
+            P.on_timer node ctxs.(owner) timer
+          | None -> ()
       end
     | Attacker_timer timer -> (
       match timer.Timer.payload with
@@ -377,6 +436,15 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
           attacker.Attack.Attacker.on_time_event attacker_env timer)
   in
 
+  (* Liveness watchdog: the simulation has stalled when the clock has run
+     [k * lambda] past the last decision by a counted node.  While the fault
+     plan still has steps ahead (a pending recovery, heal or GST shift) the
+     watchdog holds its fire — the scenario is still unfolding and relief
+     may be scheduled — and the last step resets the stall clock. *)
+  let last_chaos_ms =
+    List.fold_left Float.max Float.neg_infinity (Attack.Fault_schedule.step_times chaos)
+  in
+  let watchdog_ms = Option.map (fun k -> k *. config.lambda_ms) config.watchdog in
   let rec loop () =
     if !finished <> None then ()
     else if Event_queue.popped queue >= config.max_events then outcome := Event_cap
@@ -384,10 +452,19 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       match Event_queue.next queue with
       | None -> outcome := Queue_drained
       | Some (now, ev) ->
-        if Time.to_ms now > config.max_time_ms then outcome := Timed_out
+        let now_ms = Time.to_ms now in
+        if now_ms > config.max_time_ms then outcome := Timed_out
         else begin
-          handle ev;
-          loop ()
+          match watchdog_ms with
+          | Some limit
+            when now_ms >= last_chaos_ms
+                 && now_ms -. Float.max !last_progress last_chaos_ms > limit ->
+            Simlog.info "watchdog: no progress since %g ms, aborting at %g ms" !last_progress
+              now_ms;
+            outcome := Stalled { last_progress_ms = !last_progress }
+          | _ ->
+            handle ev;
+            loop ()
         end
   in
   loop ();
@@ -398,7 +475,14 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     | None -> Float.min (Time.to_ms (Event_queue.now queue)) config.max_time_ms
   in
   let decisions_list = List.init n (fun i -> (i, List.rev !(decisions.(i)))) in
-  let safety_violation = check_safety ~counted decisions_list in
+  let violations = Invariant.violations monitor in
+  (* The online agreement monitor subsumes the post-hoc sweep; keep the
+     sweep as a final belt-and-braces pass over the complete sequences. *)
+  let safety_violation =
+    match Invariant.first_violation monitor ~monitor:"agreement" with
+    | Some v -> Some v.Invariant.detail
+    | None -> check_safety ~counted:aligned decisions_list
+  in
   let stats = Network.stats network in
   {
     config;
@@ -411,6 +495,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     decisions = decisions_list;
     safety_ok = safety_violation = None;
     safety_violation;
+    violations;
     corrupted = List.sort compare !corrupted_order;
     per_decision_latency_ms = time_ms /. float_of_int config.decisions_target;
     per_decision_messages =

@@ -13,6 +13,12 @@ type outcome =
   | Timed_out  (** The simulated-time cap elapsed first: a liveness failure. *)
   | Event_cap  (** The event budget ran out (runaway guard). *)
   | Queue_drained  (** No events left — the protocol went silent. *)
+  | Stalled of { last_progress_ms : float }
+      (** The liveness watchdog fired: no counted node decided for
+          [watchdog * lambda_ms] (and no scheduled chaos step explained the
+          silence).  [last_progress_ms] is the last decision's timestamp
+          (0 if nothing was ever decided); the rest of the result still
+          carries the partial metrics accumulated up to the abort. *)
 
 type result = {
   config : Config.t;
@@ -28,6 +34,9 @@ type result = {
       (** Agreement: for every decision index, all counted honest nodes that
           reached it decided the same value. *)
   safety_violation : string option;
+  violations : Invariant.violation list;
+      (** Everything the online monitors flagged (agreement, validity,
+          crashed-decide), in detection order with timestamps. *)
   corrupted : int list;  (** Nodes adaptively corrupted during the run. *)
   per_decision_latency_ms : float;  (** [time_ms / decisions_target]. *)
   per_decision_messages : float;

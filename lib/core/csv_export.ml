@@ -29,6 +29,7 @@ let outcome_to_string = function
   | Controller.Timed_out -> "timed-out"
   | Controller.Event_cap -> "event-cap"
   | Controller.Queue_drained -> "queue-drained"
+  | Controller.Stalled _ -> "stalled"
 
 let result_row (r : Controller.result) =
   let c = r.config in

@@ -24,9 +24,9 @@ let network_environments =
 let inputs_for protocol = if String.equal protocol "async-ba" then Config.Random_binary else Config.Distinct
 
 let base ?(n = default_n) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
-    ?crashed ?attack ?decisions_target ?view_sample_ms ~seed protocol =
+    ?crashed ?attack ?decisions_target ?view_sample_ms ?chaos ?watchdog ~seed protocol =
   Config.make ~n ?crashed ~lambda_ms ~delay ~seed ?attack ?decisions_target ?view_sample_ms
-    ~inputs:(inputs_for protocol) protocol
+    ?chaos ?watchdog ~inputs:(inputs_for protocol) protocol
 
 let fig2_node_counts = [ 4; 8; 16; 32; 64; 128; 256; 512 ]
 
@@ -79,3 +79,42 @@ let fig8_adaptive_config ~protocol ~f ~seed =
 
 let fig9_config ~seed =
   base ~lambda_ms:150. ~seed ~view_sample_ms:250. "hotstuff-ns"
+
+(* --- Chaos sweeps (beyond the paper: the fault-injection subsystem) --- *)
+
+module Fault_schedule = Bftsim_attack.Fault_schedule
+
+let chaos_gst_ms = 15_000.
+
+let chaos_watchdog = 10.
+
+(* Highest-numbered nodes, like fig7: the time-zero leaders stay alive. *)
+let top_nodes count = List.init count (fun i -> default_n - 1 - i)
+
+let chaos_config ~protocol ~seed =
+  let f = Bftsim_protocols.Quorum.max_faulty default_n in
+  base ~seed ~decisions_target:1 ~watchdog:chaos_watchdog
+    ~chaos:(Fault_schedule.crash_and_recover ~nodes:(top_nodes f) ~crash_ms:0. ~recover_ms:chaos_gst_ms)
+    protocol
+
+let chaos_overload_config ~protocol ~seed =
+  let f = Bftsim_protocols.Quorum.max_faulty default_n in
+  base ~seed ~decisions_target:1 ~watchdog:chaos_watchdog
+    ~chaos:
+      (List.map
+         (fun node -> { Fault_schedule.at_ms = 0.; action = Fault_schedule.Crash node })
+         (top_nodes (f + 1)))
+    protocol
+
+let chaos_turbulence_config ~protocol ~seed =
+  base ~seed ~decisions_target:1 ~watchdog:chaos_watchdog
+    ~delay:(Delay_model.normal ~mu:500. ~sigma:200.)
+    ~chaos:
+      (Fault_schedule.normalize
+         [
+           { Fault_schedule.at_ms = 0.; action = Fault_schedule.Loss_burst { p = 0.1; until_ms = chaos_gst_ms } };
+           { Fault_schedule.at_ms = 0.; action = Fault_schedule.Delay_spike { extra_ms = 500.; until_ms = chaos_gst_ms } };
+           { Fault_schedule.at_ms = 0.; action = Fault_schedule.Dup_burst { p = 0.05; until_ms = chaos_gst_ms } };
+           { Fault_schedule.at_ms = chaos_gst_ms; action = Fault_schedule.Gst_shift (Delay_model.normal ~mu:100. ~sigma:20.) };
+         ])
+    protocol

@@ -68,3 +68,23 @@ val fig8_adaptive_config : protocol:string -> f:int -> seed:int -> Config.t
 val fig9_config : seed:int -> Config.t
 (** HotStuff+NS, lambda = 150, N(250, 50), view sampling on — the
     view-synchronization case study. *)
+
+val chaos_gst_ms : float
+(** When the canonical chaos scenarios stabilize (15 s). *)
+
+val chaos_watchdog : float
+(** Watchdog multiplier used by the chaos sweeps (10 lambda). *)
+
+val chaos_config : protocol:string -> seed:int -> Config.t
+(** The canonical chaos scenario: fail-stop the [f] highest-numbered nodes
+    at t = 0 and restart them at {!chaos_gst_ms}, with the liveness
+    watchdog armed. *)
+
+val chaos_overload_config : protocol:string -> seed:int -> Config.t
+(** Crash [f + 1] nodes forever — beyond every tolerance bound, so no
+    quorum forms.  The watchdog converts the inevitable non-termination
+    into {!Controller.outcome.Stalled} within [chaos_watchdog * lambda]. *)
+
+val chaos_turbulence_config : protocol:string -> seed:int -> Config.t
+(** Lossy, duplicating, delay-spiked network until {!chaos_gst_ms}, then a
+    GST shift to a fast stable delay model. *)

@@ -1,0 +1,70 @@
+type violation = { at_ms : float; monitor : string; detail : string }
+
+type t = {
+  counted : int -> bool;
+  aligned : int -> bool;
+  crashed_now : node:int -> at_ms:float -> bool;
+  valid : string list option;
+  (* Agreement expectation per decision index: who decided first, what. *)
+  by_index : (int, int * string) Hashtbl.t;
+  mutable violations : violation list;  (** Reverse detection order. *)
+}
+
+let create ~counted ?aligned ~crashed_now ?valid_values () =
+  {
+    counted;
+    aligned = Option.value aligned ~default:counted;
+    crashed_now;
+    valid = valid_values;
+    by_index = Hashtbl.create 64;
+    violations = [];
+  }
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* Validity, protocol-agnostically: protocols encode decisions differently
+   (PBFT decides ["<input>/slot<k>"], ADD and Algorand the raw input), so a
+   decided value counts as derived from a proposal when some proposed value
+   occurs in it verbatim. *)
+let derived_from_proposal proposals value = List.exists (fun p -> contains ~needle:p value) proposals
+
+let flag t ~at_ms ~monitor detail =
+  t.violations <- { at_ms; monitor; detail } :: t.violations;
+  Bftsim_sim.Simlog.info "invariant violated (%s): %s" monitor detail
+
+let on_decide t ~node ~index ~value ~at_ms =
+  if t.crashed_now ~node ~at_ms then
+    flag t ~at_ms ~monitor:"crashed-decide"
+      (Printf.sprintf "node %d decided %S at %g ms while crashed" node value at_ms);
+  if t.counted node then begin
+    (match t.valid with
+    | Some proposals when not (derived_from_proposal proposals value) ->
+      flag t ~at_ms ~monitor:"validity"
+        (Printf.sprintf "node %d decided %S, which derives from no proposed value" node value)
+    | Some _ | None -> ());
+    if t.aligned node then
+      match Hashtbl.find_opt t.by_index index with
+      | None -> Hashtbl.replace t.by_index index (node, value)
+      | Some (other, expected) ->
+        if not (String.equal expected value) then
+          flag t ~at_ms ~monitor:"agreement"
+            (Printf.sprintf "decision %d: node %d decided %S but node %d decided %S" index node
+               value other expected)
+  end
+
+let violations t = List.rev t.violations
+
+let ok t = t.violations = []
+
+let first_violation t ~monitor =
+  let rec last = function
+    | [] -> None
+    | v :: rest -> ( match last rest with Some _ as hit -> hit | None -> if v.monitor = monitor then Some v else None)
+  in
+  (* [t.violations] is reversed, so the earliest match is the deepest one. *)
+  last t.violations
+
+let describe_violation v = Printf.sprintf "[%g ms] %s: %s" v.at_ms v.monitor v.detail

@@ -47,6 +47,7 @@ let table2_spec =
     ("Network Partition Attack", "partition", [ "lib/attack/partition_attack.ml" ]);
     ("ADD+ BA Static Attack", "static", [ "lib/protocols/addplus_attacks.ml" ]);
     ("ADD+ BA Adaptive Attack", "rushing + adaptive", [ "lib/protocols/addplus_attacks.ml" ]);
+    ("Chaos Fault Schedules", "timed fault plan", [ "lib/attack/fault_schedule.ml" ]);
   ]
 
 let table1 ~root =

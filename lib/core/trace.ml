@@ -39,51 +39,53 @@ let first_divergence a b =
 
 let delays t =
   (* Match sends to deliveries per (src, dst, tag) link in FIFO order; the
-     event queue's deterministic ordering makes this reconstruction exact
-     for unmodified traffic. *)
-  let sends : (int * int * string, float list ref) Hashtbl.t = Hashtbl.create 64 in
-  let out : (int * int * string, float list ref) Hashtbl.t = Hashtbl.create 64 in
+     event queue's deterministic ordering makes this reconstruction exact.
+     Attacker-dropped sends keep their position as [None] so the list stays
+     aligned with the sender-side sequence numbers replay uses. *)
+  let cells : (int * int * string, float option ref list ref) Hashtbl.t = Hashtbl.create 64 in
+  let pending : (int * int * string, (float * float option ref) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let keys = ref [] in
   List.iter
     (fun e ->
       match e.kind with
       | Send ->
         let key = (e.node, e.peer, e.tag) in
-        let q =
-          match Hashtbl.find_opt sends key with
-          | Some q -> q
-          | None ->
-            let q = ref [] in
-            Hashtbl.replace sends key q;
-            q
-        in
-        q := e.at_ms :: !q
+        let cell = ref None in
+        (match Hashtbl.find_opt cells key with
+        | Some l -> l := cell :: !l
+        | None ->
+          Hashtbl.replace cells key (ref [ cell ]);
+          keys := key :: !keys);
+        (match Hashtbl.find_opt pending key with
+        | Some q -> q := (e.at_ms, cell) :: !q
+        | None -> Hashtbl.replace pending key (ref [ (e.at_ms, cell) ]))
       | Deliver -> (
         let key = (e.peer, e.node, e.tag) in
-        match Hashtbl.find_opt sends key with
+        match Hashtbl.find_opt pending key with
         | Some ({ contents = _ :: _ } as q) ->
-          (* FIFO: sends were consed, so take from the tail. *)
+          (* FIFO: pending sends were consed, so take from the tail. *)
           let rec split_last acc = function
             | [] -> assert false
             | [ x ] -> (x, List.rev acc)
             | x :: rest -> split_last (x :: acc) rest
           in
-          let sent_at, remaining = split_last [] !q in
+          let (sent_at, cell), remaining = split_last [] !q in
           q := remaining;
-          let d =
-            match Hashtbl.find_opt out key with
-            | Some d -> d
-            | None ->
-              let d = ref [] in
-              Hashtbl.replace out key d;
-              keys := key :: !keys;
-              d
-          in
-          d := (e.at_ms -. sent_at) :: !d
+          cell := Some (e.at_ms -. sent_at)
         | _ -> ())
-      | Drop | Timer_fired | Decide -> ())
+      | Drop -> (
+        (* A drop is recorded in the same routing step as its send, so the
+           dropped message is the newest pending one; removing it leaves
+           its cell [None], holding the position. *)
+        let key = (e.node, e.peer, e.tag) in
+        match Hashtbl.find_opt pending key with
+        | Some ({ contents = _ :: rest } as q) -> q := rest
+        | _ -> ())
+      | Timer_fired | Decide -> ())
     (entries t);
-  List.rev_map (fun key -> (key, List.rev !(Hashtbl.find out key))) !keys
+  List.rev_map (fun key -> (key, List.rev_map (fun c -> !c) !(Hashtbl.find cells key))) !keys
 
 let decisions t =
   let per_node : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in

@@ -34,11 +34,13 @@ val first_divergence : t -> t -> (int * entry option * entry option) option
     index of the first differing entry together with both sides' entries at
     that index ([None] = trace ended). *)
 
-val delays : t -> ((int * int * string) * float list) list
+val delays : t -> ((int * int * string) * float option list) list
 (** Per [(src, dst, tag)] link, the observed message delays in send order —
     the replay table consumed by {!Validator.replay_delays}.  Delays are
     reconstructed as (delivery time - send time) by matching sends with
-    deliveries per link in FIFO order. *)
+    deliveries per link in FIFO order; sends the attacker dropped appear as
+    [None], keeping positions aligned with sender-side sequence numbers so
+    replay stays exact under dropping attackers and chaos schedules. *)
 
 val decisions : t -> (int * string list) list
 (** Per node, the decided values in decision order. *)

@@ -33,7 +33,13 @@ let decisions_divergence (a : Controller.result) (b : Controller.result) =
 let replay_delays trace =
   let table = Hashtbl.create 256 in
   List.iter
-    (fun ((src, dst, tag), ds) -> List.iteri (fun seq d -> Hashtbl.replace table (src, dst, tag, seq) d) ds)
+    (fun ((src, dst, tag), ds) ->
+      List.iteri
+        (fun seq d ->
+          (* Dropped sends have no observed delay; the replaying attacker
+             re-drops them, so their sampled delay never matters. *)
+          match d with Some d -> Hashtbl.replace table (src, dst, tag, seq) d | None -> ())
+        ds)
     (Trace.delays trace);
   fun ~src ~dst ~tag ~seq -> Hashtbl.find_opt table (src, dst, tag, seq)
 

@@ -46,6 +46,14 @@ let rec describe = function
 
 let pp ppf t = Format.pp_print_string ppf (describe t)
 
+let rec to_cli_string = function
+  | Constant ms -> Printf.sprintf "constant:%g" ms
+  | Uniform { lo; hi } -> Printf.sprintf "uniform:%g,%g" lo hi
+  | Normal { mu; sigma } -> Printf.sprintf "normal:%g,%g" mu sigma
+  | Exponential { mean } -> Printf.sprintf "exp:%g" mean
+  | Poisson { mean } -> Printf.sprintf "poisson:%g" mean
+  | Bounded { base; bound } -> Printf.sprintf "bounded:%s@%g" (to_cli_string base) bound
+
 let parse_floats s =
   try Some (List.map float_of_string (String.split_on_char ',' s)) with Failure _ -> None
 

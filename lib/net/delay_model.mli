@@ -46,4 +46,8 @@ val of_string : string -> (t, string) result
     ["normal:250,50"], ["exp:300"], ["poisson:250"],
     ["bounded:<inner>@<bound>"] e.g. ["bounded:normal:250,50@1000"]. *)
 
+val to_cli_string : t -> string
+(** Inverse of {!of_string}: renders the model in the parseable CLI syntax
+    (unlike {!describe}, which renders the human notation ["N(250,50)"]). *)
+
 val pp : Format.formatter -> t -> unit

@@ -6,7 +6,7 @@ open Bftsim_net
 open Bftsim_attack
 
 (* A self-contained attacker environment over mutable test state. *)
-let make_env ?(n = 8) ?(f = 2) ?(now = 0.) () =
+let make_env ?(n = 8) ?(f = 2) ?(now = 0.) ?(on_override = fun _ -> ()) () =
   let corrupted = Hashtbl.create 8 in
   let injected = ref [] in
   let timers = ref [] in
@@ -36,6 +36,7 @@ let make_env ?(n = 8) ?(f = 2) ?(now = 0.) () =
       is_corrupted = Hashtbl.mem corrupted;
       corrupted =
         (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) corrupted [] |> List.sort compare);
+      override_delay = on_override;
     }
   in
   (env, now_ref, injected, timers)
@@ -141,6 +142,212 @@ let test_two_subnets_builder () =
     (is_deliver (attacker.attack env (msg ~src:0 ~dst:4 ())));
   Alcotest.(check bool) "4 -> 7 intra" true (is_deliver (attacker.attack env (msg ~src:4 ~dst:7 ())))
 
+(* --- compose --- *)
+
+(* An attacker that drops messages from [victim] and logs everything it is
+   shown — used to observe compose's short-circuit. *)
+let spy_attacker ?victim seen =
+  {
+    Attacker.passthrough with
+    Attacker.name = "spy";
+    attack =
+      (fun _env m ->
+        seen := m.Message.src :: !seen;
+        match victim with Some v when m.Message.src = v -> Attacker.Drop | _ -> Attacker.Deliver);
+  }
+
+let test_compose_drop_wins () =
+  let env, _, _, _ = make_env () in
+  let before = ref [] and after = ref [] in
+  let composed = Attacker.compose [ spy_attacker before; spy_attacker ~victim:3 before; spy_attacker after ] in
+  Alcotest.(check bool) "drop by any layer wins" false
+    (is_deliver (composed.attack env (msg ~src:3 ())));
+  Alcotest.(check (list int)) "later layers never see a dropped message" [] !after;
+  Alcotest.(check bool) "all layers agree: delivered" true
+    (is_deliver (composed.attack env (msg ~src:4 ())));
+  Alcotest.(check (list int)) "survivors reach the last layer" [ 4 ] !after
+
+let test_compose_fans_out_lifecycle () =
+  let env, _, _, _ = make_env () in
+  let starts = ref 0 and ticks = ref 0 in
+  let counting =
+    {
+      Attacker.passthrough with
+      Attacker.on_start = (fun _ -> incr starts);
+      on_time_event = (fun _ _ -> incr ticks);
+    }
+  in
+  let composed = Attacker.compose [ counting; counting; counting ] in
+  composed.on_start env;
+  composed.on_time_event env
+    { Timer.id = 1; owner = Timer.attacker_owner; deadline = Time.zero; tag = "t";
+      payload = Timer.Tick };
+  Alcotest.(check int) "on_start fans out" 3 !starts;
+  Alcotest.(check int) "on_time_event fans out" 3 !ticks;
+  Alcotest.(check bool) "empty compose is passthrough" true
+    (is_deliver ((Attacker.compose []).attack env (msg ())))
+
+(* --- fault schedules --- *)
+
+let test_schedule_crash_windows () =
+  let plan =
+    Fault_schedule.normalize
+      [
+        { Fault_schedule.at_ms = 1000.; action = Fault_schedule.Crash 2 };
+        { Fault_schedule.at_ms = 5000.; action = Fault_schedule.Recover 2 };
+      ]
+  in
+  let down at_ms = Fault_schedule.crashed_at plan ~node:2 ~at_ms in
+  Alcotest.(check bool) "up before" false (down 999.);
+  Alcotest.(check bool) "down at the crash instant" true (down 1000.);
+  Alcotest.(check bool) "down in between" true (down 3000.);
+  Alcotest.(check bool) "up again at recovery" false (down 5000.);
+  Alcotest.(check bool) "other node untouched" false
+    (Fault_schedule.crashed_at plan ~node:3 ~at_ms:3000.);
+  Alcotest.(check (option (float 1e-9))) "next recovery" (Some 5000.)
+    (Fault_schedule.next_recovery_after plan ~node:2 ~at_ms:1000.)
+
+let test_schedule_crash_verdicts () =
+  let env, now_ref, _, _ = make_env () in
+  let attacker =
+    Fault_schedule.to_attacker (Fault_schedule.crash_and_recover ~nodes:[ 1 ] ~crash_ms:1000. ~recover_ms:5000.)
+  in
+  Alcotest.(check bool) "sender up: delivered" true
+    (is_deliver (attacker.attack env (msg ~src:1 ())));
+  now_ref := 2000.;
+  Alcotest.(check bool) "sender down: dropped" false
+    (is_deliver (attacker.attack env (msg ~src:1 ~sent_at:2000. ())));
+  (* A message to a node that will be down on arrival is lost too. *)
+  now_ref := 500.;
+  let m = msg ~src:0 ~dst:1 ~sent_at:500. () in
+  m.Message.delay_ms <- 1000.;
+  Alcotest.(check bool) "receiver down at arrival: dropped" false
+    (is_deliver (attacker.attack env m));
+  now_ref := 6000.;
+  Alcotest.(check bool) "recovered sender: delivered" true
+    (is_deliver (attacker.attack env (msg ~src:1 ~sent_at:6000. ())))
+
+let test_schedule_partition_heal () =
+  let env, now_ref, _, _ = make_env () in
+  let plan =
+    [
+      { Fault_schedule.at_ms = 1000.; action = Fault_schedule.Partition [ [ 0; 1 ]; [ 2; 3 ] ] };
+      { Fault_schedule.at_ms = 4000.; action = Fault_schedule.Heal };
+    ]
+  in
+  Alcotest.(check bool) "cross-group separated" true
+    (Fault_schedule.separated plan ~src:0 ~dst:2 ~at_ms:2000.);
+  Alcotest.(check bool) "intra-group connected" false
+    (Fault_schedule.separated plan ~src:2 ~dst:3 ~at_ms:2000.);
+  Alcotest.(check bool) "unlisted nodes share the residual group" false
+    (Fault_schedule.separated plan ~src:6 ~dst:7 ~at_ms:2000.);
+  Alcotest.(check bool) "listed vs unlisted separated" true
+    (Fault_schedule.separated plan ~src:0 ~dst:6 ~at_ms:2000.);
+  Alcotest.(check bool) "healed" false (Fault_schedule.separated plan ~src:0 ~dst:2 ~at_ms:4000.);
+  let attacker = Fault_schedule.to_attacker plan in
+  now_ref := 2000.;
+  Alcotest.(check bool) "attacker drops cross traffic" false
+    (is_deliver (attacker.attack env (msg ~src:0 ~dst:2 ~sent_at:2000. ())))
+
+let test_schedule_bursts () =
+  let env, now_ref, injected, _ = make_env () in
+  now_ref := 1000.;
+  let certain_loss =
+    Fault_schedule.to_attacker
+      [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Loss_burst { p = 1.; until_ms = 2000. } } ]
+  in
+  Alcotest.(check bool) "p=1 loss drops" false
+    (is_deliver (certain_loss.attack env (msg ~sent_at:1000. ())));
+  now_ref := 3000.;
+  Alcotest.(check bool) "loss window over" true
+    (is_deliver (certain_loss.attack env (msg ~sent_at:3000. ())));
+  let no_loss =
+    Fault_schedule.to_attacker
+      [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Loss_burst { p = 0.; until_ms = 2000. } } ]
+  in
+  now_ref := 1000.;
+  Alcotest.(check bool) "p=0 loss is harmless" true
+    (is_deliver (no_loss.attack env (msg ~sent_at:1000. ())));
+  let spike =
+    Fault_schedule.to_attacker
+      [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Delay_spike { extra_ms = 300.; until_ms = 2000. } } ]
+  in
+  let m = msg ~sent_at:1000. () in
+  m.Message.delay_ms <- 100.;
+  Alcotest.(check bool) "spiked but delivered" true (is_deliver (spike.attack env m));
+  Alcotest.(check (float 1e-9)) "spike added" 400. m.Message.delay_ms;
+  let dup =
+    Fault_schedule.to_attacker
+      [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Dup_burst { p = 1.; until_ms = 2000. } } ]
+  in
+  Alcotest.(check bool) "original delivered" true
+    (is_deliver (dup.attack env (msg ~sent_at:1000. ())));
+  Alcotest.(check int) "copy injected" 1 (List.length !injected)
+
+let test_schedule_gst_shift () =
+  let shifted = ref [] in
+  let env, _, _, timers =
+    make_env ~on_override:(fun model -> shifted := model :: !shifted) ()
+  in
+  let model = Delay_model.normal ~mu:100. ~sigma:10. in
+  let attacker =
+    Fault_schedule.to_attacker
+      [ { Fault_schedule.at_ms = 15_000.; action = Fault_schedule.Gst_shift model } ]
+  in
+  attacker.on_start env;
+  Alcotest.(check int) "one chaos timer armed" 1 (List.length !timers);
+  let delay_ms, tag, payload = List.hd !timers in
+  attacker.on_time_event env
+    { Timer.id = 1; owner = Timer.attacker_owner; deadline = Time.of_ms delay_ms; tag; payload };
+  Alcotest.(check int) "delay model overridden once" 1 (List.length !shifted)
+
+let test_schedule_validate () =
+  let rejected plan =
+    match Fault_schedule.validate ~n:8 plan with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "node out of range" true
+    (rejected [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Crash 8 } ]);
+  Alcotest.(check bool) "negative time" true
+    (rejected [ { Fault_schedule.at_ms = -1.; action = Fault_schedule.Heal } ]);
+  Alcotest.(check bool) "probability out of range" true
+    (rejected
+       [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Loss_burst { p = 1.5; until_ms = 10. } } ]);
+  Alcotest.(check bool) "window ends before start" true
+    (rejected
+       [ { Fault_schedule.at_ms = 100.; action = Fault_schedule.Dup_burst { p = 0.5; until_ms = 50. } } ]);
+  Alcotest.(check bool) "overlapping partition groups" true
+    (rejected [ { Fault_schedule.at_ms = 0.; action = Fault_schedule.Partition [ [ 0; 1 ]; [ 1; 2 ] ] } ]);
+  Alcotest.(check bool) "well-formed plan accepted" false
+    (rejected (Fault_schedule.crash_and_recover ~nodes:[ 0; 1 ] ~crash_ms:0. ~recover_ms:5000.))
+
+let test_schedule_of_string_roundtrip () =
+  let spec = "crash:1@0;loss:0.25@0-8000;partition:0,1|2,3@2000;heal@4000;recover:1@15000;gst:normal:100,10@15000" in
+  match Fault_schedule.of_string spec with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.(check string) "describe round-trips" spec (Fault_schedule.describe plan);
+    Alcotest.(check bool) "parse error surfaces" true
+      (Result.is_error (Fault_schedule.of_string "crash:zero@0"));
+    Alcotest.(check bool) "unknown action surfaces" true
+      (Result.is_error (Fault_schedule.of_string "meteor@0"))
+
+(* Corruption and chaos crashes are different faults: a chaos [Recover]
+   restarts a crashed node, but an adaptively corrupted node stays silenced
+   by [drop_from_corrupted] forever. *)
+let test_corruption_survives_recovery () =
+  let env, now_ref, _, _ = make_env () in
+  ignore (env.Attacker.corrupt 3);
+  let chaos = Fault_schedule.to_attacker (Fault_schedule.crash_and_recover ~nodes:[ 3 ] ~crash_ms:0. ~recover_ms:1000.) in
+  let silencer = { Attacker.passthrough with Attacker.attack = Attacker.drop_from_corrupted } in
+  let composed = Attacker.compose [ chaos; silencer ] in
+  now_ref := 2000.;
+  Alcotest.(check bool) "chaos alone would deliver after recovery" true
+    (is_deliver (chaos.attack env (msg ~src:3 ~sent_at:2000. ())));
+  Alcotest.(check bool) "composed attacker still drops: corruption is permanent" false
+    (is_deliver (composed.attack env (msg ~src:3 ~sent_at:2000. ())))
+
 (* --- ADD+ attacks (unit level; end-to-end covered in test_integration) --- *)
 
 let test_add_static_marks_victims () =
@@ -197,6 +404,23 @@ let () =
           Alcotest.test_case "delay-until-heal mode" `Quick test_partition_delay_mode;
           Alcotest.test_case "validation" `Quick test_partition_validation;
           Alcotest.test_case "two_subnets builder" `Quick test_two_subnets_builder;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "any Drop wins, later layers blind" `Quick test_compose_drop_wins;
+          Alcotest.test_case "lifecycle fans out" `Quick test_compose_fans_out_lifecycle;
+        ] );
+      ( "fault-schedule",
+        [
+          Alcotest.test_case "crash windows" `Quick test_schedule_crash_windows;
+          Alcotest.test_case "crash verdicts" `Quick test_schedule_crash_verdicts;
+          Alcotest.test_case "partition and heal" `Quick test_schedule_partition_heal;
+          Alcotest.test_case "loss, spike and dup bursts" `Quick test_schedule_bursts;
+          Alcotest.test_case "gst shift overrides the delay model" `Quick test_schedule_gst_shift;
+          Alcotest.test_case "validation" `Quick test_schedule_validate;
+          Alcotest.test_case "of_string round-trip" `Quick test_schedule_of_string_roundtrip;
+          Alcotest.test_case "corruption survives recovery" `Quick
+            test_corruption_survives_recovery;
         ] );
       ( "addplus",
         [

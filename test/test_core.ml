@@ -32,6 +32,37 @@ let test_config_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "lambda = 0 accepted"
 
+let test_config_run_entry_validation () =
+  (* Controller.run re-validates, so hand-built records (bypassing make) are
+     rejected with a descriptive error instead of silently misbehaving. *)
+  let expect_rejected what config =
+    match Core.Controller.run config with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  let base = Core.Config.make "pbft" in
+  expect_rejected "negative lambda" { base with Core.Config.lambda_ms = -1. };
+  expect_rejected "zero decision target" { base with Core.Config.decisions_target = 0 };
+  expect_rejected "crash beyond tolerance" { base with Core.Config.crashed = [ 0; 1; 2; 3; 4; 5 ] };
+  expect_rejected "duplicate crash" { base with Core.Config.crashed = [ 2; 2 ] };
+  expect_rejected "zero event cap" { base with Core.Config.max_events = 0 };
+  expect_rejected "non-positive watchdog" { base with Core.Config.watchdog = Some 0. };
+  expect_rejected "malformed chaos plan"
+    {
+      base with
+      Core.Config.chaos =
+        [ { Bftsim_attack.Fault_schedule.at_ms = 0.; action = Bftsim_attack.Fault_schedule.Crash 99 } ];
+    }
+
+let test_config_crash_tolerance_is_model_aware () =
+  (* (n-1)/3 crash faults for partially-synchronous protocols, (n-1)/2 for
+     synchronous ones: 7 of 16 is legal for sync-hotstuff, not for pbft. *)
+  let seven = [ 9; 10; 11; 12; 13; 14; 15 ] in
+  ignore (Core.Config.make "sync-hotstuff" ~crashed:seven);
+  match Core.Config.make "pbft" ~crashed:seven with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pbft with 7/16 crashed accepted"
+
 let test_config_inputs () =
   let distinct = Core.Config.make "pbft" ~inputs:Core.Config.Distinct in
   Alcotest.(check string) "distinct" "v3" (Core.Config.input_for distinct 3);
@@ -62,6 +93,19 @@ let test_config_of_keyvalues () =
     (match c.attack with
     | Core.Config.Partition { first_size = 3; heal_ms = 5000.; drop = true; _ } -> ()
     | _ -> Alcotest.fail "partition spec wrong")
+
+let test_config_of_keyvalues_chaos () =
+  (match
+     Core.Config.of_keyvalues
+       [ ("protocol", "pbft"); ("chaos", "crash:3@0;recover:3@5000"); ("watchdog", "5") ]
+   with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok c ->
+    Alcotest.(check int) "two chaos steps" 2 (List.length c.chaos);
+    Alcotest.(check (option (float 1e-9))) "watchdog multiplier" (Some 5.) c.watchdog);
+  match Core.Config.of_keyvalues [ ("protocol", "pbft"); ("chaos", "meteor@0") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus chaos spec accepted"
 
 let test_config_of_keyvalues_errors () =
   let expect_error kvs =
@@ -118,12 +162,20 @@ let test_controller_crashed_nodes_silent () =
         Alcotest.(check int) (Printf.sprintf "node %d decided nothing" node) 0 (List.length values))
     r.decisions
 
+(* Fail-stop [nodes] at t=0 with no recovery. *)
+let crash_forever nodes =
+  List.map
+    (fun node -> { Bftsim_attack.Fault_schedule.at_ms = 0.; action = Bftsim_attack.Fault_schedule.Crash node })
+    nodes
+
 let test_controller_timeout_cap () =
-  (* All nodes but too few to make quorum: liveness failure must surface as
-     Timed_out (or queue drained for timer-free protocols), not hang. *)
+  (* Crash too many nodes to ever make quorum: liveness failure must surface
+     as Timed_out (or queue drained for timer-free protocols), not hang.
+     Config-level over-crashing is rejected by validation, so deliberate
+     over-crashing goes through the chaos plan. *)
   let config =
-    Core.Config.make "pbft" ~crashed:[ 0; 1; 2; 3; 4; 5; 6 ] ~seed:1 ~max_time_ms:20_000.
-      ~delay:(Net.Delay_model.Constant 50.)
+    Core.Config.make "pbft" ~chaos:(crash_forever [ 0; 1; 2; 3; 4; 5; 6 ]) ~seed:1
+      ~max_time_ms:20_000. ~delay:(Net.Delay_model.Constant 50.)
   in
   let r = Core.Controller.run config in
   Alcotest.(check bool) "did not reach target" true (r.outcome <> Core.Controller.Reached_target);
@@ -165,6 +217,141 @@ let test_controller_view_sampling () =
       Alcotest.(check bool) "sample in range" true (at <= r.time_ms +. 100.);
       Alcotest.(check int) "one view per node" 16 (Array.length views))
     r.view_samples
+
+(* --- Chaos schedules, watchdog and invariant monitors --- *)
+
+let test_chaos_crash_forever_excluded () =
+  (* Nodes the plan crashes and never restarts are not counted toward the
+     decision target — the chaos path mirrors config-crashed fail-stop. *)
+  let config =
+    Core.Config.make "pbft" ~chaos:(crash_forever [ 14; 15 ]) ~seed:1
+      ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "still live" true (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) "no invariant violations" true (r.violations = []);
+  List.iter
+    (fun (node, values) ->
+      if List.mem node [ 14; 15 ] then
+        Alcotest.(check int) (Printf.sprintf "node %d decided nothing" node) 0 (List.length values))
+    r.decisions
+
+let test_watchdog_stalls_overcrashed_run () =
+  (* Crash f+1 nodes forever: quorum is unreachable, and without a watchdog
+     the run burns simulated time to the 20 s cap.  The watchdog converts
+     that Timed_out into Stalled at ~k*lambda, carrying partial metrics. *)
+  let make_config watchdog =
+    Core.Config.make "pbft" ~chaos:(crash_forever [ 10; 11; 12; 13; 14; 15 ]) ?watchdog ~seed:1
+      ~max_time_ms:20_000. ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let without = Core.Controller.run (make_config None) in
+  Alcotest.(check bool) "without watchdog: times out" true
+    (without.outcome = Core.Controller.Timed_out);
+  let r = Core.Controller.run (make_config (Some 5.)) in
+  (match r.outcome with
+  | Core.Controller.Stalled { last_progress_ms } ->
+    Alcotest.(check (float 1e-9)) "nothing was ever decided" 0. last_progress_ms
+  | o -> Alcotest.failf "expected stalled, got %s" (Format.asprintf "%a" Core.Controller.pp_outcome o));
+  Alcotest.(check bool) "aborted long before the cap" true (r.time_ms < 10_000.);
+  Alcotest.(check bool) "partial metrics preserved" true (r.events_processed > 0)
+
+let test_watchdog_quiet_on_healthy_run () =
+  let config = { (base_config ()) with Core.Config.watchdog = Some 5. } in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "healthy run unaffected" true (r.outcome = Core.Controller.Reached_target)
+
+let test_watchdog_waits_for_scheduled_relief () =
+  (* The plan recovers the crashed majority at t=30s — far beyond k*lambda.
+     The watchdog must hold its fire while steps are pending, then count
+     from the last step.  20 s cap < 30 s relief: the run times out rather
+     than stalls, proving the watchdog never fired early. *)
+  let chaos =
+    Bftsim_attack.Fault_schedule.crash_and_recover ~nodes:[ 10; 11; 12; 13; 14; 15 ] ~crash_ms:0.
+      ~recover_ms:30_000.
+  in
+  let config =
+    Core.Config.make "pbft" ~chaos ~watchdog:5. ~seed:1 ~max_time_ms:20_000.
+      ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "timed out, not stalled" true (r.outcome = Core.Controller.Timed_out)
+
+let test_chaos_determinism () =
+  (* Acceptance: a non-trivial fault schedule (crashes, recoveries, a loss
+     burst, a delay spike and a GST shift) must leave the run replayable —
+     all chaos randomness is drawn from the seeded attacker stream. *)
+  let chaos =
+    match
+      Bftsim_attack.Fault_schedule.of_string
+        "crash:14@0;crash:15@0;loss:0.15@0-4000;spike:200@0-4000;recover:14@8000;recover:15@8000;gst:constant:50@8000"
+    with
+    | Ok plan -> plan
+    | Error e -> Alcotest.fail e
+  in
+  let config =
+    Core.Config.make "pbft" ~chaos ~seed:7 ~max_time_ms:60_000.
+      ~delay:(Net.Delay_model.normal ~mu:100. ~sigma:20.)
+  in
+  let report = Core.Validator.check_determinism config in
+  Alcotest.(check bool) "decisions match" true report.decisions_match;
+  Alcotest.(check (option bool)) "traces match" (Some true) report.trace_match;
+  (* Replay must stay exact too: dropped sends hold their position in the
+     reconstructed delay table, so sequence numbers line up. *)
+  let ground = Core.Controller.run { config with Core.Config.record_trace = true } in
+  let replay = Core.Validator.validate_against ~ground_truth:ground config in
+  Alcotest.(check bool) "replayed decisions match" true replay.decisions_match;
+  Alcotest.(check (option bool)) "replayed trace matches" (Some true) replay.trace_match
+
+let test_chaos_recovery_no_false_agreement () =
+  (* A recovered node has a sparse log (it missed the slots decided while it
+     was down and there is no state transfer), so its first post-recovery
+     decision lands at a different per-node index than everyone else's.
+     That must NOT read as an agreement violation. *)
+  let chaos =
+    Bftsim_attack.Fault_schedule.crash_and_recover ~nodes:[ 14; 15 ] ~crash_ms:0.
+      ~recover_ms:15_000.
+  in
+  let config = Core.Config.make "pbft" ~chaos ~seed:1 ~decisions_target:1 ~max_time_ms:60_000. in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "recovered nodes catch up" true
+    (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) "safety holds" true r.safety_ok;
+  Alcotest.(check bool) "no violations" true (r.violations = [])
+
+let test_chaos_validity_monitor_clean () =
+  let config =
+    Core.Config.make "pbft" ~inputs:(Core.Config.Same "x") ~check_validity:true ~seed:1
+      ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "decides" true (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) "validity holds" true (r.violations = [])
+
+let test_invariant_monitors () =
+  let m =
+    Core.Invariant.create
+      ~counted:(fun node -> node <> 9)
+      ~crashed_now:(fun ~node ~at_ms:_ -> node = 5)
+      ~valid_values:[ "a"; "b" ] ()
+  in
+  Core.Invariant.on_decide m ~node:0 ~index:0 ~value:"a" ~at_ms:10.;
+  Alcotest.(check bool) "clean so far" true (Core.Invariant.ok m);
+  Core.Invariant.on_decide m ~node:1 ~index:0 ~value:"b" ~at_ms:20.;
+  Core.Invariant.on_decide m ~node:2 ~index:0 ~value:"z" ~at_ms:30.;
+  Core.Invariant.on_decide m ~node:5 ~index:0 ~value:"a" ~at_ms:40.;
+  Core.Invariant.on_decide m ~node:9 ~index:0 ~value:"zzz" ~at_ms:50.;
+  Alcotest.(check bool) "violations flagged" false (Core.Invariant.ok m);
+  let monitors = List.map (fun v -> v.Core.Invariant.monitor) (Core.Invariant.violations m) in
+  (* node 1 disagrees; node 2 disagrees AND decides an unproposed value;
+     node 5 decides while crashed; node 9 is not counted at all. *)
+  Alcotest.(check (list string)) "detection order"
+    [ "agreement"; "validity"; "agreement"; "crashed-decide" ] monitors;
+  (match Core.Invariant.first_violation m ~monitor:"agreement" with
+  | Some v -> Alcotest.(check (float 1e-9)) "earliest agreement violation" 20. v.Core.Invariant.at_ms
+  | None -> Alcotest.fail "agreement violation not found");
+  Alcotest.(check bool) "describe mentions the monitor" true
+    (contains ~needle:"crashed-decide"
+       (String.concat "\n" (List.map Core.Invariant.describe_violation (Core.Invariant.violations m))))
 
 (* --- Stats --- *)
 
@@ -239,8 +426,10 @@ let test_trace_delays_reconstruction () =
   List.iter
     (fun ((src, dst, _), ds) ->
       List.iter
-        (fun d ->
-          if d < 0. then Alcotest.failf "negative reconstructed delay %f on %d->%d" d src dst)
+        (function
+          | Some d when d < 0. ->
+            Alcotest.failf "negative reconstructed delay %f on %d->%d" d src dst
+          | Some _ | None -> ())
         ds)
     delays
 
@@ -353,7 +542,7 @@ let test_loc_inventory () =
         Alcotest.(check bool) (e.label ^ " has code") true (e.loc > 50))
       t1;
     let t2 = Core.Loc_count.table2 ~root in
-    Alcotest.(check int) "three attack rows" 3 (List.length t2);
+    Alcotest.(check int) "four attack rows" 4 (List.length t2);
     List.iter
       (fun (e : Core.Loc_count.entry) ->
         Alcotest.(check bool) (e.label ^ " has code") true (e.loc > 10))
@@ -367,8 +556,12 @@ let () =
         [
           Alcotest.test_case "defaults" `Quick test_config_defaults;
           Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "run-entry validation" `Quick test_config_run_entry_validation;
+          Alcotest.test_case "model-aware crash tolerance" `Quick
+            test_config_crash_tolerance_is_model_aware;
           Alcotest.test_case "inputs" `Quick test_config_inputs;
           Alcotest.test_case "key-value parsing" `Quick test_config_of_keyvalues;
+          Alcotest.test_case "key-value chaos" `Quick test_config_of_keyvalues_chaos;
           Alcotest.test_case "key-value errors" `Quick test_config_of_keyvalues_errors;
           Alcotest.test_case "describe" `Quick test_config_describe;
         ] );
@@ -382,6 +575,23 @@ let () =
           Alcotest.test_case "attacker override" `Quick test_controller_attacker_override;
           Alcotest.test_case "trace recording" `Quick test_controller_trace_recording;
           Alcotest.test_case "view sampling" `Quick test_controller_view_sampling;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crashed-forever excluded from target" `Quick
+            test_chaos_crash_forever_excluded;
+          Alcotest.test_case "watchdog stalls over-crashed run" `Quick
+            test_watchdog_stalls_overcrashed_run;
+          Alcotest.test_case "watchdog quiet on healthy run" `Quick
+            test_watchdog_quiet_on_healthy_run;
+          Alcotest.test_case "watchdog waits for scheduled relief" `Quick
+            test_watchdog_waits_for_scheduled_relief;
+          Alcotest.test_case "chaos runs replay deterministically" `Quick test_chaos_determinism;
+          Alcotest.test_case "recovery causes no false agreement violation" `Quick
+            test_chaos_recovery_no_false_agreement;
+          Alcotest.test_case "validity monitor clean on unanimous run" `Quick
+            test_chaos_validity_monitor_clean;
+          Alcotest.test_case "invariant monitors" `Quick test_invariant_monitors;
         ] );
       ( "stats",
         [

@@ -112,6 +112,41 @@ let prop_pqueue_preserves_all =
       let rec drain acc = match Pqueue.pop q with None -> acc | Some (_, v) -> drain (v :: acc) in
       List.sort compare (drain []) = List.sort compare xs)
 
+(* Determinism under ties: replayability rests on equal-priority entries
+   popping in insertion order, i.e. the heap realizes a stable sort.  Draw
+   priorities from a tiny set so collisions are the common case. *)
+let prop_pqueue_ties_fifo =
+  QCheck.Test.make ~name:"pqueue equal priorities pop in insertion order" ~count:300
+    QCheck.(list (int_range 0 3))
+    (fun buckets ->
+      let q = Pqueue.create () in
+      List.iteri (fun i b -> Pqueue.push q ~priority:(float_of_int b) (i, b)) buckets;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      let expected =
+        List.stable_sort (fun (_, a) (_, b) -> compare a b) (List.mapi (fun i b -> (i, b)) buckets)
+      in
+      drain [] = expected)
+
+let prop_event_queue_tie_determinism =
+  QCheck.Test.make ~name:"identical schedules drain identically, ties included" ~count:200
+    QCheck.(list (pair (int_range 0 5) small_nat))
+    (fun events ->
+      let drain () =
+        let q = Event_queue.create () in
+        List.iter
+          (fun (t, v) -> Event_queue.schedule q ~at:(Time.of_ms (float_of_int t)) v)
+          events;
+        let rec go acc =
+          match Event_queue.next q with
+          | None -> List.rev acc
+          | Some (at, v) -> go ((Time.to_ms at, v) :: acc)
+        in
+        go []
+      in
+      drain () = drain ())
+
 (* --- Event_queue --- *)
 
 let test_event_queue_clock_advances () =
@@ -290,6 +325,7 @@ let () =
           Alcotest.test_case "sorted snapshot" `Quick test_pqueue_to_sorted_list;
           qc prop_pqueue_sorted;
           qc prop_pqueue_preserves_all;
+          qc prop_pqueue_ties_fifo;
         ] );
       ( "event_queue",
         [
@@ -297,6 +333,7 @@ let () =
           Alcotest.test_case "past scheduling rejected" `Quick test_event_queue_rejects_past;
           Alcotest.test_case "relative scheduling" `Quick test_event_queue_schedule_after;
           Alcotest.test_case "counters" `Quick test_event_queue_counters;
+          qc prop_event_queue_tie_determinism;
         ] );
       ( "rng",
         [
