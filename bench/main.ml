@@ -10,13 +10,56 @@
    BFTSIM_REPS to change.  A bechamel micro-benchmark per table/figure
    kernel closes the run.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Options:  --json FILE   write machine-readable per-kernel wall times
+             --jobs N      domain-pool size for run_many fan-out
+             --quick       only the speedup kernel + LoC tables (CI smoke) *)
 
 module Core = Bftsim_core
 module Net = Bftsim_net
 module B = Bftsim_baseline
 
 let reps = Core.Runner.default_reps ()
+
+(* --- command line (kept dependency-free: bench has no cmdliner) --- *)
+
+let json_file = ref None
+let jobs = ref None
+let quick = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> jobs := Some j
+      | Some _ | None -> prerr_endline ("bench: ignoring invalid --jobs " ^ v));
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | arg :: rest ->
+      prerr_endline ("bench: unknown argument " ^ arg);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let effective_jobs () =
+  match !jobs with Some j -> j | None -> Core.Parallel.default_jobs ()
+
+(* Per-kernel wall times, accumulated for the --json report. *)
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings
+
+(* seq vs par wall time of the run_many speedup kernel, for --json. *)
+let speedup_record : (float * float * int * float) option ref = ref None
 
 let section title =
   Printf.printf "\n================================================================\n";
@@ -26,7 +69,7 @@ let section title =
 let pp_mean_std ppf (s : Core.Stats.t) = Format.fprintf ppf "%8.2f ± %6.2f" s.mean s.stddev
 
 let latency_summary config =
-  let s = Core.Runner.run_many ~reps config in
+  let s = Core.Runner.run_many ~reps ?jobs:!jobs config in
   (s.latency_ms, s.messages, s.liveness_failures, s.safety_violations)
 
 let seconds (s : Core.Stats.t) =
@@ -313,32 +356,32 @@ let ablation_pacemaker () =
      appear (times in s, single seed)";
   let policies =
     [
-      ("reset-on-commit", Bftsim_protocols.Chained_core.Reset_on_commit);
-      ("never-reset", Bftsim_protocols.Chained_core.Never_reset);
-      ("per-view-number", Bftsim_protocols.Chained_core.Per_view_number);
+      ("reset-on-commit", Bftsim_protocols.Context.Reset_on_commit);
+      ("never-reset", Bftsim_protocols.Context.Never_reset);
+      ("per-view-number", Bftsim_protocols.Context.Per_view_number);
     ]
   in
   Printf.printf "  %-18s %16s %16s %16s\n" "policy" "fig5 (l=150)" "fig7 (5 crash)" "fig6 partition";
-  let saved = Bftsim_protocols.Chained_core.naive_reset_policy () in
   List.iter
     (fun (name, policy) ->
-      Bftsim_protocols.Chained_core.set_naive_reset_policy policy;
+      (* The knob is per-run configuration, not a global: override the field. *)
+      let with_policy config = { config with Core.Config.naive_reset = policy } in
       let t1 =
         (Core.Controller.run
-           (Core.Experiments.fig5_config ~protocol:"hotstuff-ns" ~lambda_ms:150. ~seed:1))
+           (with_policy (Core.Experiments.fig5_config ~protocol:"hotstuff-ns" ~lambda_ms:150. ~seed:1)))
           .Core.Controller.per_decision_latency_ms /. 1000.
       in
       let t2 =
-        (Core.Controller.run (Core.Experiments.fig7_config ~protocol:"hotstuff-ns" ~failstop:5 ~seed:1))
+        (Core.Controller.run
+           (with_policy (Core.Experiments.fig7_config ~protocol:"hotstuff-ns" ~failstop:5 ~seed:1)))
           .Core.Controller.per_decision_latency_ms /. 1000.
       in
       let t3 =
-        (Core.Controller.run (Core.Experiments.fig6_config ~protocol:"hotstuff-ns" ~seed:1))
+        (Core.Controller.run (with_policy (Core.Experiments.fig6_config ~protocol:"hotstuff-ns" ~seed:1)))
           .Core.Controller.time_ms /. 1000.
       in
       Printf.printf "  %-18s %14.2f %16.2f %16.1f\n%!" name t1 t2 t3)
-    policies;
-  Bftsim_protocols.Chained_core.set_naive_reset_policy saved
+    policies
 
 let chaos_suite () =
   section
@@ -388,6 +431,75 @@ let chaos_suite () =
         (r.time_ms /. 1000.)
         (List.length r.violations))
     Core.Experiments.partially_synchronous
+
+(* ---------------- Parallel runner speedup ---------------- *)
+
+let speedup () =
+  section
+    "Parallel runner — wall time of a 20-rep PBFT sweep (100 decisions per\n\
+     rep, so per-rep work amortizes the pool start-up), sequential vs the\n\
+     domain pool; the two summaries are checked identical (determinism)";
+  let config =
+    {
+      (Core.Experiments.fig3_config ~protocol:"pbft"
+         ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+         ~seed:1)
+      with
+      Core.Config.decisions_target = 100;
+      max_time_ms = 3_600_000.;
+    }
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let s = Core.Runner.run_many ~reps:20 ~jobs config in
+    (Unix.gettimeofday () -. t0, s)
+  in
+  let seq_t, seq_s = time 1 in
+  let par_jobs = effective_jobs () in
+  let par_t, par_s = time par_jobs in
+  let fingerprint (s : Core.Runner.summary) =
+    List.map
+      (fun (r : Core.Controller.result) ->
+        (r.per_decision_latency_ms, r.per_decision_messages, r.outcome))
+      s.results
+  in
+  let identical =
+    fingerprint seq_s = fingerprint par_s && seq_s.latency_ms = par_s.latency_ms
+    && seq_s.messages = par_s.messages
+  in
+  if not identical then failwith "speedup kernel: parallel summary diverged from sequential";
+  let ratio = seq_t /. Float.max par_t 1e-9 in
+  Printf.printf "  jobs=1   %8.3f s\n  jobs=%-3d %8.3f s\n  speedup  %8.2fx (identical summaries: %b)\n%!"
+    seq_t par_jobs par_t ratio identical;
+  speedup_record := Some (seq_t, par_t, par_jobs, ratio)
+
+(* ---------------- JSON report ---------------- *)
+
+let write_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"bftsim-bench-1\",\n";
+  out "  \"reps\": %d,\n" reps;
+  out "  \"jobs\": %d,\n" (effective_jobs ());
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  (match !speedup_record with
+  | Some (seq_t, par_t, par_jobs, ratio) ->
+    out
+      "  \"run_many_speedup\": { \"kernel\": \"pbft-20rep-sweep\", \"seq_s\": %.6f, \"par_s\": \
+       %.6f, \"par_jobs\": %d, \"speedup\": %.3f },\n"
+      seq_t par_t par_jobs ratio
+  | None -> ());
+  out "  \"kernels\": [\n";
+  let rows = List.rev !timings in
+  List.iteri
+    (fun i (name, wall_s) ->
+      out "    { \"name\": %S, \"wall_s\": %.6f }%s\n" name wall_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
 
 (* ---------------- Bechamel kernels ---------------- *)
 
@@ -453,19 +565,28 @@ let bechamel_kernels () =
 
 let () =
   Printf.printf "BFT simulator benchmark harness — %d repetitions per configuration\n" reps;
-  Printf.printf "(set BFTSIM_REPS to change; the paper uses 100)\n%!";
-  tables ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  extensions ();
-  throughput_extension ();
-  ablation_pacemaker ();
-  chaos_suite ();
-  bechamel_kernels ();
+  Printf.printf "(set BFTSIM_REPS to change; the paper uses 100); jobs=%d\n%!" (effective_jobs ());
+  if !quick then begin
+    (* CI smoke: the LoC tables (cheap) plus the parallel-runner kernel. *)
+    timed "tables" tables;
+    timed "run_many-speedup" speedup
+  end
+  else begin
+    timed "tables" tables;
+    timed "fig2" fig2;
+    timed "fig3" fig3;
+    timed "fig4" fig4;
+    timed "fig5" fig5;
+    timed "fig6" fig6;
+    timed "fig7" fig7;
+    timed "fig8" fig8;
+    timed "fig9" fig9;
+    timed "extensions" extensions;
+    timed "throughput-extension" throughput_extension;
+    timed "ablation-pacemaker" ablation_pacemaker;
+    timed "chaos-suite" chaos_suite;
+    timed "run_many-speedup" speedup;
+    timed "bechamel-kernels" bechamel_kernels
+  end;
+  Option.iter write_json !json_file;
   Printf.printf "\nAll experiments completed.\n"

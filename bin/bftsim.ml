@@ -186,11 +186,18 @@ let sweep_cmd =
   let reps_arg =
     Arg.(value & opt int 0 & info [ "reps" ] ~docv:"INT" ~doc:"Repetitions (default BFTSIM_REPS or 20).")
   in
+  let jobs_arg =
+    let doc =
+      "Domains to fan repetitions across (default BFTSIM_JOBS, else cores - 1). Results are \
+       identical whatever the value; 1 forces the sequential path."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"INT" ~doc)
+  in
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs reps csv verbose =
+      chaos watchdog transport costs reps jobs csv verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
@@ -201,7 +208,7 @@ let sweep_cmd =
       1
     | Ok config ->
       let reps = if reps > 0 then Some reps else None in
-      let summary = Core.Runner.run_many ?reps config in
+      let summary = Core.Runner.run_many ?reps ?jobs config in
       Format.printf "%s@." (Core.Config.describe config);
       Format.printf "%a@." Core.Runner.pp_summary summary;
       (match csv with
@@ -216,7 +223,7 @@ let sweep_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ csv_arg $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ csv_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
 

@@ -140,6 +140,7 @@ let run ?(protocol = "pbft") ?(decisions_target = 1) ?(max_time_ms = 600_000.)
       lambda_ms = 1000.;
       seed;
       input = Printf.sprintf "v%d" node_id;
+      naive_reset = Protocols.Context.Reset_on_commit;
       rng = node_rngs.(node_id);
       now = (fun () -> Event_queue.now queue);
       send_raw =

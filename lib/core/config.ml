@@ -34,7 +34,19 @@ type t = {
   chaos : Attack.Fault_schedule.t;
   watchdog : float option;
   check_validity : bool;
+  naive_reset : Protocols.Context.naive_reset_policy;
 }
+
+(* Default for the HotStuff+NS pacemaker-reset ablation knob; the
+   environment variable keeps the historical spelling.  Read per [make] so
+   tests can set the variable mid-process. *)
+let naive_reset_default () =
+  match Sys.getenv_opt "BFTSIM_NAIVE_RESET" with
+  | Some s -> (
+    match Protocols.Context.naive_reset_policy_of_string s with
+    | Some p -> p
+    | None -> Protocols.Context.Reset_on_commit)
+  | None -> Protocols.Context.Reset_on_commit
 
 (* Full consistency check, run by [make] and again at [Controller.run] entry
    so hand-built records (e.g. [{ (make ...) with n = ... }]) are caught
@@ -93,8 +105,11 @@ let validate t =
 let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
-    ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) protocol
-    =
+    ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) ?naive_reset
+    protocol =
+  let naive_reset =
+    match naive_reset with Some p -> p | None -> naive_reset_default ()
+  in
   let p = Protocols.Registry.find_exn protocol in
   let decisions_target =
     match decisions_target with
@@ -121,6 +136,7 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       chaos = Attack.Fault_schedule.normalize chaos;
       watchdog;
       check_validity;
+      naive_reset;
     }
   in
   validate t;
@@ -164,7 +180,11 @@ let describe t =
       | steps -> Printf.sprintf " chaos=[%d steps]" (List.length steps))
     ^ (match t.watchdog with
       | None -> ""
-      | Some k -> Printf.sprintf " watchdog=%g*lambda" k))
+      | Some k -> Printf.sprintf " watchdog=%g*lambda" k)
+    ^ (match t.naive_reset with
+      | Protocols.Context.Reset_on_commit -> ""
+      | p ->
+        Printf.sprintf " naive-reset=%s" (Protocols.Context.naive_reset_policy_to_string p)))
 
 let parse_int_list s =
   try Ok (List.filter_map (fun x -> if x = "" then None else Some (int_of_string x)) (String.split_on_char ',' s))
@@ -291,6 +311,14 @@ let of_keyvalues kvs =
       | Some k -> Ok (Some k)
       | None -> Error (Printf.sprintf "invalid float for watchdog: %S" v))
   in
+  let* naive_reset =
+    match find "naive_reset" with
+    | None -> Ok None
+    | Some v -> (
+      match Protocols.Context.naive_reset_policy_of_string v with
+      | Some p -> Ok (Some p)
+      | None -> Error (Printf.sprintf "invalid naive_reset %S (commit | never | view)" v))
+  in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -300,5 +328,5 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~inputs ~transport ~costs ~chaos ?watchdog protocol)
+            ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset protocol)
      with Invalid_argument msg -> Error msg)

@@ -70,6 +70,12 @@ type t = {
       (** Enable the online validity monitor (decided values must be
           proposed values).  Off by default: chained protocols decide block
           digests, not raw inputs, and would trip it spuriously. *)
+  naive_reset : Bftsim_protocols.Context.naive_reset_policy;
+      (** HotStuff+NS pacemaker ablation knob (DESIGN.md §3.5), plumbed to
+          the nodes through their context.  Per-run configuration rather
+          than a process-global setter so concurrent runs cannot race;
+          defaulted from the BFTSIM_NAIVE_RESET environment variable
+          ([commit] (default) | [never] | [view]). *)
 }
 
 val validate : t -> unit
@@ -101,6 +107,7 @@ val make :
   ?chaos:Bftsim_attack.Fault_schedule.t ->
   ?watchdog:float ->
   ?check_validity:bool ->
+  ?naive_reset:Bftsim_protocols.Context.naive_reset_policy ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:
@@ -129,5 +136,6 @@ val of_keyvalues : (string * string) list -> (t, string) result
     [extra-delay:<ms>]), [target], [max_time_ms], [inputs]
     ([distinct] | [same:<v>] | [binary]), [chaos] (a
     {!Bftsim_attack.Fault_schedule.of_string} plan, e.g.
-    ["crash:3@0;recover:3@15000"]) and [watchdog] (the stall multiplier
-    [k], in units of [lambda_ms]). *)
+    ["crash:3@0;recover:3@15000"]), [watchdog] (the stall multiplier
+    [k], in units of [lambda_ms]) and [naive_reset]
+    ([commit] | [never] | [view]). *)

@@ -114,9 +114,27 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
   let corrupted_order = ref [] in
   let msg_counter = ref 0 in
   let timer_counter = ref 0 in
+  (* Timer bookkeeping: [pending] holds every scheduled-but-not-yet-fired
+     id, [cancelled] the pending ids whose owner revoked them.  Both are
+     pruned when the timer event is consumed, so neither grows with run
+     length — only with the number of in-flight timers.  Cancelling an id
+     that already fired is a no-op (nothing is pending), which is what
+     keeps [cancelled] from leaking. *)
+  let pending_timers : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let cancelled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let consume_timer id =
+    Hashtbl.remove pending_timers id;
+    if Hashtbl.mem cancelled id then begin
+      Hashtbl.remove cancelled id;
+      false
+    end
+    else true
+  in
   let dropped = ref 0 in
   let decisions : string list ref array = Array.init n (fun _ -> ref []) in
+  (* Per-node decision counts, maintained incrementally so the hot
+     decide/check_target path never walks the accumulating lists. *)
+  let decision_counts = Array.make n 0 in
   let finished = ref None in
   let outcome = ref Queue_drained in
   let view_samples = ref [] in
@@ -164,7 +182,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     if !finished = None then begin
       let all_done = ref true in
       for i = 0 to n - 1 do
-        if counted i && List.length !(decisions.(i)) < config.decisions_target then all_done := false
+        if counted i && decision_counts.(i) < config.decisions_target then all_done := false
       done;
       if !all_done then begin
         finished := Some (Time.to_ms (Event_queue.now queue));
@@ -197,6 +215,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
           (fun ~delay_ms ~tag payload ->
             incr timer_counter;
             let id = !timer_counter in
+            Hashtbl.replace pending_timers id ();
             let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
             let timer = { Timer.id; owner = Timer.attacker_owner; deadline; tag; payload } in
             Event_queue.schedule queue ~at:deadline (Attacker_timer timer);
@@ -305,6 +324,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       lambda_ms = config.lambda_ms;
       seed = config.seed;
       input = Config.input_for config node_id;
+      naive_reset = config.Config.naive_reset;
       rng = node_rngs.(node_id);
       now = (fun () -> Event_queue.now queue);
       send_raw = (fun ~dst ~tag ~size payload -> send_from node_id ~dst ~tag ~size payload);
@@ -315,15 +335,18 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
         (fun ~delay_ms ~tag payload ->
           incr timer_counter;
           let id = !timer_counter in
+          Hashtbl.replace pending_timers id ();
           let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
           let timer = { Timer.id; owner = node_id; deadline; tag; payload } in
           Event_queue.schedule queue ~at:deadline (Node_timer timer);
           id);
-      cancel_timer = (fun id -> Hashtbl.replace cancelled id ());
+      cancel_timer =
+        (fun id -> if Hashtbl.mem pending_timers id then Hashtbl.replace cancelled id ());
       decide =
         (fun value ->
           let at_ms = Time.to_ms (Event_queue.now queue) in
-          let index = List.length !(decisions.(node_id)) in
+          let index = decision_counts.(node_id) in
+          decision_counts.(node_id) <- index + 1;
           decisions.(node_id) := value :: !(decisions.(node_id));
           record Trace.Decide ~node:node_id ~peer:(-1) ~tag:value ~detail:"";
           Invariant.on_decide monitor ~node:node_id ~index ~value ~at_ms;
@@ -403,27 +426,29 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       else dispatch msg
     | Deliver_verified msg -> dispatch msg
     | Node_timer timer ->
-      if not (Hashtbl.mem cancelled timer.Timer.id) then begin
-        let owner = timer.Timer.owner in
-        let now_ms = Time.to_ms (Event_queue.now queue) in
-        if Attack.Fault_schedule.crashed_at chaos ~node:owner ~at_ms:now_ms then begin
-          (* Crash-recovery semantics: a down node's timer is deferred to
-             its restart instant (its timeout fires "on reboot"), or lost
-             with the node if it never comes back. *)
-          match Attack.Fault_schedule.next_recovery_after chaos ~node:owner ~at_ms:now_ms with
-          | Some recover_ms ->
-            let deadline = Time.of_ms recover_ms in
-            Event_queue.schedule queue ~at:deadline
-              (Node_timer { timer with Timer.deadline })
-          | None -> ()
-        end
-        else
-          match nodes.(owner) with
-          | Some node ->
-            record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
-            P.on_timer node ctxs.(owner) timer
-          | None -> ()
+      let id = timer.Timer.id in
+      let owner = timer.Timer.owner in
+      let now_ms = Time.to_ms (Event_queue.now queue) in
+      if
+        (not (Hashtbl.mem cancelled id))
+        && Attack.Fault_schedule.crashed_at chaos ~node:owner ~at_ms:now_ms
+      then begin
+        (* Crash-recovery semantics: a down node's timer is deferred to
+           its restart instant (its timeout fires "on reboot"), or lost
+           with the node if it never comes back. *)
+        match Attack.Fault_schedule.next_recovery_after chaos ~node:owner ~at_ms:now_ms with
+        | Some recover_ms ->
+          (* Deferred, not consumed: the id stays pending and cancellable. *)
+          let deadline = Time.of_ms recover_ms in
+          Event_queue.schedule queue ~at:deadline (Node_timer { timer with Timer.deadline })
+        | None -> Hashtbl.remove pending_timers id
       end
+      else if consume_timer id then (
+        match nodes.(owner) with
+        | Some node ->
+          record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
+          P.on_timer node ctxs.(owner) timer
+        | None -> ())
     | Attacker_timer timer -> (
       match timer.Timer.payload with
       | Sample_views ->
@@ -432,7 +457,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
         let timer = { timer with Timer.deadline = next } in
         Event_queue.schedule queue ~at:next (Attacker_timer timer)
       | _ ->
-        if not (Hashtbl.mem cancelled timer.Timer.id) then
+        if consume_timer timer.Timer.id then
           attacker.Attack.Attacker.on_time_event attacker_env timer)
   in
 

@@ -1,0 +1,63 @@
+(* Fixed-size domain pool for fanning independent simulation runs across
+   cores.
+
+   A [map] call spins up at most [jobs] workers (the calling domain is one
+   of them) over a shared chunked task queue: workers claim the next [chunk]
+   indices with an atomic fetch-and-add, so a fast worker steals the work a
+   slow one never reaches.  Results land in a slot array keyed by input
+   index and are reassembled in input order — callers observe the exact
+   sequence the sequential path would have produced, whatever the domain
+   interleaving was. *)
+
+let hardware_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let default_jobs () =
+  match Sys.getenv_opt "BFTSIM_JOBS" with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> hardware_jobs ())
+  | None -> hardware_jobs ()
+
+let map ?jobs ?(chunk = 1) f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.map: jobs < 1";
+  if chunk < 1 then invalid_arg "Parallel.map: chunk < 1";
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if n = 0 then []
+  else if jobs = 1 || n = 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* First failure wins; remaining workers drain and stop so the
+       exception surfaces with its original backtrace. *)
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failure <> None then continue := false
+        else
+          let stop = Stdlib.min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f input.(i))
+            done
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (exn, bt)));
+            continue := false
+      done
+    in
+    let chunks = (n + chunk - 1) / chunk in
+    let spawned = Stdlib.min (jobs - 1) (chunks - 1) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end

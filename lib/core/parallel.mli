@@ -1,0 +1,26 @@
+(** Domain-pool parallel map for independent simulation runs.
+
+    {!Controller.run} is domain-safe (per-run state is confined to the run;
+    the only cross-cutting hooks — the {!Bftsim_sim.Simlog} clock and the
+    HotStuff+NS pacemaker-reset policy — are domain-local and configuration
+    fields respectively), so independent replications can fan out across a
+    fixed-size pool of OCaml 5 domains.  Determinism is preserved: results
+    are keyed by input index and reassembled in input order, so aggregation
+    sees the identical sequence the sequential path produces. *)
+
+val default_jobs : unit -> int
+(** Pool size used when [?jobs] is omitted:
+    [Domain.recommended_domain_count () - 1] (at least 1, leaving one core
+    for the coordinating domain), overridden by the [BFTSIM_JOBS]
+    environment variable when it parses as a positive integer. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] computed by up to [jobs] domains (the
+    caller participates as one worker; [jobs - 1] are spawned, never more
+    than there are chunks).  Workers claim [chunk] (default 1) consecutive
+    indices at a time from a shared atomic queue.  [f] must be domain-safe
+    for the elements it receives.  Output order equals input order
+    regardless of [jobs] and [chunk].  If any application of [f] raises,
+    the first exception (by completion time) is re-raised in the caller
+    after all workers have stopped.
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)

@@ -13,11 +13,17 @@ let default_reps () =
   | Some v -> ( match int_of_string_opt v with Some r when r > 0 -> r | _ -> 20)
   | None -> 20
 
-let run_many ?reps (config : Config.t) =
+let run_many ?reps ?jobs (config : Config.t) =
   let reps = match reps with Some r -> r | None -> default_reps () in
   if reps <= 0 then invalid_arg "Runner.run_many: reps <= 0";
+  (* Replications are independent (distinct seeds, no shared mutable state),
+     so they fan out across the domain pool; Parallel.map returns them in
+     seed order, so the statistics below see the identical sequence the
+     sequential path produces. *)
   let results =
-    List.init reps (fun k -> Controller.run { config with Config.seed = config.Config.seed + k })
+    Parallel.map ?jobs
+      (fun k -> Controller.run { config with Config.seed = config.Config.seed + k })
+      (List.init reps Fun.id)
   in
   let latencies = List.map (fun r -> r.Controller.per_decision_latency_ms) results in
   let messages = List.map (fun r -> r.Controller.per_decision_messages) results in

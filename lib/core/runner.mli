@@ -14,9 +14,13 @@ type summary = {
   results : Controller.result list;  (** Per-run details, first seed first. *)
 }
 
-val run_many : ?reps:int -> Config.t -> summary
+val run_many : ?reps:int -> ?jobs:int -> Config.t -> summary
 (** [run_many config] executes [reps] (default {!default_reps}) simulations
-    with seeds [config.seed, config.seed + 1, ...]. *)
+    with seeds [config.seed, config.seed + 1, ...], fanned across [jobs]
+    domains (default {!Parallel.default_jobs}; [~jobs:1] forces the
+    sequential path).  The summary is bit-for-bit identical whatever [jobs]
+    is: each replication is deterministic in its seed and results are
+    reassembled in seed order. *)
 
 val default_reps : unit -> int
 (** 20, overridable with the [BFTSIM_REPS] environment variable (the paper

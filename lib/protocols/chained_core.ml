@@ -72,29 +72,22 @@ let committed_count t = t.committed
 let leader ctx view = Context.leader_round_robin ctx ~view
 
 (* HotStuff+NS uses the naive view-doubling synchronizer (Naor et al.): the
-   view timeout doubles on every local timeout.  The BFTSIM_NAIVE_RESET
-   knob selects when (if ever) the back-off resets — "commit" (default)
-   resets on every local commit, "never" keeps growing, "view" derives the
-   budget from the view number itself.  LibraBFT's pacemaker doubles per
-   consecutive timeout and resets on any progress. *)
-type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
-
-let naive_reset_policy_ref =
-  ref
-    (match Sys.getenv_opt "BFTSIM_NAIVE_RESET" with
-    | Some "never" -> Never_reset
-    | Some "view" -> Per_view_number
-    | Some "commit" | Some _ | None -> Reset_on_commit)
-
-let naive_reset_policy () = !naive_reset_policy_ref
-
-let set_naive_reset_policy policy = naive_reset_policy_ref := policy
+   view timeout doubles on every local timeout.  The per-run configuration
+   (Config.naive_reset, surfaced as BFTSIM_NAIVE_RESET / the naive_reset
+   config key) selects when (if ever) the back-off resets — "commit"
+   (default) resets on every local commit, "never" keeps growing, "view"
+   derives the budget from the view number itself.  LibraBFT's pacemaker
+   doubles per consecutive timeout and resets on any progress. *)
+type naive_reset_policy = Context.naive_reset_policy =
+  | Reset_on_commit
+  | Never_reset
+  | Per_view_number
 
 let view_duration_ms t ctx =
   let exponent =
     match t.pacemaker with
     | Naive_doubling -> (
-      match naive_reset_policy () with
+      match ctx.Context.naive_reset with
       | Per_view_number -> Stdlib.min t.cur_view 24
       | Reset_on_commit | Never_reset -> Stdlib.min t.timeouts 24)
     | Timeout_certificates | Cogsworth -> Stdlib.min t.timeouts 24
@@ -139,7 +132,7 @@ let try_commit t ctx qc =
           ctx.Context.decide b.digest)
         newly;
       t.last_committed <- b3.Chain.digest;
-      if t.pacemaker = Naive_doubling && naive_reset_policy () = Reset_on_commit then
+      if t.pacemaker = Naive_doubling && ctx.Context.naive_reset = Reset_on_commit then
         t.timeouts <- 0
     end
 

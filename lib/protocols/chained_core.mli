@@ -52,13 +52,14 @@ val timeout_count : node -> int
 
 val committed_count : node -> int
 
-type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
-(** When HotStuff+NS's view-doubling back-off resets: on every local commit
-    (default, and the configuration that reproduces the paper's shapes),
-    never, or derived from the view number.  Initialized from the
-    BFTSIM_NAIVE_RESET environment variable ([commit] | [never] | [view]);
-    settable at run time for ablation studies. *)
-
-val naive_reset_policy : unit -> naive_reset_policy
-
-val set_naive_reset_policy : naive_reset_policy -> unit
+type naive_reset_policy = Context.naive_reset_policy =
+  | Reset_on_commit
+  | Never_reset
+  | Per_view_number
+(** When HotStuff+NS's view-doubling back-off resets (re-exported from
+    {!Context}): on every local commit (default, and the configuration that
+    reproduces the paper's shapes), never, or derived from the view number.
+    Selected per run via [Config.naive_reset] (defaulted from the
+    BFTSIM_NAIVE_RESET environment variable: [commit] | [never] | [view])
+    and read from the node context — there is deliberately no process-global
+    setter, so concurrent runs on different domains cannot race on it. *)

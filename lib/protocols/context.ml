@@ -1,6 +1,19 @@
 open Bftsim_sim
 open Bftsim_net
 
+type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
+
+let naive_reset_policy_of_string = function
+  | "commit" -> Some Reset_on_commit
+  | "never" -> Some Never_reset
+  | "view" -> Some Per_view_number
+  | _ -> None
+
+let naive_reset_policy_to_string = function
+  | Reset_on_commit -> "commit"
+  | Never_reset -> "never"
+  | Per_view_number -> "view"
+
 type t = {
   node_id : int;
   n : int;
@@ -8,6 +21,7 @@ type t = {
   lambda_ms : float;
   seed : int;
   input : string;
+  naive_reset : naive_reset_policy;
   rng : Rng.t;
   now : unit -> Time.t;
   send_raw : dst:int -> tag:string -> size:int -> Message.payload -> unit;

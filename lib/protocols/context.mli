@@ -9,6 +9,19 @@
 open Bftsim_sim
 open Bftsim_net
 
+type naive_reset_policy = Reset_on_commit | Never_reset | Per_view_number
+(** When HotStuff+NS's view-doubling back-off resets: on every local commit
+    (the default, and the configuration that reproduces the paper's
+    shapes), never, or derived from the view number.  Carried in the
+    per-run configuration (and hence in every node's context) rather than a
+    process-global knob so concurrent simulations on different domains
+    cannot race on it. *)
+
+val naive_reset_policy_of_string : string -> naive_reset_policy option
+(** Parses ["commit"] | ["never"] | ["view"]. *)
+
+val naive_reset_policy_to_string : naive_reset_policy -> string
+
 type t = {
   node_id : int;
   n : int;  (** Total number of nodes, including crashed/Byzantine ones. *)
@@ -18,6 +31,9 @@ type t = {
           (the paper's lambda).  The real network may violate it. *)
   seed : int;  (** Key domain for simulated crypto (signatures, VRFs). *)
   input : string;  (** This node's input value for the consensus. *)
+  naive_reset : naive_reset_policy;
+      (** Pacemaker ablation knob consumed by {!Chained_core}; other
+          protocols ignore it. *)
   rng : Rng.t;  (** Node-private randomness stream. *)
   now : unit -> Time.t;
   send_raw : dst:int -> tag:string -> size:int -> Message.payload -> unit;

@@ -1,9 +1,14 @@
 let src = Logs.Src.create "bftsim" ~doc:"BFT simulator events"
 
 
-let now_ref = ref (fun () -> Time.zero)
+(* The clock hook is domain-local storage, not a global ref: concurrent
+   simulations (Parallel.map fanning Controller.run across domains) each
+   install their own clock without racing on a shared cell. *)
+let now_key = Domain.DLS.new_key (fun () -> fun () -> Time.zero)
 
-let set_now f = now_ref := f
+let set_now f = Domain.DLS.set now_key f
+
+let now () = (Domain.DLS.get now_key) ()
 
 let level_to_int = function
   | Logs.App -> 0
@@ -22,7 +27,7 @@ let enabled level =
 let log level fmt =
   if enabled level then
     Format.kasprintf
-      (fun s -> Logs.msg ~src level (fun m -> m "[%a] %s" Time.pp (!now_ref ()) s))
+      (fun s -> Logs.msg ~src level (fun m -> m "[%a] %s" Time.pp (now ()) s))
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 

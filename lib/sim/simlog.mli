@@ -9,8 +9,13 @@ val src : Logs.src
 (** The [bftsim] log source; adjust its level with [Logs.Src.set_level]. *)
 
 val set_now : (unit -> Time.t) -> unit
-(** Installs the clock accessor.  Called by the controller at start-up; the
-    default reports {!Time.zero}. *)
+(** Installs the clock accessor {e for the calling domain} (the hook lives
+    in domain-local storage, so concurrent simulations on different domains
+    do not race).  Called by the controller at run entry; the default
+    reports {!Time.zero}. *)
+
+val now : unit -> Time.t
+(** The current domain's simulated time, as installed by {!set_now}. *)
 
 val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
 val info : ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -147,6 +147,7 @@ let test_rbc_spoofed_init_ignored () =
       lambda_ms = 1000.;
       seed = 1;
       input = "";
+      naive_reset = P.Context.Reset_on_commit;
       rng = Bftsim_sim.Rng.create 1;
       now = (fun () -> Bftsim_sim.Time.zero);
       send_raw = (fun ~dst:_ ~tag:_ ~size:_ _ -> incr sent);
@@ -182,6 +183,7 @@ let test_rbc_delivery_thresholds () =
       lambda_ms = 1000.;
       seed = 1;
       input = "";
+      naive_reset = P.Context.Reset_on_commit;
       rng = Bftsim_sim.Rng.create 1;
       now = (fun () -> Bftsim_sim.Time.zero);
       send_raw = (fun ~dst:_ ~tag ~size:_ _ -> sends := tag :: !sends);

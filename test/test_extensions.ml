@@ -8,11 +8,11 @@ module Net = Bftsim_net
 module P = Bftsim_protocols
 
 let run ?(protocol = "pbft") ?(n = 16) ?(seed = 11) ?(lambda = 1000.) ?(mu = 100.) ?crashed ?attack
-    ?target ?costs ?max_time () =
+    ?target ?costs ?max_time ?naive_reset () =
   let config =
     Core.Config.make protocol ~n ~lambda_ms:lambda ~seed
       ~delay:(Net.Delay_model.normal ~mu ~sigma:(mu /. 5.))
-      ?crashed ?attack ?decisions_target:target ?costs ?max_time_ms:max_time
+      ?crashed ?attack ?decisions_target:target ?costs ?max_time_ms:max_time ?naive_reset
   in
   Core.Controller.run config
 
@@ -253,17 +253,11 @@ let test_gossip_config_parse () =
 
 (* --- Pacemaker ablation knob --- *)
 
-let with_policy policy f =
-  let saved = P.Chained_core.naive_reset_policy () in
-  P.Chained_core.set_naive_reset_policy policy;
-  Fun.protect ~finally:(fun () -> P.Chained_core.set_naive_reset_policy saved) f
-
 let test_ablation_policies_run () =
   List.iter
-    (fun policy ->
-      with_policy policy (fun () ->
-          let r = run ~protocol:"hotstuff-ns" ~target:10 () in
-          assert_live "hotstuff under ablation policy" r))
+    (fun naive_reset ->
+      let r = run ~protocol:"hotstuff-ns" ~target:10 ~naive_reset () in
+      assert_live "hotstuff under ablation policy" r)
     [ P.Chained_core.Reset_on_commit; P.Chained_core.Never_reset; P.Chained_core.Per_view_number ]
 
 let test_ablation_policy_changes_behaviour () =
@@ -272,10 +266,10 @@ let test_ablation_policy_changes_behaviour () =
   (* Crashed leaders 5 and 6 are met twice (views 5-6 and 21-22 of the
      round-robin) within a 20-decision run: the second encounter pays the
      accumulated back-off only under Never_reset. *)
-  let time policy =
-    with_policy policy (fun () ->
-        (run ~protocol:"hotstuff-ns" ~crashed:[ 5; 6 ] ~mu:250. ~target:20 ~max_time:240_000. ())
-          .time_ms)
+  let time naive_reset =
+    (run ~protocol:"hotstuff-ns" ~crashed:[ 5; 6 ] ~mu:250. ~target:20 ~max_time:240_000.
+       ~naive_reset ())
+      .time_ms
   in
   let commit = time P.Chained_core.Reset_on_commit in
   let never = time P.Chained_core.Never_reset in
