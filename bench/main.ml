@@ -61,6 +61,9 @@ let timed name f =
 (* seq vs par wall time of the run_many speedup kernel, for --json. *)
 let speedup_record : (float * float * int * float) option ref = ref None
 
+(* off-vs-off noise floor and metrics/tracing overhead ratios, for --json. *)
+let obs_overhead_record : (float * float * float * float) option ref = ref None
+
 let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
@@ -80,6 +83,8 @@ let seconds (s : Core.Stats.t) =
     min = s.min /. 1000.;
     max = s.max /. 1000.;
     median = s.median /. 1000.;
+    p95 = s.p95 /. 1000.;
+    p99 = s.p99 /. 1000.;
   }
 
 (* ---------------- Tables I and II ---------------- *)
@@ -432,6 +437,62 @@ let chaos_suite () =
         (List.length r.violations))
     Core.Experiments.partially_synchronous
 
+(* ---------------- Telemetry overhead ---------------- *)
+
+let obs_overhead () =
+  section
+    "Telemetry overhead (lib/obs) — wall time of one PBFT run (150 decisions,\n\
+     N(250,50)) with telemetry off, metrics on, and metrics+tracing on.\n\
+     The off/off row is the measurement noise floor: with both switches off\n\
+     every probe is a store into a dead cell, so the off column IS the\n\
+     disabled-path cost";
+  let config =
+    {
+      (Core.Experiments.fig3_config ~protocol:"pbft"
+         ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+         ~seed:1)
+      with
+      Core.Config.decisions_target = 150;
+      max_time_ms = 3_600_000.;
+    }
+  in
+  let with_telemetry ~metrics ~tracing config =
+    { config with Core.Config.telemetry = { Core.Config.metrics; tracing; trace_capacity = 65536 } }
+  in
+  (* Interleaved rounds after warm-up — one run of each configuration per
+     iteration, so drift (thermal, GC heap shape) hits all columns alike —
+     summarized by the median, which shrugs off scheduler spikes. *)
+  let configs =
+    [|
+      with_telemetry ~metrics:false ~tracing:false config;
+      with_telemetry ~metrics:false ~tracing:false config;
+      with_telemetry ~metrics:true ~tracing:false config;
+      with_telemetry ~metrics:true ~tracing:true config;
+    |]
+  in
+  let rounds = 7 in
+  let samples = Array.map (fun c -> ignore (Core.Controller.run c); ref []) configs in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i c -> samples.(i) := fst (Core.Controller.wall_clock_of_run c) :: !(samples.(i)))
+      configs
+  done;
+  let median i = (Core.Stats.of_list !(samples.(i))).Core.Stats.median in
+  let off_a = median 0 and off_b = median 1 in
+  let metrics_t = median 2 and tracing_t = median 3 in
+  let off = Float.min off_a off_b in
+  let noise_pct = (Float.max off_a off_b /. off -. 1.) *. 100. in
+  let metrics_pct = (metrics_t /. off -. 1.) *. 100. in
+  let tracing_pct = (tracing_t /. off -. 1.) *. 100. in
+  Printf.printf "  %-22s %10.3f ms\n" "telemetry off" (off *. 1000.);
+  Printf.printf "  %-22s %10.3f ms  (%+.1f%% — measurement noise)\n" "telemetry off (again)"
+    (Float.max off_a off_b *. 1000.)
+    noise_pct;
+  Printf.printf "  %-22s %10.3f ms  (%+.1f%%)\n" "metrics on" (metrics_t *. 1000.) metrics_pct;
+  Printf.printf "  %-22s %10.3f ms  (%+.1f%%)\n%!" "metrics + tracing" (tracing_t *. 1000.)
+    tracing_pct;
+  obs_overhead_record := Some (off, noise_pct, metrics_pct, tracing_pct)
+
 (* ---------------- Parallel runner speedup ---------------- *)
 
 let speedup () =
@@ -489,6 +550,13 @@ let write_json path =
       "  \"run_many_speedup\": { \"kernel\": \"pbft-20rep-sweep\", \"seq_s\": %.6f, \"par_s\": \
        %.6f, \"par_jobs\": %d, \"speedup\": %.3f },\n"
       seq_t par_t par_jobs ratio
+  | None -> ());
+  (match !obs_overhead_record with
+  | Some (off_s, noise_pct, metrics_pct, tracing_pct) ->
+    out
+      "  \"obs_overhead\": { \"kernel\": \"pbft-150dec\", \"off_s\": %.6f, \"noise_pct\": %.2f, \
+       \"metrics_pct\": %.2f, \"tracing_pct\": %.2f },\n"
+      off_s noise_pct metrics_pct tracing_pct
   | None -> ());
   out "  \"kernels\": [\n";
   let rows = List.rev !timings in
@@ -567,8 +635,10 @@ let () =
   Printf.printf "BFT simulator benchmark harness — %d repetitions per configuration\n" reps;
   Printf.printf "(set BFTSIM_REPS to change; the paper uses 100); jobs=%d\n%!" (effective_jobs ());
   if !quick then begin
-    (* CI smoke: the LoC tables (cheap) plus the parallel-runner kernel. *)
+    (* CI smoke: the LoC tables (cheap), the parallel-runner kernel and the
+       telemetry-overhead kernel. *)
     timed "tables" tables;
+    timed "obs-overhead" obs_overhead;
     timed "run_many-speedup" speedup
   end
   else begin
@@ -585,6 +655,7 @@ let () =
     timed "throughput-extension" throughput_extension;
     timed "ablation-pacemaker" ablation_pacemaker;
     timed "chaos-suite" chaos_suite;
+    timed "obs-overhead" obs_overhead;
     timed "run_many-speedup" speedup;
     timed "bechamel-kernels" bechamel_kernels
   end;

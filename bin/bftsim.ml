@@ -8,6 +8,7 @@ open Cmdliner
 module Core = Bftsim_core
 module Net = Bftsim_net
 module Protocols = Bftsim_protocols
+module Obs = Bftsim_obs
 
 let read_config_file path =
   let ic = open_in path in
@@ -105,6 +106,13 @@ let watchdog_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log simulation events.")
 
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect the telemetry registry (counters, gauges, histograms) and print it.")
+
+let print_metrics reg = Format.printf "@.--- metrics ---@.%a" Obs.Metrics.pp reg
+
 let setup_logs verbose =
   Bftsim_sim.Simlog.setup_for_cli ~level:(if verbose then Some Logs.Info else Some Logs.Warning)
 
@@ -140,12 +148,25 @@ let print_result (r : Core.Controller.result) =
 (* --- run --- *)
 
 let run_cmd =
-  let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the execution trace.") in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record an event trace and write it to $(docv) (see $(b,--trace-format)).")
+  in
+  let trace_format_arg =
+    let fmt = Arg.enum [ ("jsonl", Obs.Exporter.Jsonl); ("chrome", Obs.Exporter.Chrome) ] in
+    Arg.(value & opt fmt Obs.Exporter.Chrome
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Trace format: $(b,chrome) (Perfetto / chrome://tracing) or $(b,jsonl).")
+  in
+  let events_arg =
+    Arg.(value & flag & info [ "events" ] ~doc:"Dump the replay/validation event log.")
+  in
   let views_arg =
     Arg.(value & flag & info [ "views" ] ~doc:"Sample views every 250 ms and render the timeline.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs trace views verbose =
+      chaos watchdog transport costs trace trace_format metrics events views verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
@@ -155,19 +176,36 @@ let run_cmd =
       Format.eprintf "error: %s@." e;
       1
     | Ok config ->
+      let telemetry =
+        {
+          config.Core.Config.telemetry with
+          Core.Config.metrics = metrics || config.Core.Config.telemetry.Core.Config.metrics;
+          tracing = trace <> None || config.Core.Config.telemetry.Core.Config.tracing;
+        }
+      in
       let config =
         {
           config with
-          Core.Config.record_trace = trace;
+          Core.Config.record_trace = events;
           view_sample_ms = (if views then Some 250. else config.Core.Config.view_sample_ms);
+          telemetry;
         }
       in
       let r = Core.Controller.run config in
       print_result r;
       (match r.trace with
-      | Some t when trace ->
-        Format.printf "@.--- trace (%d entries) ---@." (Core.Trace.length t);
+      | Some t when events ->
+        Format.printf "@.--- events (%d entries) ---@." (Core.Trace.length t);
         Core.Trace.dump Format.std_formatter t
+      | _ -> ());
+      (match r.Core.Controller.metrics with
+      | Some reg when metrics -> print_metrics reg
+      | _ -> ());
+      (match (r.Core.Controller.spans, trace) with
+      | Some spans, Some path ->
+        Obs.Exporter.write_file ~path ~format:trace_format spans;
+        Format.printf "wrote %s (%d trace entries, %d dropped)@." path
+          (Obs.Tracer.length spans) (Obs.Tracer.dropped spans)
       | _ -> ());
       if views then Format.printf "@.%s@." (Core.View_tracker.render r.view_samples);
       if r.safety_ok then 0 else 2
@@ -176,7 +214,8 @@ let run_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ trace_arg $ views_arg $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ trace_arg $ trace_format_arg $ metrics_arg
+      $ events_arg $ views_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics") term
 
@@ -197,7 +236,7 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs reps jobs csv verbose =
+      chaos watchdog transport costs reps jobs csv metrics verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
@@ -207,10 +246,24 @@ let sweep_cmd =
       Format.eprintf "error: %s@." e;
       1
     | Ok config ->
+      let config =
+        if metrics then
+          {
+            config with
+            Core.Config.telemetry =
+              { config.Core.Config.telemetry with Core.Config.metrics = true };
+          }
+        else config
+      in
       let reps = if reps > 0 then Some reps else None in
       let summary = Core.Runner.run_many ?reps ?jobs config in
       Format.printf "%s@." (Core.Config.describe config);
       Format.printf "%a@." Core.Runner.pp_summary summary;
+      (* The merged registry is deterministic in the seed sequence, so this
+         block is diffable across --jobs values (the CI determinism check). *)
+      (match summary.Core.Runner.metrics with
+      | Some reg when metrics -> print_metrics reg
+      | _ -> ());
       (match csv with
       | None -> ()
       | Some path ->
@@ -223,7 +276,8 @@ let sweep_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ csv_arg $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ csv_arg $ metrics_arg
+      $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
 

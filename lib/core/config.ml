@@ -15,6 +15,10 @@ type transport = Direct | Gossip of { fanout : int }
 
 type inputs = Distinct | Same of string | Random_binary
 
+type telemetry = { metrics : bool; tracing : bool; trace_capacity : int }
+
+let default_telemetry = { metrics = false; tracing = false; trace_capacity = 65536 }
+
 type t = {
   protocol : string;
   n : int;
@@ -35,6 +39,7 @@ type t = {
   watchdog : float option;
   check_validity : bool;
   naive_reset : Protocols.Context.naive_reset_policy;
+  telemetry : telemetry;
 }
 
 (* Default for the HotStuff+NS pacemaker-reset ablation knob; the
@@ -100,13 +105,15 @@ let validate t =
   | Some k when Float.is_nan k || k <= 0. ->
     fail "Config: watchdog multiplier %g must be positive" k
   | Some _ | None -> ());
+  if t.telemetry.trace_capacity <= 0 then
+    fail "Config: trace_capacity = %d, the ring buffer needs room" t.telemetry.trace_capacity;
   Attack.Fault_schedule.validate ~n:t.n t.chaos
 
 let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
     ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) ?naive_reset
-    protocol =
+    ?(telemetry = default_telemetry) protocol =
   let naive_reset =
     match naive_reset with Some p -> p | None -> naive_reset_default ()
   in
@@ -137,6 +144,7 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       watchdog;
       check_validity;
       naive_reset;
+      telemetry;
     }
   in
   validate t;
@@ -184,7 +192,14 @@ let describe t =
     ^ (match t.naive_reset with
       | Protocols.Context.Reset_on_commit -> ""
       | p ->
-        Printf.sprintf " naive-reset=%s" (Protocols.Context.naive_reset_policy_to_string p)))
+        Printf.sprintf " naive-reset=%s" (Protocols.Context.naive_reset_policy_to_string p))
+    ^
+    match (t.telemetry.metrics, t.telemetry.tracing) with
+    | false, false -> ""
+    | m, tr ->
+      Printf.sprintf " telemetry=%s"
+        (String.concat "+"
+           (List.filter_map Fun.id [ (if m then Some "metrics" else None); (if tr then Some "trace" else None) ])))
 
 let parse_int_list s =
   try Ok (List.filter_map (fun x -> if x = "" then None else Some (int_of_string x)) (String.split_on_char ',' s))
@@ -319,6 +334,18 @@ let of_keyvalues kvs =
       | Some p -> Ok (Some p)
       | None -> Error (Printf.sprintf "invalid naive_reset %S (commit | never | view)" v))
   in
+  let bool_key key default =
+    match find key with
+    | None -> Ok default
+    | Some v -> (
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "invalid boolean for %s: %S" key v))
+  in
+  let* tel_metrics = bool_key "metrics" false in
+  let* tel_tracing = bool_key "tracing" false in
+  let* trace_capacity = int_key "trace_capacity" default_telemetry.trace_capacity in
+  let telemetry = { metrics = tel_metrics; tracing = tel_tracing; trace_capacity } in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -328,5 +355,5 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset protocol)
+            ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry protocol)
      with Invalid_argument msg -> Error msg)

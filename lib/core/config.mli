@@ -34,6 +34,20 @@ type inputs =
   | Same of string  (** Unanimous inputs (validity tests). *)
   | Random_binary  (** Random bit per node (async BA workloads). *)
 
+type telemetry = {
+  metrics : bool;
+      (** Collect a per-run metrics registry (counters, gauges, sim-time
+          histograms), attached to [Controller.result.metrics] and merged
+          deterministically across replications by [Runner.run_many]. *)
+  tracing : bool;
+      (** Record typed spans/instants into a bounded ring buffer
+          ([Controller.result.spans]); export with [Bftsim_obs.Exporter]. *)
+  trace_capacity : int;  (** Ring-buffer size; oldest entries are shed. *)
+}
+
+val default_telemetry : telemetry
+(** Everything off, 65536-entry ring — the zero-overhead default. *)
+
 type t = {
   protocol : string;  (** Registry name, e.g. ["pbft"]. *)
   n : int;
@@ -76,6 +90,9 @@ type t = {
           than a process-global setter so concurrent runs cannot race;
           defaulted from the BFTSIM_NAIVE_RESET environment variable
           ([commit] (default) | [never] | [view]). *)
+  telemetry : telemetry;
+      (** Observability switches (DESIGN.md §3.11).  Off by default; the
+          disabled path costs a handful of dead-cell stores per event. *)
 }
 
 val validate : t -> unit
@@ -108,6 +125,7 @@ val make :
   ?watchdog:float ->
   ?check_validity:bool ->
   ?naive_reset:Bftsim_protocols.Context.naive_reset_policy ->
+  ?telemetry:telemetry ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:
@@ -137,5 +155,6 @@ val of_keyvalues : (string * string) list -> (t, string) result
     ([distinct] | [same:<v>] | [binary]), [chaos] (a
     {!Bftsim_attack.Fault_schedule.of_string} plan, e.g.
     ["crash:3@0;recover:3@15000"]), [watchdog] (the stall multiplier
-    [k], in units of [lambda_ms]) and [naive_reset]
-    ([commit] | [never] | [view]). *)
+    [k], in units of [lambda_ms]), [naive_reset]
+    ([commit] | [never] | [view]), [metrics] / [tracing] (booleans) and
+    [trace_capacity] (ring-buffer entries). *)

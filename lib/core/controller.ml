@@ -2,6 +2,7 @@ open Bftsim_sim
 open Bftsim_net
 module Attack = Bftsim_attack
 module Protocols = Bftsim_protocols
+module Obs = Bftsim_obs
 
 type outcome =
   | Reached_target
@@ -28,6 +29,8 @@ type result = {
   final_views : int array;
   view_samples : (float * int array) list;
   trace : Trace.t option;
+  metrics : Obs.Metrics.t option;
+  spans : Obs.Tracer.t option;
 }
 
 type Timer.payload += Sample_views
@@ -101,6 +104,116 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
   let topology = Topology.fully_connected n in
   let network = Network.create ~delay:config.delay ~topology ~rng:net_rng in
   let trace = if config.record_trace then Some (Trace.create ()) else None in
+  (* Telemetry (DESIGN.md §3.11).  The registry holds only simulated
+     quantities so [Runner.run_many]'s merge is identical whatever domain
+     pool executed the runs; wall-clock attribution lives in the tracer.
+     When both switches are off every probe below degenerates to a store
+     into a dead cell or a [None] match — no hash lookups, no allocation. *)
+  let telemetry = config.Config.telemetry in
+  let reg = if telemetry.Config.metrics then Some (Obs.Metrics.create ()) else None in
+  let tracer =
+    if telemetry.Config.tracing then
+      Some (Obs.Tracer.create ~capacity:telemetry.Config.trace_capacity ())
+    else None
+  in
+  let telemetry_on = reg <> None || tracer <> None in
+  let ctr =
+    match reg with
+    | Some r -> fun name -> Obs.Metrics.counter r name
+    | None ->
+      let dead = Obs.Metrics.null_counter () in
+      fun _ -> dead
+  in
+  let c_sent = ctr "net.sent" in
+  let c_delivered = ctr "net.delivered" in
+  let c_dropped = ctr "net.dropped" in
+  let c_bytes = ctr "net.bytes" in
+  let c_injected = ctr "net.injected" in
+  let c_timer_set = ctr "timer.set" in
+  let c_timer_fired = ctr "timer.fired" in
+  let c_timer_cancelled = ctr "timer.cancelled" in
+  let c_decisions = ctr "protocol.decisions" in
+  let c_view_changes = ctr "protocol.view_changes" in
+  let c_corruptions = ctr "attacker.corruptions" in
+  let c_events = ctr "sim.events" in
+  let h_delay, h_size =
+    match reg with
+    | Some r ->
+      ( Obs.Metrics.histogram r "net.delay_ms",
+        Obs.Metrics.histogram
+          ~buckets:[| 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144. |]
+          r "net.msg.size_bytes" )
+    | None -> (Obs.Metrics.null_histogram (), Obs.Metrics.null_histogram ())
+  in
+  (* Per-tag send counters, resolved through a private cache so the
+     metrics-on path still pays one registry lookup per {e distinct} tag,
+     not per message. *)
+  let count_tag =
+    match reg with
+    | None -> fun _ -> ()
+    | Some r ->
+      let cache : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+      fun tag ->
+        let cell =
+          match Hashtbl.find_opt cache tag with
+          | Some c -> c
+          | None ->
+            let c = Obs.Metrics.counter r ("net.sent." ^ tag) in
+            Hashtbl.replace cache tag c;
+            c
+        in
+        incr cell
+  in
+  let us_now () = Time.to_ms (Event_queue.now queue) *. 1000. in
+  (* Message spans run from send to arrival on the receiver's track; the
+     simulated timestamps make them line up with dispatch spans in the
+     Chrome/Perfetto rendering. *)
+  let trace_net_deliver (msg : Message.t) =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+      Obs.Tracer.span tr ~name:msg.Message.tag ~cat:"net" ~node:msg.Message.dst
+        ~ts_us:(Time.to_ms msg.Message.sent_at *. 1000.)
+        ~dur_us:(msg.Message.delay_ms *. 1000.)
+        ~args:[ ("src", Obs.Tracer.Int msg.Message.src); ("size", Obs.Tracer.Int msg.Message.size) ]
+        ()
+  in
+  (* Timer spans run from arming to firing.  Set times are tracked only
+     when tracing — the table is dead weight otherwise. *)
+  let timer_set_at : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let note_timer_set id =
+    incr c_timer_set;
+    if tracer <> None then Hashtbl.replace timer_set_at id (Time.to_ms (Event_queue.now queue))
+  in
+  let note_timer_fired (timer : Timer.t) =
+    incr c_timer_fired;
+    match tracer with
+    | None -> ()
+    | Some tr ->
+      let now_ms = Time.to_ms (Event_queue.now queue) in
+      let set_ms =
+        match Hashtbl.find_opt timer_set_at timer.Timer.id with
+        | Some s ->
+          Hashtbl.remove timer_set_at timer.Timer.id;
+          s
+        | None -> now_ms
+      in
+      Obs.Tracer.span tr
+        ~name:("timer:" ^ timer.Timer.tag)
+        ~cat:"timer" ~node:timer.Timer.owner ~ts_us:(set_ms *. 1000.)
+        ~dur_us:((now_ms -. set_ms) *. 1000.)
+        ()
+  in
+  let note_timer_cancelled (timer : Timer.t) =
+    incr c_timer_cancelled;
+    match tracer with
+    | None -> ()
+    | Some tr ->
+      Hashtbl.remove timer_set_at timer.Timer.id;
+      Obs.Tracer.instant tr
+        ~name:("cancel:" ^ timer.Timer.tag)
+        ~cat:"timer" ~node:timer.Timer.owner ~ts_us:(us_now ()) ()
+  in
   let record kind ~node ~peer ~tag ~detail =
     match trace with
     | None -> ()
@@ -108,6 +221,23 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       Trace.record t
         { at_ms = Time.to_ms (Event_queue.now queue); kind; node; peer; tag; detail }
   in
+  (* Ambient sink: protocol / library code below the controller can emit
+     probes without a handle (domain-local, so concurrent runs on a domain
+     pool stay separate).  Warnings and errors are mirrored onto the trace
+     timeline so anomalies appear next to the events that caused them. *)
+  if telemetry_on then Obs.Probe.set ?metrics:reg ?tracer ();
+  (match tracer with
+  | Some tr ->
+    Simlog.set_mirror
+      (Some
+         (fun ~level s ->
+           let name =
+             match level with Logs.Error -> "error" | Logs.Warning -> "warning" | _ -> "log"
+           in
+           Obs.Tracer.instant tr ~name ~cat:"log" ~node:(-1) ~ts_us:(us_now ())
+             ~args:[ ("msg", Obs.Tracer.Str s) ]
+             ()))
+  | None -> ());
   let crashed = Array.make n false in
   List.iter (fun i -> crashed.(i) <- true) config.crashed;
   let corrupted = Array.make n false in
@@ -216,6 +346,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
             incr timer_counter;
             let id = !timer_counter in
             Hashtbl.replace pending_timers id ();
+            note_timer_set id;
             let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
             let timer = { Timer.id; owner = Timer.attacker_owner; deadline; tag; payload } in
             Event_queue.schedule queue ~at:deadline (Attacker_timer timer);
@@ -223,12 +354,14 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
         inject =
           (fun ~src ~dst ~delay_ms ~tag ~size payload ->
             incr msg_counter;
+            incr c_injected;
             let msg =
               Message.make ~id:!msg_counter ~src ~dst ~sent_at:(Event_queue.now queue) ~tag ~size
                 payload
             in
             msg.Message.delay_ms <- Float.max 0. delay_ms;
             record Trace.Send ~node:src ~peer:dst ~tag ~detail:"<injected>";
+            trace_net_deliver msg;
             Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg));
         corrupt =
           (fun node ->
@@ -237,6 +370,11 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
             else begin
               corrupted.(node) <- true;
               corrupted_order := node :: !corrupted_order;
+              incr c_corruptions;
+              (match tracer with
+              | Some tr ->
+                Obs.Tracer.instant tr ~name:"corrupt" ~cat:"attacker" ~node ~ts_us:(us_now ()) ()
+              | None -> ());
               Simlog.info "attacker corrupts node %d" node;
               true
             end);
@@ -270,15 +408,35 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     match attacker.Attack.Attacker.attack attacker_env msg with
     | Attack.Attacker.Drop ->
       incr dropped;
+      incr c_dropped;
+      (match tracer with
+      | Some tr ->
+        Obs.Tracer.instant tr
+          ~name:("drop:" ^ msg.Message.tag)
+          ~cat:"net" ~node:msg.Message.src ~ts_us:(us_now ())
+          ~args:[ ("dst", Obs.Tracer.Int msg.Message.dst) ]
+          ()
+      | None -> ());
       record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
     | Attack.Attacker.Deliver ->
       (match replay_delay with Some delay_ms -> msg.Message.delay_ms <- delay_ms | None -> ());
+      if msg.Message.src <> msg.Message.dst then
+        Obs.Metrics.observe_h h_delay msg.Message.delay_ms;
+      trace_net_deliver msg;
       Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
   in
 
   let send_from src ~dst ~tag ~size payload =
     if not crashed.(src) then begin
       incr msg_counter;
+      (* Mirror [Network.stats]: self-addressed messages are local
+         deliveries, not wire traffic (§II-C message usage). *)
+      if dst <> src then begin
+        incr c_sent;
+        c_bytes := !c_bytes + size;
+        count_tag tag;
+        Obs.Metrics.observe_h h_size (float_of_int size)
+      end;
       let msg =
         Message.make ~id:!msg_counter ~src ~dst ~sent_at:(Event_queue.now queue) ~tag ~size payload
       in
@@ -336,6 +494,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
           incr timer_counter;
           let id = !timer_counter in
           Hashtbl.replace pending_timers id ();
+          note_timer_set id;
           let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
           let timer = { Timer.id; owner = node_id; deadline; tag; payload } in
           Event_queue.schedule queue ~at:deadline (Node_timer timer);
@@ -348,10 +507,26 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
           let index = decision_counts.(node_id) in
           decision_counts.(node_id) <- index + 1;
           decisions.(node_id) := value :: !(decisions.(node_id));
+          incr c_decisions;
+          (match tracer with
+          | Some tr ->
+            Obs.Tracer.instant tr ~name:"decide" ~cat:"protocol" ~node:node_id
+              ~ts_us:(at_ms *. 1000.)
+              ~args:[ ("index", Obs.Tracer.Int index); ("value", Obs.Tracer.Str value) ]
+              ()
+          | None -> ());
           record Trace.Decide ~node:node_id ~peer:(-1) ~tag:value ~detail:"";
           Invariant.on_decide monitor ~node:node_id ~index ~value ~at_ms;
           if counted node_id then last_progress := Float.max !last_progress at_ms;
           check_target ());
+      probe =
+        (match tracer with
+        | None -> fun ~tag:_ ~detail:_ -> ()
+        | Some tr ->
+          fun ~tag ~detail ->
+            Obs.Tracer.instant tr ~name:tag ~cat:"protocol" ~node:node_id ~ts_us:(us_now ())
+              ~args:(if detail = "" then [] else [ ("detail", Obs.Tracer.Str detail) ])
+              ());
     }
   in
 
@@ -360,6 +535,32 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
 
   attacker.Attack.Attacker.on_start attacker_env;
   Array.iteri (fun i node -> match node with Some nd -> P.on_start nd ctxs.(i) | None -> ()) nodes;
+
+  (* View-change accounting: compare a node's view after each of its
+     handlers.  Views derive from simulated execution only, so both the
+     counter and the instants are replication-deterministic.  Gated on
+     [telemetry_on] — the disabled path must not even call [P.view]. *)
+  let last_views =
+    if telemetry_on then Array.map (function Some nd -> P.view nd | None -> -1) nodes
+    else [||]
+  in
+  let note_view node_id =
+    match nodes.(node_id) with
+    | Some nd ->
+      let v = P.view nd in
+      if v <> last_views.(node_id) then begin
+        last_views.(node_id) <- v;
+        incr c_view_changes;
+        match tracer with
+        | Some tr ->
+          Obs.Tracer.instant tr ~name:"view-change" ~cat:"protocol" ~node:node_id
+            ~ts_us:(us_now ())
+            ~args:[ ("view", Obs.Tracer.Int v) ]
+            ()
+        | None -> ()
+      end
+    | None -> ()
+  in
 
   (* Periodic view sampling for the Fig. 9 analysis. *)
   (match config.view_sample_ms with
@@ -406,9 +607,11 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       | _ -> (
         match nodes.(dst) with
         | Some node ->
+          incr c_delivered;
           record Trace.Deliver ~node:dst ~peer:msg.Message.src ~tag:msg.Message.tag
             ~detail:(Message.payload_to_string msg.Message.payload);
-          P.on_message node ctxs.(dst) msg
+          P.on_message node ctxs.(dst) msg;
+          if telemetry_on then note_view dst
         | None -> ())
   in
   let handle = function
@@ -446,9 +649,12 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
       else if consume_timer id then (
         match nodes.(owner) with
         | Some node ->
+          note_timer_fired timer;
           record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
-          P.on_timer node ctxs.(owner) timer
+          P.on_timer node ctxs.(owner) timer;
+          if telemetry_on then note_view owner
         | None -> ())
+      else note_timer_cancelled timer
     | Attacker_timer timer -> (
       match timer.Timer.payload with
       | Sample_views ->
@@ -457,8 +663,11 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
         let timer = { timer with Timer.deadline = next } in
         Event_queue.schedule queue ~at:next (Attacker_timer timer)
       | _ ->
-        if consume_timer timer.Timer.id then
-          attacker.Attack.Attacker.on_time_event attacker_env timer)
+        if consume_timer timer.Timer.id then begin
+          note_timer_fired timer;
+          attacker.Attack.Attacker.on_time_event attacker_env timer
+        end
+        else note_timer_cancelled timer)
   in
 
   (* Liveness watchdog: the simulation has stalled when the clock has run
@@ -470,6 +679,27 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     List.fold_left Float.max Float.neg_infinity (Attack.Fault_schedule.step_times chaos)
   in
   let watchdog_ms = Option.map (fun k -> k *. config.lambda_ms) config.watchdog in
+  (* Per-phase profiling: each handled event becomes a span at its simulated
+     instant carrying the host-time cost of its handler as an argument —
+     wall clock stays out of the registry (see the determinism rule). *)
+  let ev_label = function
+    | Deliver m | Deliver_verified m -> ("on_msg:" ^ m.Message.tag, m.Message.dst)
+    | Node_timer t -> ("on_time:" ^ t.Timer.tag, t.Timer.owner)
+    | Attacker_timer t -> ("attacker:" ^ t.Timer.tag, -1)
+  in
+  let handle_traced now_ms ev =
+    incr c_events;
+    match tracer with
+    | None -> handle ev
+    | Some tr ->
+      let w0 = Unix.gettimeofday () in
+      handle ev;
+      let wall_dur_us = (Unix.gettimeofday () -. w0) *. 1e6 in
+      let name, node = ev_label ev in
+      Obs.Tracer.span tr ~name ~cat:"sim" ~node ~ts_us:(now_ms *. 1000.) ~dur_us:0.
+        ~args:[ ("wall_dur_us", Obs.Tracer.Float wall_dur_us) ]
+        ()
+  in
   let rec loop () =
     if !finished <> None then ()
     else if Event_queue.popped queue >= config.max_events then outcome := Event_cap
@@ -488,7 +718,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
               now_ms;
             outcome := Stalled { last_progress_ms = !last_progress }
           | _ ->
-            handle ev;
+            handle_traced now_ms ev;
             loop ()
         end
   in
@@ -499,6 +729,15 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     | Some at -> at
     | None -> Float.min (Time.to_ms (Event_queue.now queue)) config.max_time_ms
   in
+  if telemetry_on then begin
+    (match reg with
+    | Some r ->
+      Obs.Metrics.set_gauge r "sim.time_ms" time_ms;
+      Obs.Metrics.set_gauge r "queue.pending_end" (float_of_int (Event_queue.pending queue))
+    | None -> ());
+    Simlog.set_mirror None;
+    Obs.Probe.clear ()
+  end;
   let decisions_list = List.init n (fun i -> (i, List.rev !(decisions.(i)))) in
   let violations = Invariant.violations monitor in
   (* The online agreement monitor subsumes the post-hoc sweep; keep the
@@ -531,6 +770,8 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
         nodes;
     view_samples = List.rev !view_samples;
     trace;
+    metrics = reg;
+    spans = tracer;
   }
 
 let throughput r =

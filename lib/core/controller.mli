@@ -47,6 +47,15 @@ type result = {
   view_samples : (float * int array) list;
       (** (time, view of each node; -1 = crashed), when sampling is on. *)
   trace : Trace.t option;
+  metrics : Bftsim_obs.Metrics.t option;
+      (** Telemetry registry (counters/gauges/histograms of simulated
+          quantities) when [config.telemetry.metrics]; merged across
+          replications by [Runner.run_many]. *)
+  spans : Bftsim_obs.Tracer.t option;
+      (** Ring buffer of typed spans/instants when
+          [config.telemetry.tracing]; export with [Bftsim_obs.Exporter].
+          Named [spans] because [trace] is the replay/validation event
+          log, a different artifact. *)
 }
 
 val run :

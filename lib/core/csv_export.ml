@@ -21,7 +21,7 @@ let result_header =
     [
       "protocol"; "n"; "seed"; "lambda_ms"; "delay"; "attack"; "target"; "outcome"; "time_ms";
       "per_decision_latency_ms"; "per_decision_messages"; "messages"; "bytes"; "dropped"; "events";
-      "max_final_view"; "safety_ok";
+      "max_final_view"; "safety_ok"; "liveness_failure"; "safety_violations";
     ]
 
 let outcome_to_string = function
@@ -53,14 +53,17 @@ let result_row (r : Controller.result) =
       string_of_int r.events_processed;
       string_of_int max_view;
       string_of_bool r.safety_ok;
+      string_of_bool (r.outcome <> Controller.Reached_target);
+      string_of_int (List.length r.violations);
     ]
 
 let summary_header =
   row
     [
       "protocol"; "n"; "lambda_ms"; "delay"; "attack"; "reps"; "latency_mean_ms";
-      "latency_stddev_ms"; "latency_min_ms"; "latency_max_ms"; "messages_mean"; "messages_stddev";
-      "liveness_failures"; "safety_violations";
+      "latency_stddev_ms"; "latency_min_ms"; "latency_max_ms"; "latency_p50_ms"; "latency_p95_ms";
+      "latency_p99_ms"; "messages_mean"; "messages_stddev"; "messages_p50"; "messages_p95";
+      "messages_p99"; "liveness_failures"; "safety_violations";
     ]
 
 let summary_row (s : Runner.summary) =
@@ -77,8 +80,14 @@ let summary_row (s : Runner.summary) =
       Printf.sprintf "%.3f" s.latency_ms.Stats.stddev;
       Printf.sprintf "%.3f" s.latency_ms.Stats.min;
       Printf.sprintf "%.3f" s.latency_ms.Stats.max;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.median;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.p95;
+      Printf.sprintf "%.3f" s.latency_ms.Stats.p99;
       Printf.sprintf "%.2f" s.messages.Stats.mean;
       Printf.sprintf "%.2f" s.messages.Stats.stddev;
+      Printf.sprintf "%.2f" s.messages.Stats.median;
+      Printf.sprintf "%.2f" s.messages.Stats.p95;
+      Printf.sprintf "%.2f" s.messages.Stats.p99;
       string_of_int s.liveness_failures;
       string_of_int s.safety_violations;
     ]

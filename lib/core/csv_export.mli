@@ -10,13 +10,15 @@ val result_header : string
 val result_row : Controller.result -> string
 (** One line per run: protocol, n, seed, lambda, delay, attack, outcome,
     time_ms, per-decision latency/messages, messages, bytes, dropped,
-    events, max final view, safety. *)
+    events, max final view, safety, liveness-failure flag and the online
+    monitors' violation count. *)
 
 val summary_header : string
 
 val summary_row : Runner.summary -> string
-(** One line per configuration: latency and message mean/stddev/min/max,
-    liveness failures, safety violations. *)
+(** One line per configuration: latency and message
+    mean/stddev/min/max/p50/p95/p99, liveness failures, safety
+    violations. *)
 
 val escape : string -> string
 (** RFC-4180 quoting for fields containing commas, quotes or newlines. *)

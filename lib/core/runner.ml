@@ -5,6 +5,7 @@ type summary = {
   messages : Stats.t;
   liveness_failures : int;
   safety_violations : int;
+  metrics : Bftsim_obs.Metrics.t option;
   results : Controller.result list;
 }
 
@@ -31,6 +32,14 @@ let run_many ?reps ?jobs (config : Config.t) =
     List.length (List.filter (fun r -> r.Controller.outcome <> Controller.Reached_target) results)
   in
   let safety_violations = List.length (List.filter (fun r -> not r.Controller.safety_ok) results) in
+  (* Merge folds the per-run registries in seed order — the same order the
+     sequential path produces — so the merged registry is bit-identical at
+     any [jobs]. *)
+  let metrics =
+    match List.filter_map (fun r -> r.Controller.metrics) results with
+    | [] -> None
+    | regs -> Some (Bftsim_obs.Metrics.merge regs)
+  in
   {
     config;
     reps;
@@ -38,6 +47,7 @@ let run_many ?reps ?jobs (config : Config.t) =
     messages = Stats.of_list messages;
     liveness_failures;
     safety_violations;
+    metrics;
     results;
   }
 

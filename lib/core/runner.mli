@@ -11,6 +11,10 @@ type summary = {
           capped values are {e included} in the statistics (they are real
           observations of slowness), and also reported here. *)
   safety_violations : int;  (** Should always be 0; counted defensively. *)
+  metrics : Bftsim_obs.Metrics.t option;
+      (** Per-run registries merged in seed order (counters sum, gauges keep
+          the max, histograms add bucket-wise) when [config.telemetry.metrics]
+          is on — bit-identical whatever [jobs] was. *)
   results : Controller.result list;  (** Per-run details, first seed first. *)
 }
 

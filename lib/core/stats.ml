@@ -1,4 +1,13 @@
-type t = { count : int; mean : float; stddev : float; min : float; max : float; median : float }
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+  p99 : float;
+}
 
 let percentile samples p =
   if samples = [] then invalid_arg "Stats.percentile: empty";
@@ -32,11 +41,17 @@ let of_list samples =
     min = List.fold_left Float.min infinity samples;
     max = List.fold_left Float.max neg_infinity samples;
     median = percentile samples 50.;
+    p95 = percentile samples 95.;
+    p99 = percentile samples 99.;
   }
 
 let ci95_halfwidth t =
   if t.count <= 1 then 0. else 1.96 *. t.stddev /. sqrt (float_of_int t.count)
 
-let pp ppf t = Format.fprintf ppf "%.1f ± %.1f (n=%d)" t.mean t.stddev t.count
+let pp ppf t =
+  Format.fprintf ppf "%.1f ± %.1f (n=%d, p50/p95/p99 %.1f/%.1f/%.1f)" t.mean t.stddev t.count
+    t.median t.p95 t.p99
 
-let pp_ms_as_s ppf t = Format.fprintf ppf "%.2fs ± %.2fs (n=%d)" (t.mean /. 1000.) (t.stddev /. 1000.) t.count
+let pp_ms_as_s ppf t =
+  Format.fprintf ppf "%.2fs ± %.2fs (n=%d, p50/p95/p99 %.2f/%.2f/%.2fs)" (t.mean /. 1000.)
+    (t.stddev /. 1000.) t.count (t.median /. 1000.) (t.p95 /. 1000.) (t.p99 /. 1000.)

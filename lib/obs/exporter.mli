@@ -1,0 +1,29 @@
+(** Trace exporters: JSONL and Chrome [trace_event] JSON.
+
+    The Chrome output is the object form ([{"traceEvents": [...]}]) that
+    [chrome://tracing] and Perfetto load directly; JSONL emits the same
+    per-event objects one per line for grep/jq pipelines.  Timestamps
+    ("ts"/"dur") are {e simulated} microseconds — the protocol timeline —
+    while each event's [args.wall_us] carries the wall-clock offset for
+    host-time attribution. *)
+
+type format = Jsonl | Chrome
+
+val format_of_string : string -> format option
+(** ["jsonl"] | ["chrome"]. *)
+
+val format_to_string : format -> string
+
+val entry_to_json : Tracer.entry -> Json.t
+(** One Chrome trace-event object: name, cat, ph (X/i), ts, dur/s, pid,
+    tid (the node), args. *)
+
+val chrome_json : Tracer.t -> Json.t
+(** The full document, including recorded/dropped totals in [otherData]. *)
+
+val write_chrome : out_channel -> Tracer.t -> unit
+
+val write_jsonl : out_channel -> Tracer.t -> unit
+
+val write_file : path:string -> format:format -> Tracer.t -> unit
+(** Overwrites [path]. *)

@@ -1,0 +1,34 @@
+(* Ambient telemetry sink, domain-local like the Simlog clock.
+
+   The controller installs the current run's registry and tracer here at
+   run entry (and always resets at the next entry), so library and
+   user-protocol code can emit probes without the registry being threaded
+   through every signature.  Domain-local storage keeps concurrent runs on
+   different domains from seeing each other's sinks.  Every helper is a
+   no-op when the corresponding sink is absent — the disabled path is one
+   DLS read and a branch. *)
+
+type sink = { metrics : Metrics.t option; tracer : Tracer.t option }
+
+let key = Domain.DLS.new_key (fun () -> { metrics = None; tracer = None })
+
+let set ?metrics ?tracer () = Domain.DLS.set key { metrics; tracer }
+
+let clear () = set ()
+
+let metrics () = (Domain.DLS.get key).metrics
+
+let tracer () = (Domain.DLS.get key).tracer
+
+let incr ?by name = match metrics () with Some r -> Metrics.incr ?by r name | None -> ()
+
+let observe ?buckets name v =
+  match metrics () with Some r -> Metrics.observe ?buckets r name v | None -> ()
+
+let instant ?args ~name ~cat ~node ~ts_us () =
+  match tracer () with Some tr -> Tracer.instant tr ?args ~name ~cat ~node ~ts_us () | None -> ()
+
+let span ?args ~name ~cat ~node ~ts_us ~dur_us () =
+  match tracer () with
+  | Some tr -> Tracer.span tr ?args ~name ~cat ~node ~ts_us ~dur_us ()
+  | None -> ()

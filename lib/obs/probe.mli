@@ -1,0 +1,37 @@
+(** Ambient telemetry sink — domain-local, like the [Simlog] clock hook.
+
+    The controller installs the active run's registry/tracer at run entry;
+    code anywhere below it (including user-written protocols) can then emit
+    probes without plumbing a handle through its signatures.  All helpers
+    are no-ops when the sink is absent, and sinks on different domains are
+    independent, so concurrent runs never interleave their telemetry. *)
+
+val set : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> unit
+(** Installs the calling domain's sink (both components optional). *)
+
+val clear : unit -> unit
+(** [set ()] — removes both sinks. *)
+
+val metrics : unit -> Metrics.t option
+
+val tracer : unit -> Tracer.t option
+
+val incr : ?by:int -> string -> unit
+(** Counter increment on the ambient registry; no-op without one. *)
+
+val observe : ?buckets:float array -> string -> float -> unit
+(** Histogram observation on the ambient registry; no-op without one. *)
+
+val instant :
+  ?args:(string * Tracer.arg) list -> name:string -> cat:string -> node:int -> ts_us:float -> unit -> unit
+(** Trace instant on the ambient tracer; no-op without one. *)
+
+val span :
+  ?args:(string * Tracer.arg) list ->
+  name:string ->
+  cat:string ->
+  node:int ->
+  ts_us:float ->
+  dur_us:float ->
+  unit ->
+  unit

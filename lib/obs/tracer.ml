@@ -1,0 +1,69 @@
+(* Event tracer backed by a bounded ring buffer.
+
+   Recording is O(1) and allocation-light: one entry record into a
+   preallocated array slot.  When the buffer is full the oldest entry is
+   overwritten — a long run keeps the newest window, which is the one that
+   explains how it ended.  Every entry carries both timestamps: the
+   simulated instant (the x-axis the exporters use) and the wall-clock
+   offset since tracer creation (where the host time actually went). *)
+
+type arg = Str of string | Int of int | Float of float
+
+type phase = Complete | Instant
+
+type entry = {
+  name : string;
+  cat : string;
+  node : int;  (* renders as the Chrome tid; -1 = controller/attacker *)
+  ts_us : float;  (* simulated time, microseconds *)
+  dur_us : float;  (* simulated duration; 0 for instants *)
+  wall_us : float;  (* wall clock since tracer creation, microseconds *)
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t = {
+  capacity : int;
+  buf : entry array;
+  mutable next : int;  (* slot the next entry lands in *)
+  mutable total : int;  (* entries ever recorded *)
+  epoch : float;  (* Unix.gettimeofday at creation *)
+}
+
+let default_capacity = 65536
+
+let dummy =
+  { name = ""; cat = ""; node = -1; ts_us = 0.; dur_us = 0.; wall_us = 0.; phase = Instant; args = [] }
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { capacity; buf = Array.make capacity dummy; next = 0; total = 0; epoch = Unix.gettimeofday () }
+
+let wall_us t = (Unix.gettimeofday () -. t.epoch) *. 1e6
+
+let record t e =
+  t.buf.(t.next) <- e;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let span t ?(args = []) ~name ~cat ~node ~ts_us ~dur_us () =
+  record t { name; cat; node; ts_us; dur_us; wall_us = wall_us t; phase = Complete; args }
+
+let instant t ?(args = []) ~name ~cat ~node ~ts_us () =
+  record t { name; cat; node; ts_us; dur_us = 0.; wall_us = wall_us t; phase = Instant; args }
+
+let length t = Stdlib.min t.total t.capacity
+
+let recorded t = t.total
+
+let dropped t = Stdlib.max 0 (t.total - t.capacity)
+
+let entries t =
+  (* Oldest first.  Before wraparound that is slots [0, total); after, the
+     window starts at [next] (the slot the next write would claim is the
+     oldest survivor). *)
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i -> t.buf.((start + i) mod t.capacity))
+
+let iter t f = List.iter f (entries t)

@@ -46,10 +46,19 @@ type t = {
   cancel_timer : Timer.id -> unit;
   decide : string -> unit;
       (** Report one decided value.  SMR protocols call it once per slot. *)
+  probe : tag:string -> detail:string -> unit;
+      (** Telemetry capability: emits a trace instant on the run's timeline
+          when tracing is enabled, and is a no-op otherwise — protocols can
+          sprinkle probes without caring whether telemetry is on.  Prefer
+          the {!probe} wrapper. *)
 }
 
 val send : t -> dst:int -> tag:string -> ?size:int -> Message.payload -> unit
 (** Point-to-point send; [size] defaults to {!Message.default_size}. *)
+
+val probe : t -> tag:string -> ?detail:string -> unit -> unit
+(** [probe ctx ~tag ()] marks a protocol-level instant (phase entry,
+    quorum formation, …) on the trace timeline; free when tracing is off. *)
 
 val broadcast : t -> ?include_self:bool -> tag:string -> ?size:int -> Message.payload -> unit
 (** Disseminates to every node through the configured transport.

@@ -10,6 +10,16 @@ let set_now f = Domain.DLS.set now_key f
 
 let now () = (Domain.DLS.get now_key) ()
 
+(* Telemetry mirror: when a tracer is active, the controller installs a
+   callback here so warn/err lines also land on the trace timeline.  Like
+   the clock it is domain-local — concurrent runs mirror into their own
+   tracers — and like the clock it is a hook, not a dependency: Simlog
+   stays below the telemetry library. *)
+let mirror_key : (level:Logs.level -> string -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_mirror m = Domain.DLS.set mirror_key m
+
 let level_to_int = function
   | Logs.App -> 0
   | Logs.Error -> 1
@@ -23,11 +33,21 @@ let enabled level =
   | Some max_level -> level_to_int level <= level_to_int max_level
 
 (* Formatting happens only when the level is enabled, so per-message debug
-   calls cost one comparison in large benchmark runs. *)
+   calls cost one comparison in large benchmark runs.  A mirrored
+   warn/err line is formatted even when the log level suppresses it: the
+   trace timeline must show warnings whatever the console verbosity. *)
 let log level fmt =
-  if enabled level then
+  let mirror =
+    match Domain.DLS.get mirror_key with
+    | Some m when level_to_int level <= level_to_int Logs.Warning -> Some m
+    | Some _ | None -> None
+  in
+  let log_on = enabled level in
+  if log_on || mirror <> None then
     Format.kasprintf
-      (fun s -> Logs.msg ~src level (fun m -> m "[%a] %s" Time.pp (now ()) s))
+      (fun s ->
+        if log_on then Logs.msg ~src level (fun m -> m "[%a] %s" Time.pp (now ()) s);
+        match mirror with Some m -> m ~level s | None -> ())
       fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 

@@ -15,7 +15,18 @@ val set_now : (unit -> Time.t) -> unit
     reports {!Time.zero}. *)
 
 val now : unit -> Time.t
-(** The current domain's simulated time, as installed by {!set_now}. *)
+(** The current domain's simulated time, as installed by {!set_now}.  The
+    accessor lives in domain-local storage ([Domain.DLS]): each domain sees
+    the clock of the run {e it} is executing, and the {!Time.zero} default
+    applies per domain until that domain's controller installs a clock —
+    there is no process-wide clock to fall back to. *)
+
+val set_mirror : (level:Logs.level -> string -> unit) option -> unit
+(** Installs (or clears, with [None]) the calling domain's log mirror: a
+    callback invoked with every formatted [warn]/[err] line, {e regardless}
+    of the [Logs] reporting level.  The controller uses it to surface
+    warnings as trace instants when tracing is enabled.  Domain-local, like
+    the clock. *)
 
 val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
 val info : ('a, Format.formatter, unit, unit) format4 -> 'a

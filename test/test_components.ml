@@ -155,6 +155,7 @@ let test_rbc_spoofed_init_ignored () =
       set_timer = (fun ~delay_ms:_ ~tag:_ _ -> 0);
       cancel_timer = ignore;
       decide = (fun v -> delivered := v :: !delivered);
+      probe = (fun ~tag:_ ~detail:_ -> ());
     }
   in
   let t = P.Rbc.create () in
@@ -191,6 +192,7 @@ let test_rbc_delivery_thresholds () =
       set_timer = (fun ~delay_ms:_ ~tag:_ _ -> 0);
       cancel_timer = ignore;
       decide = ignore;
+      probe = (fun ~tag:_ ~detail:_ -> ());
     }
   in
   let t = P.Rbc.create () in
