@@ -328,6 +328,105 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Cross-validate a configuration (determinism and trace replay)")
     term
 
+(* --- conform --- *)
+
+let conform_cmd =
+  let module Conf = Bftsim_conformance in
+  let budget_arg =
+    Arg.(value & opt int 32
+         & info [ "budget" ] ~docv:"SEEDS"
+             ~doc:"Number of random scenarios to generate and check.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"Fuzzing seed (scenario batch is a pure function of it).") in
+  let protocols_arg =
+    Arg.(value & opt (some string) None
+         & info [ "protocols" ] ~docv:"NAMES"
+             ~doc:"Comma-separated protocol names to fuzz (default: all registered).")
+  in
+  let families_arg =
+    Arg.(value & opt (some string) None
+         & info [ "families" ] ~docv:"LIST"
+             ~doc:"Comma-separated attacker families: none, failstop, partition, delay, chaos \
+                   (default: all).")
+  in
+  let out_arg =
+    Arg.(value & opt string "conform-out"
+         & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunk counterexample bundles.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"INT"
+             ~doc:"Domains to fan scenario checks across (default BFTSIM_JOBS, else cores - 1).")
+  in
+  let no_det_arg =
+    Arg.(value & flag
+         & info [ "no-determinism" ]
+             ~doc:"Skip the per-scenario determinism replay (3x faster, safety oracles only).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Keep failing configs as generated, do not minimize.")
+  in
+  let shrink_budget_arg =
+    Arg.(value & opt int 48
+         & info [ "shrink-budget" ] ~docv:"INT"
+             ~doc:"Max harness re-evaluations the shrinker may spend per counterexample.")
+  in
+  let action budget seed protocols families out jobs no_det no_shrink shrink_budget verbose =
+    setup_logs verbose;
+    let parse_csv parse label = function
+      | None -> Ok None
+      | Some s ->
+        let items = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | x :: rest -> (
+            match parse x with
+            | Some v -> go (v :: acc) rest
+            | None -> Error (Printf.sprintf "unknown %s %S" label x))
+        in
+        go [] items
+    in
+    let protocols_r =
+      parse_csv
+        (fun name -> Option.map (fun _ -> name) (Protocols.Registry.find name))
+        "protocol" protocols
+    in
+    let families_r = parse_csv Conf.Scenario.family_of_string "family" families in
+    match (protocols_r, families_r) with
+    | Error e, _ | _, Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok protocols, Ok families ->
+      (match Protocols.Quorum.mutation () with
+      | Some m ->
+        Format.printf "MUTATION ACTIVE: %s (expect failures)@."
+          (Protocols.Quorum.mutation_to_string m)
+      | None -> ());
+      let report =
+        Conf.Harness.fuzz ?protocols ?families ?jobs ~determinism:(not no_det)
+          ~shrink:(not no_shrink) ~shrink_budget ~bundle_dir:out ~budget ~seed ()
+      in
+      Format.printf "%a@." Conf.Harness.pp_report report;
+      if Conf.Harness.ok report then begin
+        Format.printf "conformance OK: %d scenario(s), all oracles hold@."
+          report.Conf.Harness.scenarios;
+        0
+      end
+      else 2
+  in
+  let term =
+    Term.(
+      const action $ budget_arg $ seed_arg $ protocols_arg $ families_arg $ out_arg $ jobs_arg
+      $ no_det_arg $ no_shrink_arg $ shrink_budget_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Fuzz random scenarios across protocols, attackers and network models; check protocol \
+          oracles (agreement, validity, integrity, quorum sanity) plus replay determinism; \
+          shrink and persist any counterexample")
+    term
+
 (* --- loc --- *)
 
 let loc_cmd =
@@ -357,6 +456,6 @@ let loc_cmd =
 let main_cmd =
   let doc = "Efficient and flexible simulator for BFT protocols (DSN 2022 reproduction)" in
   let info = Cmd.info "bftsim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; loc_cmd ]
+  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; loc_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,51 @@
+open Bftsim_core
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let config_lines ?(header = []) config =
+  List.map (fun h -> "# " ^ h) header
+  @ List.map (fun (k, v) -> Printf.sprintf "%s = %s" k v) (Config.to_keyvalues config)
+
+let write ~dir ~name ~original ~shrunk ~verdicts ~(result : Controller.result) () =
+  let bundle = Filename.concat dir name in
+  mkdir_p bundle;
+  write_lines (Filename.concat bundle "config.txt")
+    (config_lines
+       ~header:
+         [
+           "Shrunk failing configuration — replay with: bftsim run -c config.txt";
+           "Validate determinism with:  bftsim validate -c config.txt";
+         ]
+       shrunk);
+  write_lines (Filename.concat bundle "original.txt")
+    (config_lines ~header:[ "Configuration as originally generated (before shrinking)" ] original);
+  write_lines
+    (Filename.concat bundle "report.txt")
+    ([
+       "scenario : " ^ Config.describe shrunk;
+       Format.asprintf "outcome  : %a" Controller.pp_outcome result.Controller.outcome;
+       Printf.sprintf "verdicts : %d" (List.length verdicts);
+     ]
+    @ List.map (fun v -> "  " ^ Oracle.describe v) verdicts);
+  (match result.Controller.trace with
+  | Some trace ->
+    let oc = open_out (Filename.concat bundle "trace.txt") in
+    let ppf = Format.formatter_of_out_channel oc in
+    Trace.dump ppf trace;
+    Format.pp_print_flush ppf ();
+    close_out oc
+  | None -> ());
+  bundle

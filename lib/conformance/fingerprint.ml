@@ -1,0 +1,35 @@
+open Bftsim_core
+module Sha256 = Bftsim_crypto.Sha256
+
+let canonical (r : Controller.result) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "protocol=%s" r.Controller.config.Config.protocol;
+  add "n=%d" r.Controller.config.Config.n;
+  add "seed=%d" r.Controller.config.Config.seed;
+  add "outcome=%s" (Format.asprintf "%a" Controller.pp_outcome r.Controller.outcome);
+  add "time_ms=%.6f" r.Controller.time_ms;
+  add "messages_sent=%d" r.Controller.messages_sent;
+  add "bytes_sent=%d" r.Controller.bytes_sent;
+  add "messages_dropped=%d" r.Controller.messages_dropped;
+  add "events=%d" r.Controller.events_processed;
+  add "safety_ok=%b" r.Controller.safety_ok;
+  List.iter
+    (fun (node, values) -> add "decided:%d=[%s]" node (String.concat ";" values))
+    (List.sort compare r.Controller.decisions);
+  add "final_views=[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int r.Controller.final_views)));
+  Buffer.contents b
+
+let of_result r = Sha256.to_hex (Sha256.digest_string (canonical r))
+
+let canonical_trace trace =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Format.asprintf "%a" Trace.pp_entry e);
+      Buffer.add_char b '\n')
+    (Trace.entries trace);
+  Buffer.contents b
+
+let of_trace trace = Sha256.to_hex (Sha256.digest_string (canonical_trace trace))

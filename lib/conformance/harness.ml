@@ -1,0 +1,121 @@
+open Bftsim_core
+
+type failure = {
+  scenario : Scenario.t;
+  verdicts : Oracle.verdict list;
+  shrunk : Config.t;
+  shrunk_verdicts : Oracle.verdict list;
+  shrunk_result : Controller.result;
+  shrink_attempts : int;
+  bundle : string option;
+}
+
+type report = { scenarios : int; checks : int; failures : failure list }
+
+let ok report = report.failures = []
+
+let check_config ?(determinism = true) ?(expect_live = true) config =
+  let config = { config with Config.record_trace = true } in
+  let result = Controller.run config in
+  let verdicts = Oracle.check_result config result in
+  let liveness =
+    if expect_live && result.Controller.outcome <> Controller.Reached_target then
+      [
+        {
+          Oracle.oracle = "liveness";
+          detail =
+            Format.asprintf "expected to reach the decision target but %a after %g ms"
+              Controller.pp_outcome result.Controller.outcome result.Controller.time_ms;
+        };
+      ]
+    else []
+  in
+  let det =
+    if not determinism then []
+    else begin
+      let r = Validator.check_determinism config in
+      if r.Validator.decisions_match && r.Validator.trace_match <> Some false then []
+      else
+        [
+          {
+            Oracle.oracle = "determinism";
+            detail = Format.asprintf "%a" Validator.pp_report r;
+          };
+        ]
+    end
+  in
+  (verdicts @ liveness @ det, result)
+
+let run_scenario ?determinism (scenario : Scenario.t) =
+  check_config ?determinism ~expect_live:scenario.Scenario.expect_live scenario.Scenario.config
+
+let bundle_name idx (config : Config.t) =
+  Printf.sprintf "%03d-%s-n%d-seed%d" idx config.Config.protocol config.Config.n config.Config.seed
+
+let fuzz ?protocols ?families ?jobs ?(determinism = true) ?(shrink = true) ?(shrink_budget = 48)
+    ?bundle_dir ~budget ~seed () =
+  let scenarios = Scenario.sample ?protocols ?families ~budget ~seed () in
+  (* Scenario checks are independent full simulations, so they fan out
+     across the domain pool exactly like Runner replications. *)
+  let checked =
+    Parallel.map ?jobs
+      (fun (s : Scenario.t) -> run_scenario ~determinism s)
+      scenarios
+  in
+  let failures =
+    List.concat
+      (List.map2
+         (fun scenario (verdicts, result) ->
+           if verdicts = [] then []
+           else begin
+             let expect_live = scenario.Scenario.expect_live in
+             let fails c = fst (check_config ~determinism ~expect_live c) <> [] in
+             let shrunk, shrink_attempts =
+               if shrink then Shrink.minimize ~budget:shrink_budget ~fails scenario.Scenario.config
+               else (scenario.Scenario.config, 0)
+             in
+             let shrunk_verdicts, shrunk_result =
+               if shrunk == scenario.Scenario.config then (verdicts, result)
+               else check_config ~determinism ~expect_live shrunk
+             in
+             [
+               {
+                 scenario;
+                 verdicts;
+                 shrunk;
+                 shrunk_verdicts;
+                 shrunk_result;
+                 shrink_attempts;
+                 bundle = None;
+               };
+             ]
+           end)
+         scenarios checked)
+  in
+  let failures =
+    match bundle_dir with
+    | None -> failures
+    | Some dir ->
+      List.mapi
+        (fun idx f ->
+          let bundle =
+            Bundle.write ~dir ~name:(bundle_name idx f.shrunk) ~original:f.scenario.Scenario.config
+              ~shrunk:f.shrunk ~verdicts:f.shrunk_verdicts ~result:f.shrunk_result ()
+          in
+          { f with bundle = Some bundle })
+        failures
+  in
+  { scenarios = List.length scenarios; checks = List.length checked; failures }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d scenario(s), %d failure(s)" r.scenarios (List.length r.failures);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@.FAIL %s" (Scenario.describe f.scenario);
+      List.iter (fun v -> Format.fprintf ppf "@.  %s" (Oracle.describe v)) f.verdicts;
+      Format.fprintf ppf "@.  shrunk (%d attempt(s)) to: %s" f.shrink_attempts
+        (Config.describe f.shrunk);
+      match f.bundle with
+      | Some path -> Format.fprintf ppf "@.  bundle: %s" path
+      | None -> ())
+    r.failures

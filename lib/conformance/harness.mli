@@ -1,0 +1,56 @@
+(** The conformance harness: generate → run → judge → shrink → persist.
+
+    One {!check_config} call runs a configuration (trace recording on),
+    evaluates every {!Oracle} on the result, adds a {e liveness} verdict
+    when a run expected to terminate did not, and — unless disabled — a
+    {e determinism} verdict from {!Bftsim_core.Validator.check_determinism}
+    (so each scenario costs up to three simulations).
+
+    {!fuzz} drives a whole batch: scenarios are drawn by {!Scenario.sample}
+    from a seed, checked in parallel across the domain pool, and each
+    failure is shrunk with {!Shrink.minimize} and optionally persisted as a
+    replayable {!Bundle}. *)
+
+open Bftsim_core
+
+type failure = {
+  scenario : Scenario.t;  (** As generated. *)
+  verdicts : Oracle.verdict list;  (** Verdicts against the original config. *)
+  shrunk : Config.t;  (** Minimized failing config (= original if unshrinkable). *)
+  shrunk_verdicts : Oracle.verdict list;
+  shrunk_result : Controller.result;
+  shrink_attempts : int;  (** Predicate evaluations the shrinker spent. *)
+  bundle : string option;  (** Bundle directory, when one was written. *)
+}
+
+type report = { scenarios : int; checks : int; failures : failure list }
+
+val ok : report -> bool
+
+val check_config :
+  ?determinism:bool -> ?expect_live:bool -> Config.t -> Oracle.verdict list * Controller.result
+(** Run one configuration and judge it.  [determinism] (default [true])
+    additionally replays the config twice through the validator;
+    [expect_live] (default [true]) turns a non-[Reached_target] outcome
+    into a verdict. *)
+
+val run_scenario : ?determinism:bool -> Scenario.t -> Oracle.verdict list * Controller.result
+
+val fuzz :
+  ?protocols:string list ->
+  ?families:Scenario.family list ->
+  ?jobs:int ->
+  ?determinism:bool ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?bundle_dir:string ->
+  budget:int ->
+  seed:int ->
+  unit ->
+  report
+(** [fuzz ~budget ~seed ()] draws and checks [budget] scenarios.  Scenario
+    checks fan out over [jobs] domains ({!Bftsim_core.Parallel.map}
+    defaults); shrinking and bundle writing happen sequentially afterwards.
+    [bundle_dir] enables counterexample persistence. *)
+
+val pp_report : Format.formatter -> report -> unit

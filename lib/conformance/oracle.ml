@@ -1,0 +1,172 @@
+open Bftsim_core
+module Attack = Bftsim_attack
+module Protocols = Bftsim_protocols
+
+type verdict = { oracle : string; detail : string }
+
+let describe v = Printf.sprintf "[%s] %s" v.oracle v.detail
+
+(* Protocols whose decided values are (derived from) the proposed inputs;
+   chained protocols decide block digests, so validity is meaningless there
+   (the same reasoning as Config.check_validity's default).  async-ba is
+   excluded: it hashes non-binary inputs down to a bit, so its decisions
+   derive from proposals only under already-binary inputs — handled
+   separately below. *)
+let value_deciding = [ "add-v1"; "add-v2"; "add-v3"; "algorand"; "pbft" ]
+
+(* One-shot consensus: each node decides exactly once, so a second decision
+   is a decide-once (integrity) violation.  Multi-slot and chained
+   protocols may legitimately overshoot the decision target (a single
+   3-chain commit can decide several ancestor blocks at once). *)
+let one_shot = [ "add-v1"; "add-v2"; "add-v3"; "algorand"; "async-ba" ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* A node's decisions count towards safety oracles when it is honest for
+   the whole run: not config-crashed and not adaptively corrupted. *)
+let counted (config : Config.t) (result : Controller.result) node =
+  (not (List.mem node config.Config.crashed)) && not (List.mem node result.Controller.corrupted)
+
+(* Per-index agreement additionally presumes a complete decision log, which
+   chaos-crashed-and-recovered nodes do not have (no state transfer). *)
+let aligned (config : Config.t) (result : Controller.result) node =
+  counted config result node
+  && not (Attack.Fault_schedule.ever_crashed config.Config.chaos ~node)
+
+let agreement_over ~aligned decisions =
+  let verdicts = ref [] in
+  let by_index : (int, int * string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (node, values) ->
+      if aligned node then
+        List.iteri
+          (fun k value ->
+            match Hashtbl.find_opt by_index k with
+            | None -> Hashtbl.replace by_index k (node, value)
+            | Some (other, expected) ->
+              if not (String.equal expected value) then
+                verdicts :=
+                  {
+                    oracle = "agreement";
+                    detail =
+                      Printf.sprintf "decision %d: node %d decided %S but node %d decided %S" k
+                        node value other expected;
+                  }
+                  :: !verdicts)
+          values)
+    decisions;
+  List.rev !verdicts
+
+let agreement config result =
+  agreement_over ~aligned:(aligned config result) result.Controller.decisions
+
+let validity config result =
+  let proposals = List.init config.Config.n (Config.input_for config) in
+  let binary = List.for_all (fun p -> p = "0" || p = "1") proposals in
+  let derives =
+    if List.mem config.Config.protocol value_deciding then
+      Some (fun value -> List.exists (fun p -> contains ~needle:p value) proposals)
+    else if config.Config.protocol = "async-ba" && binary then
+      (* Binary validity: with all-binary inputs the decided bit must have
+         been proposed by someone. *)
+      Some (fun value -> List.mem value proposals)
+    else None
+  in
+  match derives with
+  | None -> []
+  | Some derives ->
+    List.concat_map
+      (fun (node, values) ->
+        if not (counted config result node) then []
+        else
+          List.filter_map
+            (fun value ->
+              if derives value then None
+              else
+                Some
+                  {
+                    oracle = "validity";
+                    detail =
+                      Printf.sprintf "node %d decided %S, which derives from no proposed value"
+                        node value;
+                  })
+            values)
+      result.Controller.decisions
+
+let integrity config result =
+  let verdicts = ref [] in
+  let flag detail = verdicts := { oracle = "integrity"; detail } :: !verdicts in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (node, values) ->
+      if Hashtbl.mem seen node then
+        flag (Printf.sprintf "node %d appears twice in the decision table" node);
+      Hashtbl.replace seen node ();
+      if List.mem node config.Config.crashed && values <> [] then
+        flag
+          (Printf.sprintf "config-crashed node %d decided %d value(s)" node (List.length values));
+      if
+        List.mem config.Config.protocol one_shot
+        && counted config result node
+        && List.length values > 1
+      then
+        flag
+          (Printf.sprintf "node %d decided %d times in a one-shot consensus" node
+             (List.length values)))
+    result.Controller.decisions;
+  List.rev !verdicts
+
+let qc_sanity ~n =
+  let f = Protocols.Quorum.max_faulty n in
+  let q = Protocols.Quorum.quorum n in
+  let verdicts = ref [] in
+  let flag detail = verdicts := { oracle = "qc-sanity"; detail } :: !verdicts in
+  if q > n then flag (Printf.sprintf "quorum %d exceeds n = %d" q n);
+  if q < 1 then flag (Printf.sprintf "quorum %d is empty (n = %d)" q n);
+  (* Quorum intersection: two quorums overlap in at least 2q - n nodes; that
+     overlap must contain an honest node, i.e. exceed f. *)
+  if (2 * q) - n < f + 1 then
+    flag
+      (Printf.sprintf
+         "quorum intersection broken: two quorums of %d among %d nodes overlap in %d <= f = %d"
+         q n ((2 * q) - n) f);
+  if Protocols.Quorum.one_honest n < f + 1 then
+    flag (Printf.sprintf "one-honest threshold %d admits all-faulty sets (f = %d)"
+            (Protocols.Quorum.one_honest n) f);
+  List.rev !verdicts
+
+let online result =
+  List.map
+    (fun v ->
+      { oracle = "online-" ^ v.Invariant.monitor; detail = Invariant.describe_violation v })
+    result.Controller.violations
+
+let check_trace config (result : Controller.result) =
+  match result.Controller.trace with
+  | None -> []
+  | Some trace ->
+    let from_trace = List.sort compare (Trace.decisions trace) in
+    let from_result =
+      List.sort compare
+        (List.filter (fun (_, values) -> values <> []) result.Controller.decisions)
+    in
+    (if from_trace <> from_result then
+       [
+         {
+           oracle = "trace-consistency";
+           detail = "decisions recorded in the trace differ from the result's decision table";
+         };
+       ]
+     else [])
+    @ agreement_over ~aligned:(aligned config result) from_trace
+
+let check_result config result =
+  qc_sanity ~n:config.Config.n
+  @ agreement config result
+  @ integrity config result
+  @ validity config result
+  @ online result
+  @ check_trace config result

@@ -1,0 +1,111 @@
+open Bftsim_core
+module Attack = Bftsim_attack
+
+(* A candidate is one simplification step applied to a failing config; it
+   must still be a valid configuration to be worth re-running. *)
+let valid config = match Config.validate config with () -> true | exception Invalid_argument _ -> false
+
+let without_nth xs k = List.filteri (fun i _ -> i <> k) xs
+
+let halves = function
+  | [] | [ _ ] -> []
+  | xs ->
+    let k = List.length xs / 2 in
+    [ List.filteri (fun i _ -> i < k) xs; List.filteri (fun i _ -> i >= k) xs ]
+
+(* Reduce n while keeping the rest of the scenario meaningful: drop crashed
+   ids that no longer exist, clamp the partition split, and keep only chaos
+   steps that still validate. *)
+let with_n (config : Config.t) n' =
+  let crashed = List.filter (fun id -> id < n') config.Config.crashed in
+  let attack =
+    match config.Config.attack with
+    | Config.Partition { first_size; start_ms; heal_ms; drop } ->
+      Config.Partition { first_size = max 1 (min first_size (n' - 1)); start_ms; heal_ms; drop }
+    | Config.Silence { nodes; at_ms } ->
+      Config.Silence { nodes = List.filter (fun id -> id < n') nodes; at_ms }
+    | a -> a
+  in
+  let chaos =
+    List.filter
+      (fun step -> match Attack.Fault_schedule.validate ~n:n' [ step ] with
+        | () -> true
+        | exception Invalid_argument _ -> false)
+      config.Config.chaos
+  in
+  { config with Config.n = n'; crashed; attack; chaos }
+
+let candidates (config : Config.t) =
+  let chaos_steps = config.Config.chaos in
+  let chaos_candidates =
+    if chaos_steps = [] then []
+    else
+      ({ config with Config.chaos = [] }
+       :: List.map (fun half -> { config with Config.chaos = half }) (halves chaos_steps))
+      @
+      if List.length chaos_steps <= 6 then
+        List.mapi (fun k _ -> { config with Config.chaos = without_nth chaos_steps k }) chaos_steps
+      else []
+  in
+  let attack_candidates =
+    match config.Config.attack with
+    | Config.No_attack -> []
+    | _ -> [ { config with Config.attack = Config.No_attack } ]
+  in
+  let crashed_candidates =
+    match config.Config.crashed with
+    | [] -> []
+    | [ _ ] -> [ { config with Config.crashed = [] } ]
+    | ids ->
+      ({ config with Config.crashed = [] }
+       :: List.map (fun half -> { config with Config.crashed = half }) (halves ids))
+      @ List.mapi (fun k _ -> { config with Config.crashed = without_nth ids k }) ids
+  in
+  let n_candidates =
+    List.filter_map
+      (fun n' -> if n' < config.Config.n then Some (with_n config n') else None)
+      [ 4; 5; 7; 8; 10; 13 ]
+  in
+  let target_candidates =
+    if config.Config.decisions_target > 1 then
+      [ { config with Config.decisions_target = 1 } ]
+    else []
+  in
+  let seed_candidates =
+    if config.Config.seed > 3 then
+      List.map (fun s -> { config with Config.seed = s }) [ 1; 2; 3 ]
+    else []
+  in
+  let delay_candidates =
+    match config.Config.delay with
+    | Bftsim_net.Delay_model.Constant _ -> []
+    | _ -> [ { config with Config.delay = Bftsim_net.Delay_model.Constant 100. } ]
+  in
+  let inputs_candidates =
+    match config.Config.inputs with
+    | Config.Distinct -> []
+    | _ -> [ { config with Config.inputs = Config.Distinct } ]
+  in
+  List.filter valid
+    (chaos_candidates @ attack_candidates @ crashed_candidates @ n_candidates
+   @ target_candidates @ delay_candidates @ inputs_candidates @ seed_candidates)
+
+let minimize ?(budget = 48) ~fails config =
+  if budget < 0 then invalid_arg "Shrink.minimize: negative budget";
+  let attempts = ref 0 in
+  let rec fixpoint current =
+    let rec first_failing = function
+      | [] -> None
+      | candidate :: rest ->
+        if !attempts >= budget then None
+        else begin
+          incr attempts;
+          if fails candidate then Some candidate else first_failing rest
+        end
+    in
+    match first_failing (candidates current) with
+    | Some simpler -> fixpoint simpler
+    | None -> current
+  in
+  let minimal = fixpoint config in
+  (minimal, !attempts)

@@ -1,0 +1,27 @@
+(** Counterexample shrinking.
+
+    Given a failing configuration and a predicate that re-runs the harness,
+    greedily minimize the scenario: drop the chaos schedule (whole, halves,
+    then single steps), remove the attacker, shed crashed nodes, shrink [n]
+    (fixing up crashed ids, partition splits and chaos steps to stay valid),
+    reduce the decision target to 1, simplify the delay model to a constant,
+    and try small seeds.  Each accepted step restarts the scan, so the
+    result is a local minimum: no single candidate simplification of it
+    still fails.
+
+    The predicate is typically [fun c -> Harness.check_config c <> []]; any
+    failure — not necessarily the original oracle — keeps a candidate, which
+    is the standard delta-debugging trade-off (it can only make the repro
+    simpler to trigger). *)
+
+open Bftsim_core
+
+val candidates : Config.t -> Config.t list
+(** The one-step simplifications of a config, most aggressive first, each
+    already re-validated. *)
+
+val minimize : ?budget:int -> fails:(Config.t -> bool) -> Config.t -> Config.t * int
+(** [minimize ~fails config] is the shrunk config together with the number
+    of predicate evaluations spent.  [budget] (default 48) caps those
+    evaluations; the original [config] is assumed failing and is returned
+    unchanged if nothing simpler fails. *)

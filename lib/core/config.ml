@@ -212,6 +212,11 @@ let parse_attack s =
     | "none" -> Ok No_attack
     | "add-adaptive" -> Ok (Add_rushing_adaptive { budget = None })
     | _ -> Error (Printf.sprintf "unknown attack %S" s))
+  | Some i when String.sub s 0 i = "add-adaptive" -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt rest with
+    | Some budget -> Ok (Add_rushing_adaptive { budget = Some budget })
+    | None -> Error (Printf.sprintf "invalid add-adaptive budget %S" rest))
   | Some i -> (
     let kind = String.sub s 0 i and rest = String.sub s (i + 1) (String.length s - i - 1) in
     match kind with
@@ -252,6 +257,24 @@ let parse_attack s =
       | None -> Error (Printf.sprintf "invalid extra-delay %S" rest))
     | _ -> Error (Printf.sprintf "unknown attack %S" s))
 
+(* Parseable renderings (inverses of the parsers below) so a config can be
+   written back out as a key = value file — the conformance repro bundles. *)
+let attack_to_cli_string = function
+  | No_attack -> "none"
+  | Partition { first_size; start_ms; heal_ms; drop } ->
+    Printf.sprintf "partition:%d,%g,%g%s" first_size start_ms heal_ms (if drop then "" else ",delay")
+  | Silence { nodes; at_ms } ->
+    Printf.sprintf "silence:%s@%g" (String.concat "," (List.map string_of_int nodes)) at_ms
+  | Add_static { f } -> Printf.sprintf "add-static:%d" f
+  | Add_rushing_adaptive { budget = None } -> "add-adaptive"
+  | Add_rushing_adaptive { budget = Some b } -> Printf.sprintf "add-adaptive:%d" b
+  | Extra_delay { extra_ms } -> Printf.sprintf "extra-delay:%g" extra_ms
+
+let inputs_to_cli_string = function
+  | Distinct -> "distinct"
+  | Same v -> "same:" ^ v
+  | Random_binary -> "binary"
+
 let parse_inputs s =
   if String.equal s "distinct" then Ok Distinct
   else if String.equal s "binary" then Ok Random_binary
@@ -283,6 +306,7 @@ let of_keyvalues kvs =
   in
   let* n = int_key "n" 16 in
   let* seed = int_key "seed" 1 in
+  let* max_events = int_key "max_events" 50_000_000 in
   let* lambda_ms = float_key "lambda" 1000. in
   let* max_time_ms = float_key "max_time_ms" 600_000. in
   let* delay =
@@ -355,5 +379,43 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry protocol)
+            ~max_events ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry protocol)
      with Invalid_argument msg -> Error msg)
+
+(* Inverse of [of_keyvalues]: render the configuration as the key = value
+   pairs the CLI and config files understand, so a failing fuzz scenario can
+   be written to disk and replayed verbatim ([bftsim run -c bundle/config.txt]).
+   Fields without file syntax ([record_trace], [view_sample_ms]) are
+   per-invocation switches, not scenario identity, and are omitted. *)
+let to_keyvalues t =
+  [
+    ("protocol", t.protocol);
+    ("n", string_of_int t.n);
+    ("seed", string_of_int t.seed);
+    ("lambda", Printf.sprintf "%g" t.lambda_ms);
+    ("delay", Delay_model.to_cli_string t.delay);
+    ("max_time_ms", Printf.sprintf "%g" t.max_time_ms);
+    ("max_events", string_of_int t.max_events);
+    ("target", string_of_int t.decisions_target);
+    ("inputs", inputs_to_cli_string t.inputs);
+  ]
+  @ (if t.crashed = [] then []
+     else [ ("crashed", String.concat "," (List.map string_of_int t.crashed)) ])
+  @ (match t.attack with No_attack -> [] | a -> [ ("attack", attack_to_cli_string a) ])
+  @ (match t.transport with
+    | Direct -> []
+    | Gossip { fanout } -> [ ("transport", Printf.sprintf "gossip:%d" fanout) ])
+  @ (if Cost_model.is_zero t.costs then []
+     else
+       [ ("costs", Printf.sprintf "custom:%g,%g" t.costs.Cost_model.sign_ms t.costs.Cost_model.verify_ms) ])
+  @ (match t.chaos with [] -> [] | plan -> [ ("chaos", Attack.Fault_schedule.describe plan) ])
+  @ (match t.watchdog with None -> [] | Some k -> [ ("watchdog", Printf.sprintf "%g" k) ])
+  @ (match t.naive_reset with
+    | Protocols.Context.Reset_on_commit -> []
+    | p -> [ ("naive_reset", Protocols.Context.naive_reset_policy_to_string p) ])
+  @ (if t.telemetry.metrics then [ ("metrics", "true") ] else [])
+  @ (if t.telemetry.tracing then [ ("tracing", "true") ] else [])
+  @
+  if t.telemetry.trace_capacity <> default_telemetry.trace_capacity then
+    [ ("trace_capacity", string_of_int t.telemetry.trace_capacity) ]
+  else []

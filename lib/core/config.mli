@@ -145,6 +145,12 @@ val describe : t -> string
 
 val describe_attack : attack_spec -> string
 
+val attack_to_cli_string : attack_spec -> string
+(** Parseable rendering (inverse of the [attack] key syntax), unlike
+    {!describe_attack} which renders the human notation. *)
+
+val inputs_to_cli_string : inputs -> string
+
 val of_keyvalues : (string * string) list -> (t, string) result
 (** Builds a config from [key = value] pairs (the CLI's config-file
     contents).  Recognized keys: [protocol], [n], [lambda], [delay],
@@ -156,5 +162,11 @@ val of_keyvalues : (string * string) list -> (t, string) result
     {!Bftsim_attack.Fault_schedule.of_string} plan, e.g.
     ["crash:3@0;recover:3@15000"]), [watchdog] (the stall multiplier
     [k], in units of [lambda_ms]), [naive_reset]
-    ([commit] | [never] | [view]), [metrics] / [tracing] (booleans) and
-    [trace_capacity] (ring-buffer entries). *)
+    ([commit] | [never] | [view]), [max_events], [metrics] / [tracing]
+    (booleans) and [trace_capacity] (ring-buffer entries). *)
+
+val to_keyvalues : t -> (string * string) list
+(** Inverse of {!of_keyvalues}: the configuration as parseable key = value
+    pairs (the repro-bundle format).  Round-trips through {!of_keyvalues}
+    for every field that has file syntax; per-invocation switches
+    ([record_trace], [view_sample_ms]) are omitted. *)

@@ -17,18 +17,26 @@ let decisions_divergence (a : Controller.result) (b : Controller.result) =
     t
   in
   let ta = to_table a and tb = to_table b in
-  let diff = ref None in
-  Hashtbl.iter
-    (fun node values ->
-      if !diff = None then
-        let other = Option.value ~default:[] (Hashtbl.find_opt tb node) in
-        if other <> values then
-          diff :=
-            Some
-              (Printf.sprintf "node %d decided [%s] vs [%s]" node (String.concat "; " values)
-                 (String.concat "; " other)))
-    ta;
-  !diff
+  (* Compare over the union of nodes: a node that decided only in the
+     replayed run (absent from the ground-truth table) is a divergence
+     too, so iterating a single table would miss it. *)
+  let nodes = Hashtbl.create 16 in
+  Hashtbl.iter (fun node _ -> Hashtbl.replace nodes node ()) ta;
+  Hashtbl.iter (fun node _ -> Hashtbl.replace nodes node ()) tb;
+  let sorted = List.sort compare (Hashtbl.fold (fun node () acc -> node :: acc) nodes []) in
+  List.fold_left
+    (fun diff node ->
+      match diff with
+      | Some _ -> diff
+      | None ->
+        let va = Option.value ~default:[] (Hashtbl.find_opt ta node) in
+        let vb = Option.value ~default:[] (Hashtbl.find_opt tb node) in
+        if va <> vb then
+          Some
+            (Printf.sprintf "node %d decided [%s] vs [%s]" node (String.concat "; " va)
+               (String.concat "; " vb))
+        else None)
+    None sorted
 
 let replay_delays trace =
   let table = Hashtbl.create 256 in

@@ -19,6 +19,11 @@ type report = {
 val same_decisions : Controller.result -> Controller.result -> bool
 (** Agreement of the per-node decision sequences (order-sensitive). *)
 
+val decisions_divergence : Controller.result -> Controller.result -> string option
+(** Human-readable first per-node difference between the two decision
+    tables, [None] when they agree.  Symmetric: a node that decided in only
+    one of the runs — either one — is reported. *)
+
 val replay_delays : Trace.t -> src:int -> dst:int -> tag:string -> seq:int -> float option
 (** A {!Controller.run} [delay_override] that replays the message delays
     recorded in a ground-truth trace; [None] (fall back to sampling) for

@@ -1,6 +1,28 @@
+(* Mutation-testing hook: the conformance harness must demonstrably catch a
+   quorum-arithmetic bug, so one can be injected on demand.  Programmatic
+   setter for tests; the BFTSIM_MUTATE environment variable seeds the
+   initial value so the CI mutation-smoke step can flip it from outside. *)
+type mutation = Quorum_minus_one
+
+let mutation_of_string = function "quorum-minus-one" -> Some Quorum_minus_one | _ -> None
+
+let mutation_to_string = function Quorum_minus_one -> "quorum-minus-one"
+
+let active_mutation =
+  ref
+    (match Sys.getenv_opt "BFTSIM_MUTATE" with
+    | Some s -> mutation_of_string s
+    | None -> None)
+
+let set_mutation m = active_mutation := m
+
+let mutation () = !active_mutation
+
 let max_faulty n = (n - 1) / 3
 
-let quorum n = n - max_faulty n
+let quorum n =
+  let q = n - max_faulty n in
+  match !active_mutation with Some Quorum_minus_one -> q - 1 | None -> q
 
 let one_honest n = max_faulty n + 1
 

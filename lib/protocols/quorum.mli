@@ -21,3 +21,27 @@ val supermajority : int -> int
 
 val check : n:int -> f:int -> unit
 (** @raise Invalid_argument unless [0 <= f] and [n > 3 f]. *)
+
+(** {2 Mutation-testing hook}
+
+    The conformance harness's value rests on actually catching bugs, so a
+    known quorum-arithmetic bug can be injected on demand and the harness
+    asserted to flag it (the CI mutation-smoke step).  Exactly one mutation
+    exists today: *)
+
+type mutation =
+  | Quorum_minus_one
+      (** [quorum n] returns one vote too few — quorums may no longer
+          intersect in an honest node, the classic off-by-one that breaks
+          agreement without affecting liveness. *)
+
+val set_mutation : mutation option -> unit
+(** Activate/clear the injected bug (process-global, tests only). *)
+
+val mutation : unit -> mutation option
+(** The active mutation; seeded from the [BFTSIM_MUTATE] environment
+    variable ([quorum-minus-one]) at startup. *)
+
+val mutation_of_string : string -> mutation option
+
+val mutation_to_string : mutation -> string

@@ -5,6 +5,7 @@
 
 module B = Bftsim_baseline
 module Core = Bftsim_core
+module Conf = Bftsim_conformance
 
 (* --- Packet --- *)
 
@@ -104,6 +105,54 @@ let test_engine_cross_validation_with_main () =
   Alcotest.(check string) "same decided value across engines" (value_of m.Core.Controller.decisions)
     (value_of b.B.Engine.decisions)
 
+let test_engine_differential_oracles () =
+  (* Differential testing with the conformance oracles: run the same
+     protocol on both engines and hold BOTH result sets to the same
+     agreement / validity / integrity standard.  The baseline has no
+     Controller.result of its own, so its decision table is judged by
+     substituting it into the main run's record — the oracles only read the
+     config and the decisions. *)
+  List.iter
+    (fun (protocol, seeds) ->
+      List.iter
+        (fun seed ->
+          let config = Core.Config.make protocol ~n:8 ~seed ~decisions_target:1 in
+          let m = Core.Controller.run config in
+          let b = B.Engine.run ~protocol ~decisions_target:1 ~n:8 ~seed () in
+          Alcotest.(check bool) (Printf.sprintf "%s seed=%d baseline decides" protocol seed) true
+            b.B.Engine.outcome_ok;
+          let judge label decisions =
+            let substituted = { m with Core.Controller.decisions; trace = None } in
+            let verdicts =
+              Conf.Oracle.agreement config substituted
+              @ Conf.Oracle.validity config substituted
+              @ Conf.Oracle.integrity config substituted
+            in
+            List.iter
+              (fun v ->
+                Alcotest.fail
+                  (Printf.sprintf "%s %s seed=%d: %s oracle: %s" protocol label seed
+                     v.Conf.Oracle.oracle v.Conf.Oracle.detail))
+              verdicts
+          in
+          judge "main" m.Core.Controller.decisions;
+          judge "baseline" b.B.Engine.decisions;
+          (* For value-deciding protocols the two engines must also decide
+             the SAME value, not merely each agree internally. *)
+          if List.mem protocol Conf.Oracle.value_deciding then begin
+            let value_of decisions =
+              match List.find_opt (fun (_, values) -> values <> []) decisions with
+              | Some (_, v :: _) -> v
+              | _ -> Alcotest.fail (protocol ^ ": no decision")
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "%s seed=%d: engines decide the same value" protocol seed)
+              (value_of m.Core.Controller.decisions)
+              (value_of b.B.Engine.decisions)
+          end)
+        seeds)
+    [ ("pbft", [ 3; 9; 17 ]); ("add-v1", [ 3; 9 ]); ("librabft", [ 3; 9 ]) ]
+
 let test_engine_slower_than_main () =
   let wall_b, _ = B.Engine.wall_clock_of_run ~n:16 ~seed:1 () in
   let wall_m, _ = Core.Controller.wall_clock_of_run (Core.Experiments.fig2_config ~n:16) in
@@ -135,6 +184,8 @@ let () =
           Alcotest.test_case "memory model" `Quick test_engine_memory_model;
           Alcotest.test_case "cross-validation with main simulator" `Quick
             test_engine_cross_validation_with_main;
+          Alcotest.test_case "differential oracles across engines" `Slow
+            test_engine_differential_oracles;
           Alcotest.test_case "fidelity costs wall time" `Slow test_engine_slower_than_main;
         ] );
     ]

@@ -1,0 +1,49 @@
+(* Golden-fingerprint regression tests: one canonical configuration per
+   paper protocol, with the result fingerprint pinned.  Any change to the
+   engine, a protocol, the RNG, or the delay pipeline that alters observable
+   behaviour shows up here as a mismatch — the canonical form is printed so
+   the diff against the old behaviour is readable.  If a change is
+   intentional, re-pin the hashes from that output. *)
+
+module Core = Bftsim_core
+module Conf = Bftsim_conformance
+module Net = Bftsim_net
+
+(* The paper's eight protocols, each under a fixed small configuration:
+   n = 7 (tight 3f+1), deterministic constant delays, fixed seed. *)
+let pinned =
+  [
+    ("add-v1", "2a4031f9a467f8112e962b26366bf8229c6b27c2e8b695cc7cc776fdcc6e16d1");
+    ("add-v2", "9ddd9f2b510c42b0ea60c5a39cd56b0cd978f34c8c80e10f125cc634edd03947");
+    ("add-v3", "ac499d7a6f527ca967ddb6ce89d3bcb68bd244475bcd829bac862703ea27a3c3");
+    ("algorand", "6e92819ddd2d9dead805579c669e6faf50f070946d630d24ea962681c046cc11");
+    ("async-ba", "ab1f1860a4d3850df970adc4d2f4cbc52bb4c231020fea5b26bd7ac22c4f649b");
+    ("pbft", "ff1b14aee54de19192a6ca8666d7ecceeff87afaaddd00a3a45f5e6ccdfada90");
+    ("hotstuff-ns", "817e653dfb9d523e4aad86854c1a0c2aeeaa053720a1b8285ad081e73f3f83b2");
+    ("librabft", "05ccd33fe03e02170408afa179d0f58b2e1b1a10d8b4512859738c4944dfbb44");
+  ]
+
+let canonical_config protocol =
+  Core.Config.make protocol ~n:7 ~seed:42 ~delay:(Net.Delay_model.Constant 100.)
+    ~record_trace:true
+
+let check_fingerprint (protocol, expected) () =
+  let result = Core.Controller.run (canonical_config protocol) in
+  let actual = Conf.Fingerprint.of_result result in
+  if actual <> expected then begin
+    Printf.printf "--- canonical form for %s (fingerprint %s) ---\n%s\n" protocol actual
+      (Conf.Fingerprint.canonical result);
+    Alcotest.fail
+      (Printf.sprintf "%s fingerprint changed: pinned %s, got %s — canonical form above" protocol
+         expected actual)
+  end
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "fingerprints",
+        List.map
+          (fun (protocol, expected) ->
+            Alcotest.test_case protocol `Quick (check_fingerprint (protocol, expected)))
+          pinned );
+    ]
