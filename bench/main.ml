@@ -64,6 +64,9 @@ let speedup_record : (float * float * int * float) option ref = ref None
 (* off-vs-off noise floor and metrics/tracing overhead ratios, for --json. *)
 let obs_overhead_record : (float * float * float * float) option ref = ref None
 
+(* bare wall time and supervised / supervised-with-deadline ratios, for --json. *)
+let supervision_overhead_record : (float * float * float) option ref = ref None
+
 let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
@@ -493,6 +496,59 @@ let obs_overhead () =
     tracing_pct;
   obs_overhead_record := Some (off, noise_pct, metrics_pct, tracing_pct)
 
+(* ---------------- Supervision overhead ---------------- *)
+
+let supervision_overhead () =
+  section
+    "Supervision overhead (DESIGN.md §3.13) — wall time of one PBFT run\n\
+     (150 decisions, N(250,50)) bare, under Supervisor.supervise without a\n\
+     deadline (wrapper cost only), and with a 60 s deadline (the event loop\n\
+     polls the cancellation latch).  The deadline column is the price every\n\
+     campaign run pays";
+  let config =
+    {
+      (Core.Experiments.fig3_config ~protocol:"pbft"
+         ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+         ~seed:1)
+      with
+      Core.Config.decisions_target = 150;
+      max_time_ms = 3_600_000.;
+    }
+  in
+  let bare () = fst (Core.Controller.wall_clock_of_run config) in
+  let supervised ~deadline_ms () =
+    let policy = { Core.Supervisor.default_policy with deadline_ms; max_retries = 0 } in
+    let t = Core.Supervisor.create ~policy () in
+    let t0 = Unix.gettimeofday () in
+    (match
+       Core.Supervisor.supervise t ~key:"bench" (fun ~cancel ->
+           Core.Controller.run ~cancel config)
+     with
+    | Core.Supervisor.Ok _ -> ()
+    | _ -> failwith "supervision kernel: the benchmark run must succeed");
+    Unix.gettimeofday () -. t0
+  in
+  (* Interleaved rounds after warm-up, summarized by the median, as in the
+     telemetry-overhead kernel: drift hits all columns alike. *)
+  let kernels =
+    [| bare; supervised ~deadline_ms:None; supervised ~deadline_ms:(Some 60_000.) |]
+  in
+  let rounds = 7 in
+  let samples = Array.map (fun k -> ignore (k ()); ref []) kernels in
+  for _ = 1 to rounds do
+    Array.iteri (fun i k -> samples.(i) := k () :: !(samples.(i))) kernels
+  done;
+  let median i = (Core.Stats.of_list !(samples.(i))).Core.Stats.median in
+  let bare_t = median 0 and wrap_t = median 1 and deadline_t = median 2 in
+  let wrap_pct = (wrap_t /. bare_t -. 1.) *. 100. in
+  let deadline_pct = (deadline_t /. bare_t -. 1.) *. 100. in
+  Printf.printf "  %-26s %10.3f ms\n" "bare Controller.run" (bare_t *. 1000.);
+  Printf.printf "  %-26s %10.3f ms  (%+.1f%%)\n" "supervised, no deadline" (wrap_t *. 1000.)
+    wrap_pct;
+  Printf.printf "  %-26s %10.3f ms  (%+.1f%%)\n%!" "supervised, 60 s deadline"
+    (deadline_t *. 1000.) deadline_pct;
+  supervision_overhead_record := Some (bare_t, wrap_pct, deadline_pct)
+
 (* ---------------- Parallel runner speedup ---------------- *)
 
 let speedup () =
@@ -557,6 +613,13 @@ let write_json path =
       "  \"obs_overhead\": { \"kernel\": \"pbft-150dec\", \"off_s\": %.6f, \"noise_pct\": %.2f, \
        \"metrics_pct\": %.2f, \"tracing_pct\": %.2f },\n"
       off_s noise_pct metrics_pct tracing_pct
+  | None -> ());
+  (match !supervision_overhead_record with
+  | Some (bare_s, wrap_pct, deadline_pct) ->
+    out
+      "  \"supervision_overhead\": { \"kernel\": \"pbft-150dec\", \"bare_s\": %.6f, \
+       \"wrap_pct\": %.2f, \"deadline_pct\": %.2f },\n"
+      bare_s wrap_pct deadline_pct
   | None -> ());
   out "  \"kernels\": [\n";
   let rows = List.rev !timings in
@@ -639,6 +702,7 @@ let () =
        telemetry-overhead kernel. *)
     timed "tables" tables;
     timed "obs-overhead" obs_overhead;
+    timed "supervision-overhead" supervision_overhead;
     timed "run_many-speedup" speedup
   end
   else begin
@@ -656,6 +720,7 @@ let () =
     timed "ablation-pacemaker" ablation_pacemaker;
     timed "chaos-suite" chaos_suite;
     timed "obs-overhead" obs_overhead;
+    timed "supervision-overhead" supervision_overhead;
     timed "run_many-speedup" speedup;
     timed "bechamel-kernels" bechamel_kernels
   end;

@@ -10,6 +10,33 @@ module Net = Bftsim_net
 module Protocols = Bftsim_protocols
 module Obs = Bftsim_obs
 
+(* Exit codes, standardized across every subcommand (README "Exit
+   codes"): 0 success, 1 crash or usage error, 2 safety violation,
+   3 liveness failure or wall-clock deadline.  cmdliner's own CLI-error
+   and uncaught-exception codes are folded into 1 at the bottom of this
+   file. *)
+module Exit_code = struct
+  let ok = 0
+  let crash = 1
+  let safety = 2
+  let liveness = 3
+end
+
+(* Campaign journal plumbing shared by sweep and conform: --journal FILE
+   opens (or truncates) a journal; --resume additionally loads it first
+   and verifies it belongs to this campaign.  --resume against a journal
+   that does not exist yet is a fresh start, so scripted campaigns can
+   pass both flags unconditionally. *)
+let open_campaign_journal ~fingerprint ~journal ~resume =
+  match (journal, resume) with
+  | None, false -> Ok (None, [])
+  | None, true -> Error "--resume requires --journal FILE"
+  | Some path, false -> Ok (Some (Core.Journal.create ~fingerprint path), [])
+  | Some path, true ->
+    if Sys.file_exists path then
+      Result.map (fun (t, events) -> (Some t, events)) (Core.Journal.resume ~fingerprint path)
+    else Ok (Some (Core.Journal.create ~fingerprint path), [])
+
 let read_config_file path =
   let ic = open_in path in
   let kvs = ref [] in
@@ -28,8 +55,8 @@ let read_config_file path =
   close_in ic;
   List.rev !kvs
 
-let config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-    ~crashed ~target ~inputs ~max_time ~chaos ~watchdog () =
+let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ~config_file ~protocol ~n
+    ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time ~chaos ~watchdog () =
   let file_kvs = match config_file with Some path -> read_config_file path | None -> [] in
   let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
   (* Flags override file values because assoc finds the first binding. *)
@@ -37,7 +64,9 @@ let config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~s
     flag "protocol" protocol @ flag "n" n @ flag "lambda" lambda @ flag "delay" delay
     @ flag "seed" seed @ flag "attack" attack @ flag "crashed" crashed @ flag "target" target
     @ flag "inputs" inputs @ flag "max_time_ms" max_time @ flag "transport" transport
-    @ flag "costs" costs @ flag "chaos" chaos @ flag "watchdog" watchdog @ file_kvs
+    @ flag "costs" costs @ flag "chaos" chaos @ flag "watchdog" watchdog
+    @ flag "deadline_ms" deadline @ flag "retries" retries @ flag "quarantine" quarantine
+    @ file_kvs
   in
   Core.Config.of_keyvalues kvs
 
@@ -105,6 +134,34 @@ let watchdog_arg =
   Arg.(value & opt (some string) None & info [ "watchdog" ] ~docv:"K" ~doc)
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log simulation events.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Wall-clock budget per supervised replication attempt (ms); overruns are \
+                 abandoned between events, reported, and retried.")
+
+let retries_arg =
+  Arg.(value & opt (some int) None
+       & info [ "retries" ] ~docv:"INT"
+           ~doc:"Extra attempts after a crashed or deadline-overrunning replication (default 1).")
+
+let quarantine_arg =
+  Arg.(value & opt (some int) None
+       & info [ "quarantine" ] ~docv:"INT"
+           ~doc:"Failures of one replication before it is quarantined (default 3).")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append-only JSONL campaign journal: every completed unit of work is recorded \
+                 as it happens, so an interrupted campaign can be resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Load the $(b,--journal) file first and skip work it records as finished; the \
+                 final summary is byte-identical to an uninterrupted run's.")
 
 let metrics_arg =
   Arg.(value & flag
@@ -208,7 +265,9 @@ let run_cmd =
           (Obs.Tracer.length spans) (Obs.Tracer.dropped spans)
       | _ -> ());
       if views then Format.printf "@.%s@." (Core.View_tracker.render r.view_samples);
-      if r.safety_ok then 0 else 2
+      if not r.safety_ok then Exit_code.safety
+      else if r.outcome <> Core.Controller.Reached_target then Exit_code.liveness
+      else Exit_code.ok
   in
   let term =
     Term.(
@@ -236,15 +295,20 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs reps jobs csv metrics verbose =
+      chaos watchdog transport costs reps jobs journal resume deadline retries quarantine csv
+      metrics verbose =
     setup_logs verbose;
     match
-      config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-        ~crashed ~target ~inputs ~max_time ~chaos ~watchdog ()
+      config_of_args ?transport ?costs
+        ?deadline:(Option.map (Printf.sprintf "%g") deadline)
+        ?retries:(Option.map string_of_int retries)
+        ?quarantine:(Option.map string_of_int quarantine)
+        ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time
+        ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
-      1
+      Exit_code.crash
     | Ok config ->
       let config =
         if metrics then
@@ -256,28 +320,57 @@ let sweep_cmd =
         else config
       in
       let reps = if reps > 0 then Some reps else None in
-      let summary = Core.Runner.run_many ?reps ?jobs config in
-      Format.printf "%s@." (Core.Config.describe config);
-      Format.printf "%a@." Core.Runner.pp_summary summary;
-      (* The merged registry is deterministic in the seed sequence, so this
-         block is diffable across --jobs values (the CI determinism check). *)
-      (match summary.Core.Runner.metrics with
-      | Some reg when metrics -> print_metrics reg
-      | _ -> ());
-      (match csv with
-      | None -> ()
-      | Some path ->
-        Core.Csv_export.write_file ~path ~header:Core.Csv_export.result_header
-          ~rows:(List.map Core.Csv_export.result_row summary.Core.Runner.results);
-        Format.printf "wrote %s (%d rows)@." path (List.length summary.Core.Runner.results));
-      if summary.Core.Runner.safety_violations = 0 then 0 else 2
+      let reps_n = match reps with Some r -> r | None -> Core.Runner.default_reps () in
+      let fingerprint = Core.Journal.fingerprint ~mode:"sweep" ~reps:reps_n [ config ] in
+      (match open_campaign_journal ~fingerprint ~journal ~resume with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        Exit_code.crash
+      | Ok (journal_t, resumed) ->
+        let summary = Core.Runner.run_many ?reps ?jobs ?journal:journal_t ~resumed config in
+        Option.iter Core.Journal.close journal_t;
+        (* Progress notes go to stderr: stdout must stay byte-diffable
+           between resumed and uninterrupted campaigns. *)
+        if summary.Core.Runner.resumed > 0 then
+          Format.eprintf "resumed: %d of %d replication(s) journaled, %d run now@."
+            summary.Core.Runner.resumed reps_n
+            (reps_n - summary.Core.Runner.resumed);
+        Format.printf "%s@." (Core.Config.describe config);
+        Format.printf "%a@." Core.Runner.pp_summary summary;
+        (* The merged registry is deterministic in the seed sequence, so this
+           block is diffable across --jobs values (the CI determinism check)
+           and across resume (the registry always rebuilds from digests). *)
+        (match summary.Core.Runner.metrics with
+        | Some reg when metrics -> print_metrics reg
+        | _ -> ());
+        List.iter
+          (fun (f : Core.Runner.failure) ->
+            Format.eprintf "rep %d %s: %s (%d retr%s)@." f.Core.Runner.rep f.Core.Runner.kind
+              f.Core.Runner.detail f.Core.Runner.retries
+              (if f.Core.Runner.retries = 1 then "y" else "ies"))
+          summary.Core.Runner.failures;
+        (match csv with
+        | None -> ()
+        | Some path ->
+          Core.Csv_export.write_file ~path ~header:Core.Csv_export.result_header
+            ~rows:(List.map (Core.Csv_export.digest_row config) summary.Core.Runner.digests);
+          Format.printf "wrote %s (%d rows)@." path (List.length summary.Core.Runner.digests));
+        let crashed =
+          List.exists
+            (fun (f : Core.Runner.failure) -> f.Core.Runner.kind <> "deadline")
+            summary.Core.Runner.failures
+        in
+        if summary.Core.Runner.safety_violations > 0 then Exit_code.safety
+        else if crashed then Exit_code.crash
+        else if summary.Core.Runner.failures <> [] then Exit_code.liveness
+        else Exit_code.ok)
   in
   let term =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ csv_arg $ metrics_arg
-      $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ deadline_arg $ retries_arg $ quarantine_arg $ csv_arg $ metrics_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
 
@@ -316,7 +409,9 @@ let validate_cmd =
       let ground = Core.Controller.run { config with Core.Config.record_trace = true } in
       let replayed = Core.Validator.validate_against ~ground_truth:ground config in
       Format.printf "replay      : %a@." Core.Validator.pp_report replayed;
-      if det.Core.Validator.decisions_match && replayed.Core.Validator.decisions_match then 0 else 2
+      if det.Core.Validator.decisions_match && replayed.Core.Validator.decisions_match then
+        Exit_code.ok
+      else Exit_code.safety
   in
   let term =
     Term.(
@@ -371,7 +466,8 @@ let conform_cmd =
          & info [ "shrink-budget" ] ~docv:"INT"
              ~doc:"Max harness re-evaluations the shrinker may spend per counterexample.")
   in
-  let action budget seed protocols families out jobs no_det no_shrink shrink_budget verbose =
+  let action budget seed protocols families out jobs no_det no_shrink shrink_budget journal
+      resume deadline retries quarantine verbose =
     setup_logs verbose;
     let parse_csv parse label = function
       | None -> Ok None
@@ -395,29 +491,56 @@ let conform_cmd =
     match (protocols_r, families_r) with
     | Error e, _ | _, Error e ->
       Format.eprintf "error: %s@." e;
-      1
+      Exit_code.crash
     | Ok protocols, Ok families ->
       (match Protocols.Quorum.mutation () with
       | Some m ->
         Format.printf "MUTATION ACTIVE: %s (expect failures)@."
           (Protocols.Quorum.mutation_to_string m)
       | None -> ());
-      let report =
-        Conf.Harness.fuzz ?protocols ?families ?jobs ~determinism:(not no_det)
-          ~shrink:(not no_shrink) ~shrink_budget ~bundle_dir:out ~budget ~seed ()
+      let policy =
+        let d = Core.Supervisor.default_policy in
+        {
+          d with
+          Core.Supervisor.seed;
+          deadline_ms = (match deadline with Some _ -> deadline | None -> d.deadline_ms);
+          max_retries = Option.value ~default:d.Core.Supervisor.max_retries retries;
+          quarantine_after =
+            Option.value ~default:d.Core.Supervisor.quarantine_after quarantine;
+        }
       in
-      Format.printf "%a@." Conf.Harness.pp_report report;
-      if Conf.Harness.ok report then begin
-        Format.printf "conformance OK: %d scenario(s), all oracles hold@."
-          report.Conf.Harness.scenarios;
-        0
-      end
-      else 2
+      let fingerprint =
+        Conf.Harness.campaign_cell ~budget ~seed
+          (Conf.Scenario.sample ?protocols ?families ~budget ~seed ())
+      in
+      (match open_campaign_journal ~fingerprint ~journal ~resume with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        Exit_code.crash
+      | Ok (journal_t, resumed) ->
+        let report =
+          Conf.Harness.fuzz ?protocols ?families ?jobs ~determinism:(not no_det)
+            ~shrink:(not no_shrink) ~shrink_budget ~bundle_dir:out ~policy ?journal:journal_t
+            ~resumed ~budget ~seed ()
+        in
+        Option.iter Core.Journal.close journal_t;
+        if report.Conf.Harness.resumed > 0 then
+          Format.eprintf "resumed: %d of %d check(s) already journaled as passed@."
+            report.Conf.Harness.resumed report.Conf.Harness.scenarios;
+        Format.printf "%a@." Conf.Harness.pp_report report;
+        if Conf.Harness.ok report then begin
+          Format.printf "conformance OK: %d scenario(s), all oracles hold@."
+            report.Conf.Harness.scenarios;
+          Exit_code.ok
+        end
+        else if report.Conf.Harness.failures <> [] then Exit_code.safety
+        else Exit_code.crash)
   in
   let term =
     Term.(
       const action $ budget_arg $ seed_arg $ protocols_arg $ families_arg $ out_arg $ jobs_arg
-      $ no_det_arg $ no_shrink_arg $ shrink_budget_arg $ verbose_arg)
+      $ no_det_arg $ no_shrink_arg $ shrink_budget_arg $ journal_arg $ resume_arg $ deadline_arg
+      $ retries_arg $ quarantine_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "conform"
@@ -458,4 +581,7 @@ let main_cmd =
   let info = Cmd.info "bftsim" ~version:"1.0.0" ~doc in
   Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; loc_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  (* One exit-code scheme for the whole binary: fold cmdliner's CLI-error
+     (124) and uncaught-exception (125) codes into 1. *)
+  exit (match Cmd.eval' ~term_err:Exit_code.crash main_cmd with 124 | 125 -> Exit_code.crash | c -> c)

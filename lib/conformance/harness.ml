@@ -10,13 +10,19 @@ type failure = {
   bundle : string option;
 }
 
-type report = { scenarios : int; checks : int; failures : failure list }
+type report = {
+  scenarios : int;
+  checks : int;
+  failures : failure list;
+  crashed : (int * string) list;
+  resumed : int;
+}
 
-let ok report = report.failures = []
+let ok report = report.failures = [] && report.crashed = []
 
-let check_config ?(determinism = true) ?(expect_live = true) config =
+let check_config ?(determinism = true) ?(expect_live = true) ?cancel config =
   let config = { config with Config.record_trace = true } in
-  let result = Controller.run config in
+  let result = Controller.run ?cancel config in
   let verdicts = Oracle.check_result config result in
   let liveness =
     if expect_live && result.Controller.outcome <> Controller.Reached_target then
@@ -46,28 +52,92 @@ let check_config ?(determinism = true) ?(expect_live = true) config =
   in
   (verdicts @ liveness @ det, result)
 
-let run_scenario ?determinism (scenario : Scenario.t) =
-  check_config ?determinism ~expect_live:scenario.Scenario.expect_live scenario.Scenario.config
+let run_scenario ?determinism ?cancel (scenario : Scenario.t) =
+  check_config ?determinism ?cancel ~expect_live:scenario.Scenario.expect_live
+    scenario.Scenario.config
 
 let bundle_name idx (config : Config.t) =
   Printf.sprintf "%03d-%s-n%d-seed%d" idx config.Config.protocol config.Config.n config.Config.seed
 
+let campaign_cell ~budget ~seed scenarios =
+  ignore (budget, seed);
+  Journal.fingerprint ~mode:"conform" ~reps:1
+    (List.map (fun (s : Scenario.t) -> s.Scenario.config) scenarios)
+
+(* One scenario check under supervision.  [Passed] covers both a fresh
+   pass and one replayed from the journal; failing and crashing scenarios
+   are never journaled, so a resumed campaign re-examines them and the
+   report comes out identical to an uninterrupted run's. *)
+type checked = Passed | Failed of (Oracle.verdict list * Controller.result) | Crashed of string
+
 let fuzz ?protocols ?families ?jobs ?(determinism = true) ?(shrink = true) ?(shrink_budget = 48)
-    ?bundle_dir ~budget ~seed () =
+    ?bundle_dir ?policy ?journal ?(resumed = []) ~budget ~seed () =
   let scenarios = Scenario.sample ?protocols ?families ~budget ~seed () in
+  let cell = campaign_cell ~budget ~seed scenarios in
+  let already_passed = Journal.checks resumed ~cell in
+  let supervisor =
+    let policy = match policy with Some p -> p | None -> { Supervisor.default_policy with seed } in
+    let on_failure =
+      Option.map
+        (fun j ~key ~attempt ~wall_ms kind ->
+          let kind_s, detail, backtrace =
+            match kind with
+            | Supervisor.Crash { exn; backtrace } -> ("crash", exn, backtrace)
+            | Supervisor.Deadline -> ("deadline", "wall-clock deadline exceeded", "")
+          in
+          let rep =
+            try Scanf.sscanf key "scenario%d" Fun.id
+            with Scanf.Scan_failure _ | End_of_file -> -1
+          in
+          Journal.append j
+            (Journal.Failure { cell; rep; attempt; wall_ms; kind = kind_s; detail; backtrace }))
+        journal
+    in
+    Supervisor.create ~policy ?on_failure ()
+  in
   (* Scenario checks are independent full simulations, so they fan out
-     across the domain pool exactly like Runner replications. *)
+     across the domain pool exactly like Runner replications — under
+     supervision, so one crashing oracle or hung scenario cannot sink the
+     campaign. *)
   let checked =
     Parallel.map ?jobs
-      (fun (s : Scenario.t) -> run_scenario ~determinism s)
-      scenarios
+      (fun (idx, s) ->
+        if List.mem idx already_passed then Passed
+        else
+          let outcome =
+            Supervisor.supervise supervisor
+              ~key:(Printf.sprintf "scenario%d" idx)
+              (fun ~cancel -> run_scenario ~determinism ~cancel s)
+          in
+          match outcome with
+          | Supervisor.Ok ((verdicts, _) as check) ->
+            if verdicts = [] then begin
+              (match journal with
+              | Some j -> Journal.append j (Journal.Check { cell; index = idx })
+              | None -> ());
+              Passed
+            end
+            else Failed check
+          | Supervisor.Crashed { exn; retries; backtrace = _ } ->
+            Crashed (Printf.sprintf "%s (after %d retr%s)" exn retries
+                       (if retries = 1 then "y" else "ies"))
+          | Supervisor.Deadline_exceeded { wall_ms; retries = _ } ->
+            Crashed (Printf.sprintf "wall-clock deadline exceeded after %.0f ms" wall_ms)
+          | Supervisor.Quarantined { failures } ->
+            Crashed (Printf.sprintf "quarantined after %d failure(s)" failures))
+      (List.mapi (fun i s -> (i, s)) scenarios)
+  in
+  let crashed =
+    List.concat
+      (List.mapi (fun i -> function Crashed d -> [ (i, d) ] | _ -> []) checked)
   in
   let failures =
     List.concat
       (List.map2
-         (fun scenario (verdicts, result) ->
-           if verdicts = [] then []
-           else begin
+         (fun scenario checked_one ->
+           match checked_one with
+           | Passed | Crashed _ -> []
+           | Failed (verdicts, result) -> begin
              let expect_live = scenario.Scenario.expect_live in
              let fails c = fst (check_config ~determinism ~expect_live c) <> [] in
              let shrunk, shrink_attempts =
@@ -105,10 +175,21 @@ let fuzz ?protocols ?families ?jobs ?(determinism = true) ?(shrink = true) ?(shr
           { f with bundle = Some bundle })
         failures
   in
-  { scenarios = List.length scenarios; checks = List.length checked; failures }
+  {
+    scenarios = List.length scenarios;
+    checks = List.length checked;
+    failures;
+    crashed;
+    resumed = List.length already_passed;
+  }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%d scenario(s), %d failure(s)" r.scenarios (List.length r.failures);
+  Format.fprintf ppf "%d scenario(s), %d failure(s)%s" r.scenarios (List.length r.failures)
+    (if r.crashed = [] then ""
+     else Printf.sprintf ", %d crashed check(s)" (List.length r.crashed));
+  List.iter
+    (fun (idx, detail) -> Format.fprintf ppf "@.CRASH scenario #%d: %s" idx detail)
+    r.crashed;
   List.iter
     (fun f ->
       Format.fprintf ppf "@.FAIL %s" (Scenario.describe f.scenario);

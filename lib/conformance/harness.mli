@@ -23,18 +23,42 @@ type failure = {
   bundle : string option;  (** Bundle directory, when one was written. *)
 }
 
-type report = { scenarios : int; checks : int; failures : failure list }
+type report = {
+  scenarios : int;
+  checks : int;
+  failures : failure list;
+  crashed : (int * string) list;
+      (** Scenario checks the supervisor gave up on (index, diagnosis) —
+          crashes, deadline overruns, quarantines.  Deterministic across
+          resume: crashed checks are never journaled, so they re-run. *)
+  resumed : int;  (** Checks skipped because the journal recorded a pass. *)
+}
 
 val ok : report -> bool
+(** No oracle failures {e and} no crashed checks. *)
 
 val check_config :
-  ?determinism:bool -> ?expect_live:bool -> Config.t -> Oracle.verdict list * Controller.result
+  ?determinism:bool ->
+  ?expect_live:bool ->
+  ?cancel:(unit -> bool) ->
+  Config.t ->
+  Oracle.verdict list * Controller.result
 (** Run one configuration and judge it.  [determinism] (default [true])
     additionally replays the config twice through the validator;
     [expect_live] (default [true]) turns a non-[Reached_target] outcome
-    into a verdict. *)
+    into a verdict.  [cancel] is threaded to the main [Controller.run] —
+    the supervision layer's cooperative deadline. *)
 
-val run_scenario : ?determinism:bool -> Scenario.t -> Oracle.verdict list * Controller.result
+val run_scenario :
+  ?determinism:bool ->
+  ?cancel:(unit -> bool) ->
+  Scenario.t ->
+  Oracle.verdict list * Controller.result
+
+val campaign_cell : budget:int -> seed:int -> Scenario.t list -> string
+(** Journal cell (and campaign fingerprint) of a fuzzing batch: a stable
+    hash over the sampled scenarios' configurations.  The CLI computes it
+    from [Scenario.sample] with the same arguments it passes to {!fuzz}. *)
 
 val fuzz :
   ?protocols:string list ->
@@ -44,13 +68,26 @@ val fuzz :
   ?shrink:bool ->
   ?shrink_budget:int ->
   ?bundle_dir:string ->
+  ?policy:Supervisor.policy ->
+  ?journal:Journal.t ->
+  ?resumed:Journal.event list ->
   budget:int ->
   seed:int ->
   unit ->
   report
 (** [fuzz ~budget ~seed ()] draws and checks [budget] scenarios.  Scenario
     checks fan out over [jobs] domains ({!Bftsim_core.Parallel.map}
-    defaults); shrinking and bundle writing happen sequentially afterwards.
-    [bundle_dir] enables counterexample persistence. *)
+    defaults) under a [Supervisor] ([policy] defaults to
+    [Supervisor.default_policy] with this campaign's [seed]): a crashing
+    or deadline-overrunning check lands in [report.crashed] instead of
+    sinking the campaign.  Shrinking and bundle writing happen
+    sequentially afterwards.  [bundle_dir] enables counterexample
+    persistence.
+
+    [journal] records every {e passed} check (and every failed supervised
+    attempt) as it happens; [resumed] takes the loaded events of a prior
+    journal and skips the recorded passes.  Failing and crashing scenarios
+    are deliberately not journaled — a resumed campaign re-examines them,
+    so its report is identical to an uninterrupted run's. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -19,6 +19,18 @@ type telemetry = { metrics : bool; tracing : bool; trace_capacity : int }
 
 let default_telemetry = { metrics = false; tracing = false; trace_capacity = 65536 }
 
+type supervision = {
+  deadline_ms : float option;
+  max_retries : int;
+  quarantine_after : int;
+  retry_base_ms : float;
+}
+
+(* No wall-clock deadline, one retry, quarantine after 3 failures, no
+   backoff sleep: supervision that only kicks in when something breaks. *)
+let default_supervision =
+  { deadline_ms = None; max_retries = 1; quarantine_after = 3; retry_base_ms = 0. }
+
 type t = {
   protocol : string;
   n : int;
@@ -40,6 +52,7 @@ type t = {
   check_validity : bool;
   naive_reset : Protocols.Context.naive_reset_policy;
   telemetry : telemetry;
+  supervision : supervision;
 }
 
 (* Default for the HotStuff+NS pacemaker-reset ablation knob; the
@@ -107,13 +120,24 @@ let validate t =
   | Some _ | None -> ());
   if t.telemetry.trace_capacity <= 0 then
     fail "Config: trace_capacity = %d, the ring buffer needs room" t.telemetry.trace_capacity;
+  (match t.supervision.deadline_ms with
+  | Some d when Float.is_nan d || d <= 0. ->
+    fail "Config: deadline_ms = %g, the wall-clock deadline must be positive" d
+  | Some _ | None -> ());
+  if t.supervision.max_retries < 0 then
+    fail "Config: retries = %d, must be non-negative" t.supervision.max_retries;
+  if t.supervision.quarantine_after < 1 then
+    fail "Config: quarantine = %d, at least one failure must precede quarantine"
+      t.supervision.quarantine_after;
+  if Float.is_nan t.supervision.retry_base_ms || t.supervision.retry_base_ms < 0. then
+    fail "Config: retry_base_ms = %g, must be non-negative" t.supervision.retry_base_ms;
   Attack.Fault_schedule.validate ~n:t.n t.chaos
 
 let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
     ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) ?naive_reset
-    ?(telemetry = default_telemetry) protocol =
+    ?(telemetry = default_telemetry) ?(supervision = default_supervision) protocol =
   let naive_reset =
     match naive_reset with Some p -> p | None -> naive_reset_default ()
   in
@@ -145,6 +169,7 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       check_validity;
       naive_reset;
       telemetry;
+      supervision;
     }
   in
   validate t;
@@ -370,6 +395,18 @@ let of_keyvalues kvs =
   let* tel_tracing = bool_key "tracing" false in
   let* trace_capacity = int_key "trace_capacity" default_telemetry.trace_capacity in
   let telemetry = { metrics = tel_metrics; tracing = tel_tracing; trace_capacity } in
+  let* deadline_ms =
+    match find "deadline_ms" with
+    | None | Some "none" -> Ok default_supervision.deadline_ms
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some d -> Ok (Some d)
+      | None -> Error (Printf.sprintf "invalid float for deadline_ms: %S" v))
+  in
+  let* max_retries = int_key "retries" default_supervision.max_retries in
+  let* quarantine_after = int_key "quarantine" default_supervision.quarantine_after in
+  let* retry_base_ms = float_key "retry_base_ms" default_supervision.retry_base_ms in
+  let supervision = { deadline_ms; max_retries; quarantine_after; retry_base_ms } in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -379,7 +416,8 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~max_events ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry protocol)
+            ~max_events ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry
+            ~supervision protocol)
      with Invalid_argument msg -> Error msg)
 
 (* Inverse of [of_keyvalues]: render the configuration as the key = value
@@ -415,6 +453,18 @@ let to_keyvalues t =
     | p -> [ ("naive_reset", Protocols.Context.naive_reset_policy_to_string p) ])
   @ (if t.telemetry.metrics then [ ("metrics", "true") ] else [])
   @ (if t.telemetry.tracing then [ ("tracing", "true") ] else [])
+  @ (match t.supervision.deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", Printf.sprintf "%g" d) ])
+  @ (if t.supervision.max_retries <> default_supervision.max_retries then
+       [ ("retries", string_of_int t.supervision.max_retries) ]
+     else [])
+  @ (if t.supervision.quarantine_after <> default_supervision.quarantine_after then
+       [ ("quarantine", string_of_int t.supervision.quarantine_after) ]
+     else [])
+  @ (if t.supervision.retry_base_ms <> default_supervision.retry_base_ms then
+       [ ("retry_base_ms", Printf.sprintf "%g" t.supervision.retry_base_ms) ]
+     else [])
   @
   if t.telemetry.trace_capacity <> default_telemetry.trace_capacity then
     [ ("trace_capacity", string_of_int t.telemetry.trace_capacity) ]

@@ -48,6 +48,23 @@ type telemetry = {
 val default_telemetry : telemetry
 (** Everything off, 65536-entry ring — the zero-overhead default. *)
 
+type supervision = {
+  deadline_ms : float option;
+      (** Per-attempt wall-clock budget for a supervised run; the controller
+          polls the supervisor's cancel flag in its event loop, so a
+          deadline abandons a run between events and never perturbs a run
+          that completes.  [None] = unbounded. *)
+  max_retries : int;  (** Additional attempts after a failed one. *)
+  quarantine_after : int;
+      (** Total failures of one run key before it is quarantined. *)
+  retry_base_ms : float;
+      (** Base of the deterministic backoff jitter ([Supervisor.retry_delay_ms]);
+          [0.] retries immediately. *)
+}
+
+val default_supervision : supervision
+(** No deadline, one retry, quarantine after 3 failures, no backoff. *)
+
 type t = {
   protocol : string;  (** Registry name, e.g. ["pbft"]. *)
   n : int;
@@ -93,6 +110,11 @@ type t = {
   telemetry : telemetry;
       (** Observability switches (DESIGN.md §3.11).  Off by default; the
           disabled path costs a handful of dead-cell stores per event. *)
+  supervision : supervision;
+      (** Campaign-supervision knobs (DESIGN.md §3.13): wall-clock deadline,
+          retry budget, quarantine threshold.  Only consulted by the
+          supervised campaign drivers ([Runner.run_many],
+          [Conformance.Harness]); a bare [Controller.run] ignores them. *)
 }
 
 val validate : t -> unit
@@ -126,6 +148,7 @@ val make :
   ?check_validity:bool ->
   ?naive_reset:Bftsim_protocols.Context.naive_reset_policy ->
   ?telemetry:telemetry ->
+  ?supervision:supervision ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:

@@ -90,8 +90,44 @@ let check_safety ~counted decisions =
     decisions;
   !violation
 
-let run ?delay_override ?attacker:attacker_override (config : Config.t) =
+(* Test-only fault injection: BFTSIM_FAULT_INJECT="crash@17;hang@23" makes
+   the replication seeded 17 raise at startup and the one seeded 23 spin on
+   the wall clock until cancelled.  The supervised campaign drivers turn
+   those into structured outcomes; the knob exists so the resilience tests
+   and the CI kill-and-resume job can exercise that machinery end to end. *)
+let injected_faults =
+  lazy
+    (match Sys.getenv_opt "BFTSIM_FAULT_INJECT" with
+    | None | Some "" -> []
+    | Some spec ->
+      String.split_on_char ';' spec
+      |> List.filter_map (fun directive ->
+             match String.split_on_char '@' (String.trim directive) with
+             | [ "crash"; seed ] -> Option.map (fun s -> (`Crash, s)) (int_of_string_opt seed)
+             | [ "hang"; seed ] -> Option.map (fun s -> (`Hang, s)) (int_of_string_opt seed)
+             | _ ->
+               invalid_arg
+                 (Printf.sprintf "BFTSIM_FAULT_INJECT: cannot parse %S (want crash@N or hang@N)"
+                    directive)))
+
+let no_cancel () = false
+
+let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (config : Config.t) =
   Config.validate config;
+  List.iter
+    (fun (kind, seed) ->
+      if seed = config.seed then
+        match kind with
+        | `Crash -> failwith (Printf.sprintf "BFTSIM_FAULT_INJECT: injected crash (seed %d)" seed)
+        | `Hang ->
+          (* Spin on the wall clock, not sim time: this models a replication
+             that hangs the host.  Only the cooperative deadline (or a
+             SIGKILL) gets it unstuck. *)
+          while not (cancel ()) do
+            Unix.sleepf 0.005
+          done;
+          raise Supervisor.Cancelled)
+    (Lazy.force injected_faults);
   let (module P : Protocols.Protocol_intf.S) = Protocols.Registry.find_exn config.protocol in
   let n = config.n in
   let f = Protocols.Quorum.max_faulty n in
@@ -702,6 +738,11 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
   in
   let rec loop () =
     if !finished <> None then ()
+    else if cancel () then
+      (* Cooperative wall-clock deadline (DESIGN.md §3.13): abandon the run
+         between events.  Runs that complete are never perturbed, so their
+         results stay deterministic. *)
+      raise Supervisor.Cancelled
     else if Event_queue.popped queue >= config.max_events then outcome := Event_cap
     else
       match Event_queue.next queue with
@@ -722,7 +763,16 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
             loop ()
         end
   in
-  loop ();
+  (* The mirror and ambient probes are domain-local; a cancellation or
+     crash escaping the loop must not leave them pointing into this run's
+     dead tracer for the next run scheduled on the same domain. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if telemetry_on then begin
+        Simlog.set_mirror None;
+        Obs.Probe.clear ()
+      end)
+    loop;
 
   let time_ms =
     match !finished with
@@ -734,9 +784,7 @@ let run ?delay_override ?attacker:attacker_override (config : Config.t) =
     | Some r ->
       Obs.Metrics.set_gauge r "sim.time_ms" time_ms;
       Obs.Metrics.set_gauge r "queue.pending_end" (float_of_int (Event_queue.pending queue))
-    | None -> ());
-    Simlog.set_mirror None;
-    Obs.Probe.clear ()
+    | None -> ())
   end;
   let decisions_list = List.init n (fun i -> (i, List.rev !(decisions.(i)))) in
   let violations = Invariant.violations monitor in

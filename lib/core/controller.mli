@@ -59,15 +59,27 @@ type result = {
 }
 
 val run :
+  ?cancel:(unit -> bool) ->
   ?delay_override:(src:int -> dst:int -> tag:string -> seq:int -> float option) ->
   ?attacker:Bftsim_attack.Attacker.t ->
   Config.t ->
   result
-(** Runs one simulation to completion.  [delay_override] replaces the
-    sampled network delay of the [seq]-th message on a (src, dst, tag) link
-    when it returns [Some _] — the replay mechanism of the validator
-    module.  [attacker] overrides the attacker derived from the config,
-    the hook for user-written attack scenarios (paper §III-A5). *)
+(** Runs one simulation to completion.  [cancel] is polled in the event
+    loop (next to the [max_events] and watchdog checks); once it reports
+    [true] the run raises [Supervisor.Cancelled] between events — the
+    cooperative wall-clock deadline of the supervision layer (DESIGN.md
+    §3.13).  Completed runs are never perturbed by it, so determinism
+    holds.  [delay_override] replaces the sampled network delay of the
+    [seq]-th message on a (src, dst, tag) link when it returns [Some _] —
+    the replay mechanism of the validator module.  [attacker] overrides the
+    attacker derived from the config, the hook for user-written attack
+    scenarios (paper §III-A5).
+
+    The [BFTSIM_FAULT_INJECT] environment variable (e.g.
+    ["crash@17;hang@23"]) makes the run with base seed 17 raise at startup
+    and the one with seed 23 spin on the wall clock until cancelled — the
+    test knob behind the resilience suite and the CI kill-and-resume
+    job. *)
 
 val throughput : result -> float
 (** Decided values per simulated second ([decisions_target / time]); the

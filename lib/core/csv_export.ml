@@ -24,38 +24,37 @@ let result_header =
       "max_final_view"; "safety_ok"; "liveness_failure"; "safety_violations";
     ]
 
-let outcome_to_string = function
-  | Controller.Reached_target -> "reached-target"
-  | Controller.Timed_out -> "timed-out"
-  | Controller.Event_cap -> "event-cap"
-  | Controller.Queue_drained -> "queue-drained"
-  | Controller.Stalled _ -> "stalled"
+let outcome_to_string = Journal.outcome_class
 
-let result_row (r : Controller.result) =
-  let c = r.config in
-  let max_view = Array.fold_left Stdlib.max (-1) r.final_views in
+(* A journal digest carries every cell of the per-run row, so resumed
+   campaigns (which have digests but no live [Controller.result]) export
+   the identical CSV an uninterrupted campaign writes. *)
+let digest_row (config : Config.t) (d : Journal.digest) =
   row
     [
-      c.Config.protocol;
-      string_of_int c.Config.n;
-      string_of_int c.Config.seed;
-      Printf.sprintf "%g" c.Config.lambda_ms;
-      Bftsim_net.Delay_model.describe c.Config.delay;
-      Config.describe_attack c.Config.attack;
-      string_of_int c.Config.decisions_target;
-      outcome_to_string r.outcome;
-      Printf.sprintf "%.3f" r.time_ms;
-      Printf.sprintf "%.3f" r.per_decision_latency_ms;
-      Printf.sprintf "%.2f" r.per_decision_messages;
-      string_of_int r.messages_sent;
-      string_of_int r.bytes_sent;
-      string_of_int r.messages_dropped;
-      string_of_int r.events_processed;
-      string_of_int max_view;
-      string_of_bool r.safety_ok;
-      string_of_bool (r.outcome <> Controller.Reached_target);
-      string_of_int (List.length r.violations);
+      config.Config.protocol;
+      string_of_int config.Config.n;
+      string_of_int d.Journal.seed;
+      Printf.sprintf "%g" config.Config.lambda_ms;
+      Bftsim_net.Delay_model.describe config.Config.delay;
+      Config.describe_attack config.Config.attack;
+      string_of_int config.Config.decisions_target;
+      d.Journal.outcome;
+      Printf.sprintf "%.3f" d.Journal.time_ms;
+      Printf.sprintf "%.3f" d.Journal.latency_ms;
+      Printf.sprintf "%.2f" d.Journal.messages;
+      string_of_int d.Journal.messages_sent;
+      string_of_int d.Journal.bytes_sent;
+      string_of_int d.Journal.messages_dropped;
+      string_of_int d.Journal.events;
+      string_of_int d.Journal.max_view;
+      string_of_bool d.Journal.safety_ok;
+      string_of_bool (d.Journal.outcome <> "reached-target");
+      string_of_int d.Journal.violations;
     ]
+
+let result_row (r : Controller.result) =
+  digest_row r.Controller.config (Journal.digest_of_result ~rep:0 r)
 
 let summary_header =
   row

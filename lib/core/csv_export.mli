@@ -11,7 +11,16 @@ val result_row : Controller.result -> string
 (** One line per run: protocol, n, seed, lambda, delay, attack, outcome,
     time_ms, per-decision latency/messages, messages, bytes, dropped,
     events, max final view, safety, liveness-failure flag and the online
-    monitors' violation count. *)
+    monitors' violation count.  Implemented as {!digest_row} over the
+    result's digest, so live and journal-resumed exports coincide. *)
+
+val digest_row : Config.t -> Journal.digest -> string
+(** {!result_row} from a journal digest plus its cell's configuration
+    (the digest supplies the per-rep seed) — the form resumed campaigns
+    use, where no live [Controller.result] exists. *)
+
+val outcome_to_string : Controller.outcome -> string
+(** Alias of [Journal.outcome_class]. *)
 
 val summary_header : string
 

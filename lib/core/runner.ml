@@ -1,12 +1,37 @@
+(* Supervised replication campaigns (DESIGN.md §3.13).
+
+   [run_many] fans replications across the domain pool under a
+   [Supervisor]: a crashing or deadline-overrunning replication becomes a
+   structured failure in the summary instead of sinking the batch, and
+   completed replications are journaled as digests so an interrupted
+   campaign resumes where it stopped.
+
+   The byte-identity contract: the summary is computed from digests on
+   {e every} path — statistics from digest fields, the merged registry from
+   each digest's JSON-encoded registry — so a resumed campaign and an
+   uninterrupted one print identical summaries at any pool size.  The only
+   field that sees live [Controller.result]s is [results], kept for callers
+   (benchmarks, tests) that inspect full runs and documented as holding
+   this process's completions only. *)
+
+module Metrics = Bftsim_obs.Metrics
+
+type failure = { rep : int; kind : string; detail : string; retries : int }
+
 type summary = {
   config : Config.t;
   reps : int;
+  completed : int;
   latency_ms : Stats.t;
   messages : Stats.t;
   liveness_failures : int;
   safety_violations : int;
-  metrics : Bftsim_obs.Metrics.t option;
+  metrics : Metrics.t option;
   results : Controller.result list;
+  digests : Journal.digest list;
+  failures : failure list;
+  supervision : Supervisor.stats;
+  resumed : int;
 }
 
 let default_reps () =
@@ -14,47 +39,143 @@ let default_reps () =
   | Some v -> ( match int_of_string_opt v with Some r when r > 0 -> r | _ -> 20)
   | None -> 20
 
-let run_many ?reps ?jobs (config : Config.t) =
+let key_of_rep rep = Printf.sprintf "rep%d" rep
+
+let rep_of_key key =
+  try Scanf.sscanf key "rep%d" Fun.id with Scanf.Scan_failure _ | End_of_file -> -1
+
+let kind_to_strings = function
+  | Supervisor.Crash { exn; backtrace = _ } -> ("crash", exn)
+  | Supervisor.Deadline -> ("deadline", "wall-clock deadline exceeded")
+
+let run_many ?reps ?jobs ?journal ?(resumed = []) (config : Config.t) =
   let reps = match reps with Some r -> r | None -> default_reps () in
   if reps <= 0 then invalid_arg "Runner.run_many: reps <= 0";
-  (* Replications are independent (distinct seeds, no shared mutable state),
-     so they fan out across the domain pool; Parallel.map returns them in
-     seed order, so the statistics below see the identical sequence the
-     sequential path produces. *)
-  let results =
+  let cell = Journal.cell_of_config config in
+  (* Replications finished by a previous incarnation of this campaign:
+     skip them and splice their digests back in at their rep index. *)
+  let journaled =
+    List.filter (fun (rep, _) -> rep >= 0 && rep < reps) (Journal.runs resumed ~cell)
+  in
+  let done_tbl = Hashtbl.create 16 in
+  List.iter (fun (rep, d) -> Hashtbl.replace done_tbl rep d) journaled;
+  let pending = List.filter (fun k -> not (Hashtbl.mem done_tbl k)) (List.init reps Fun.id) in
+  let on_failure =
+    Option.map
+      (fun j ~key ~attempt ~wall_ms kind ->
+        let kind_s, detail = kind_to_strings kind in
+        let backtrace = match kind with Supervisor.Crash c -> c.backtrace | _ -> "" in
+        Journal.append j
+          (Journal.Failure
+             { cell; rep = rep_of_key key; attempt; wall_ms; kind = kind_s; detail; backtrace }))
+      journal
+  in
+  let supervisor = Supervisor.create ~policy:(Supervisor.policy_of_config config) ?on_failure () in
+  (* Replications are independent (distinct seeds, no shared mutable
+     state), so they fan out across the domain pool; [supervise] never
+     raises, so one bad replication cannot discard the others in flight.
+     Completed digests are journaled from inside the worker — a campaign
+     killed mid-flight keeps everything that finished. *)
+  let outcomes =
     Parallel.map ?jobs
-      (fun k -> Controller.run { config with Config.seed = config.Config.seed + k })
-      (List.init reps Fun.id)
+      (fun k ->
+        let outcome =
+          Supervisor.supervise supervisor ~key:(key_of_rep k) (fun ~cancel ->
+              Controller.run ~cancel { config with Config.seed = config.Config.seed + k })
+        in
+        (match (outcome, journal) with
+        | Supervisor.Ok r, Some j ->
+          Journal.append j (Journal.Run { cell; digest = Journal.digest_of_result ~rep:k r })
+        | _ -> ());
+        (k, outcome))
+      pending
   in
-  let latencies = List.map (fun r -> r.Controller.per_decision_latency_ms) results in
-  let messages = List.map (fun r -> r.Controller.per_decision_messages) results in
+  let fresh_results =
+    List.filter_map (function k, Supervisor.Ok r -> Some (k, r) | _ -> None) outcomes
+  in
+  let failures =
+    List.filter_map
+      (fun (k, outcome) ->
+        match outcome with
+        | Supervisor.Ok _ -> None
+        | Supervisor.Crashed { exn; backtrace = _; retries } ->
+          Some { rep = k; kind = "crash"; detail = exn; retries }
+        | Supervisor.Deadline_exceeded { wall_ms; retries } ->
+          Some
+            { rep = k; kind = "deadline"; detail = Printf.sprintf "%.0f ms wall" wall_ms; retries }
+        | Supervisor.Quarantined { failures } ->
+          Some
+            {
+              rep = k;
+              kind = "quarantined";
+              detail = Printf.sprintf "%d earlier failure(s)" failures;
+              retries = 0;
+            })
+      outcomes
+  in
+  let digests =
+    List.init reps (fun k ->
+        match Hashtbl.find_opt done_tbl k with
+        | Some d -> Some d
+        | None ->
+          Option.map (fun r -> Journal.digest_of_result ~rep:k r) (List.assoc_opt k fresh_results))
+    |> List.filter_map Fun.id
+  in
+  if digests = [] then
+    invalid_arg
+      (Printf.sprintf "Runner.run_many: every replication failed (%d failure(s), e.g. %s)"
+         (List.length failures)
+         (match failures with [] -> "none recorded" | f :: _ -> f.kind ^ ": " ^ f.detail));
+  (* Every aggregate below reads digests, never live results: journaled
+     floats round-trip exactly through the JSON codec, so resumed and
+     uninterrupted campaigns aggregate identical sequences (in rep order,
+     whatever the pool interleaving was). *)
+  let latencies = List.map (fun d -> d.Journal.latency_ms) digests in
+  let messages = List.map (fun d -> d.Journal.messages) digests in
   let liveness_failures =
-    List.length (List.filter (fun r -> r.Controller.outcome <> Controller.Reached_target) results)
+    List.length (List.filter (fun d -> d.Journal.outcome <> "reached-target") digests)
   in
-  let safety_violations = List.length (List.filter (fun r -> not r.Controller.safety_ok) results) in
-  (* Merge folds the per-run registries in seed order — the same order the
-     sequential path produces — so the merged registry is bit-identical at
-     any [jobs]. *)
+  let safety_violations = List.length (List.filter (fun d -> not d.Journal.safety_ok) digests) in
   let metrics =
-    match List.filter_map (fun r -> r.Controller.metrics) results with
+    match List.filter_map (fun d -> d.Journal.metrics) digests with
     | [] -> None
-    | regs -> Some (Bftsim_obs.Metrics.merge regs)
+    | encoded ->
+      Some
+        (Metrics.merge
+           (List.map
+              (fun j ->
+                match Metrics.of_json j with
+                | Ok m -> m
+                | Error e -> invalid_arg ("Runner.run_many: bad journaled registry: " ^ e))
+              encoded))
   in
   {
     config;
     reps;
+    completed = List.length digests;
     latency_ms = Stats.of_list latencies;
     messages = Stats.of_list messages;
     liveness_failures;
     safety_violations;
     metrics;
-    results;
+    results = List.map snd fresh_results;
+    digests;
+    failures;
+    supervision = Supervisor.stats supervisor;
+    resumed = List.length journaled;
   }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "%-12s latency %a msgs %a%s%s" s.config.Config.protocol Stats.pp_ms_as_s
+  let count kind = List.length (List.filter (fun f -> f.kind = kind) s.failures) in
+  let crashed = count "crash" in
+  let timed_out = count "deadline" in
+  let quarantined = count "quarantined" in
+  Format.fprintf ppf "%-12s latency %a msgs %a%s%s%s%s%s" s.config.Config.protocol Stats.pp_ms_as_s
     s.latency_ms Stats.pp s.messages
     (if s.liveness_failures > 0 then Printf.sprintf " [%d liveness failures]" s.liveness_failures
      else "")
     (if s.safety_violations > 0 then Printf.sprintf " [%d SAFETY VIOLATIONS]" s.safety_violations
      else "")
+    (if crashed > 0 then Printf.sprintf " [%d crashed]" crashed else "")
+    (if timed_out > 0 then Printf.sprintf " [%d timed out]" timed_out else "")
+    (if quarantined > 0 then Printf.sprintf " [%d quarantined]" quarantined else "")

@@ -1,9 +1,25 @@
 (** Repetition harness: runs one configuration many times over distinct
-    seeds and aggregates the paper's two metrics. *)
+    seeds under campaign supervision (DESIGN.md §3.13) and aggregates the
+    paper's two metrics.
+
+    Every replication runs under a [Supervisor] built from
+    [config.supervision]: a crash or a wall-clock deadline overrun becomes
+    a structured entry in {!summary.failures} instead of discarding the
+    batch, failed attempts are retried on the deterministic backoff
+    schedule, and — when a {!Journal} is attached — completed replications
+    are recorded as digests so an interrupted campaign can resume. *)
+
+type failure = {
+  rep : int;
+  kind : string;  (** ["crash"], ["deadline"] or ["quarantined"]. *)
+  detail : string;  (** Exception text / wall time / failure count. *)
+  retries : int;  (** Retries spent before giving up. *)
+}
 
 type summary = {
   config : Config.t;  (** The base configuration (seed of the first run). *)
-  reps : int;
+  reps : int;  (** Requested replications. *)
+  completed : int;  (** Replications that produced a digest. *)
   latency_ms : Stats.t;  (** Per-decision time usage across runs. *)
   messages : Stats.t;  (** Per-decision message usage across runs. *)
   liveness_failures : int;
@@ -14,20 +30,53 @@ type summary = {
   metrics : Bftsim_obs.Metrics.t option;
       (** Per-run registries merged in seed order (counters sum, gauges keep
           the max, histograms add bucket-wise) when [config.telemetry.metrics]
-          is on — bit-identical whatever [jobs] was. *)
-  results : Controller.result list;  (** Per-run details, first seed first. *)
+          is on — bit-identical whatever [jobs] was, resumed or not (the
+          merge always reads the digests' JSON encoding, which round-trips
+          registries exactly). *)
+  results : Controller.result list;
+      (** Full per-run details for the replications {e this process}
+          completed, first seed first — replications skipped via [~resumed]
+          appear only in [digests].  Aggregation must read [digests]. *)
+  digests : Journal.digest list;
+      (** One digest per completed replication, in rep order — journaled
+          and fresh alike; the source of every aggregate in this record. *)
+  failures : failure list;  (** Replications given up on, in rep order. *)
+  supervision : Supervisor.stats;
+      (** Supervisor counters for {e this process} (ok / crashed /
+          timed-out / retried attempts). *)
+  resumed : int;  (** Replications skipped thanks to the journal. *)
 }
 
-val run_many : ?reps:int -> ?jobs:int -> Config.t -> summary
-(** [run_many config] executes [reps] (default {!default_reps}) simulations
-    with seeds [config.seed, config.seed + 1, ...], fanned across [jobs]
-    domains (default {!Parallel.default_jobs}; [~jobs:1] forces the
-    sequential path).  The summary is bit-for-bit identical whatever [jobs]
-    is: each replication is deterministic in its seed and results are
-    reassembled in seed order. *)
+val run_many :
+  ?reps:int ->
+  ?jobs:int ->
+  ?journal:Journal.t ->
+  ?resumed:Journal.event list ->
+  Config.t ->
+  summary
+(** [run_many config] executes [reps] (default {!default_reps}) supervised
+    simulations with seeds [config.seed, config.seed + 1, ...], fanned
+    across [jobs] domains (default {!Parallel.default_jobs}; [~jobs:1]
+    forces the sequential path).  The summary is bit-for-bit identical
+    whatever [jobs] is: each replication is deterministic in its seed and
+    digests are reassembled in seed order.
+
+    [~journal] appends each completed replication (and each failed
+    attempt) as it happens — mutex-protected and flushed, so a SIGKILL
+    loses at most the record in flight.  [~resumed] takes the events of a
+    loaded journal: replications already recorded for this configuration's
+    cell are skipped and their digests spliced back in at their rep index,
+    reproducing the uninterrupted summary byte for byte.
+
+    @raise Invalid_argument if [reps <= 0], or if {e every} replication
+    failed (there is nothing to aggregate — the failure list is summarized
+    in the message). *)
 
 val default_reps : unit -> int
 (** 20, overridable with the [BFTSIM_REPS] environment variable (the paper
     uses 100). *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** One line: protocol, latency, messages, then only-if-nonzero suffixes —
+    [[n liveness failures]], [[n SAFETY VIOLATIONS]], [[n crashed]],
+    [[n timed out]], [[n quarantined]]. *)

@@ -237,24 +237,113 @@ let pp ppf t =
             (quantile_of_snapshot hs 99.))
     (snapshot t)
 
+(* Cell kinds are tagged explicitly: an untagged encoding cannot tell a
+   counter from a gauge that happens to hold an integral value (the codec
+   prints 16.0 as "16"), and [of_json] must reconstruct the exact registry
+   for the journal-resume byte-identity guarantee. *)
 let to_json t =
   Json.Assoc
     (List.map
        (fun (name, v) ->
          ( name,
            match v with
-           | Counter_v c -> Json.Int c
-           | Gauge_v g -> Json.Float g
+           | Counter_v c -> Json.Assoc [ ("counter", Json.Int c) ]
+           | Gauge_v g -> Json.Assoc [ ("gauge", Json.Float g) ]
            | Histogram_v hs ->
              Json.Assoc
                [
-                 ("bounds", Json.List (Array.to_list hs.s_bounds |> List.map (fun b -> Json.Float b)));
-                 ("counts", Json.List (Array.to_list hs.s_counts |> List.map (fun c -> Json.Int c)));
-                 ("sum", Json.Float hs.s_sum);
-                 ("count", Json.Int hs.s_count);
-                 ("min", Json.Float (if hs.s_count = 0 then 0. else hs.s_min));
-                 ("max", Json.Float (if hs.s_count = 0 then 0. else hs.s_max));
+                 ( "histogram",
+                   Json.Assoc
+                     ([
+                        ( "bounds",
+                          Json.List (Array.to_list hs.s_bounds |> List.map (fun b -> Json.Float b)) );
+                        ( "counts",
+                          Json.List (Array.to_list hs.s_counts |> List.map (fun c -> Json.Int c)) );
+                        ("sum", Json.Float hs.s_sum);
+                        ("count", Json.Int hs.s_count);
+                      ]
+                     @
+                     (* min/max have no JSON spelling when empty (±inf);
+                        omitting them restores the empty-histogram state. *)
+                     if hs.s_count = 0 then []
+                     else [ ("min", Json.Float hs.s_min); ("max", Json.Float hs.s_max) ]) );
                ] ))
        (snapshot t))
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let number name = function
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | Some (Json.Float f) -> Ok f
+    | _ -> err "Metrics.of_json: %s is not a number" name
+  in
+  let int_field name = function
+    | Some (Json.Int i) -> Ok i
+    | _ -> err "Metrics.of_json: %s is not an integer" name
+  in
+  match json with
+  | Json.Assoc cells ->
+    let t = create () in
+    let rec go = function
+      | [] -> Ok t
+      | (name, cell) :: rest -> (
+        match cell with
+        | Json.Assoc [ ("counter", Json.Int c) ] ->
+          incr ~by:c t name;
+          go rest
+        | Json.Assoc [ ("gauge", g) ] ->
+          let* v = number name (Some g) in
+          set_gauge t name v;
+          go rest
+        | Json.Assoc [ ("histogram", (Json.Assoc _ as h)) ] ->
+          let* bounds =
+            match Json.member "bounds" h with
+            | Some (Json.List bs) ->
+              let rec nums acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | b :: bs ->
+                  let* v = number (name ^ ".bounds") (Some b) in
+                  nums (v :: acc) bs
+              in
+              nums [] bs
+            | _ -> err "Metrics.of_json: %s has no bounds list" name
+          in
+          let* counts =
+            match Json.member "counts" h with
+            | Some (Json.List cs) ->
+              let rec ints acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | c :: cs ->
+                  let* v = int_field (name ^ ".counts") (Some c) in
+                  ints (v :: acc) cs
+              in
+              ints [] cs
+            | _ -> err "Metrics.of_json: %s has no counts list" name
+          in
+          if Array.length counts <> Array.length bounds + 1 then
+            err "Metrics.of_json: %s bounds/counts length mismatch" name
+          else
+            let* sum = number (name ^ ".sum") (Json.member "sum" h) in
+            let* count = int_field (name ^ ".count") (Json.member "count" h) in
+            let* vmin =
+              if count = 0 then Ok infinity else number (name ^ ".min") (Json.member "min" h)
+            in
+            let* vmax =
+              if count = 0 then Ok neg_infinity else number (name ^ ".max") (Json.member "max" h)
+            in
+            (match histogram ~buckets:bounds t name with
+            | hist ->
+              Array.blit counts 0 hist.counts 0 (Array.length counts);
+              hist.sum <- sum;
+              hist.count <- count;
+              hist.vmin <- vmin;
+              hist.vmax <- vmax;
+              go rest
+            | exception Invalid_argument m -> Error m)
+        | _ -> err "Metrics.of_json: unrecognized cell %S" name)
+    in
+    go cells
+  | _ -> Error "Metrics.of_json: expected an object of cells"
 
 let equal a b = snapshot a = snapshot b

@@ -90,3 +90,12 @@ val pp : Format.formatter -> t -> unit
     and p50/p95/p99 estimates. *)
 
 val to_json : t -> Json.t
+(** Lossless tagged encoding: each cell is [{"counter": n}], [{"gauge": x}]
+    or [{"histogram": {...}}] (the tag disambiguates a gauge holding an
+    integral value from a counter).  Floats use the codec's shortest
+    round-tripping representation, so {!of_json} reconstructs the registry
+    exactly — the property the campaign journal's resume path relies on. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t)] is a registry whose
+    {!snapshot} equals [t]'s. *)
