@@ -441,8 +441,8 @@ let conform_cmd =
   let families_arg =
     Arg.(value & opt (some string) None
          & info [ "families" ] ~docv:"LIST"
-             ~doc:"Comma-separated attacker families: none, failstop, partition, delay, chaos \
-                   (default: all).")
+             ~doc:"Comma-separated attacker families: none, failstop, partition, delay, chaos, \
+                   twins (default: all).")
   in
   let out_arg =
     Arg.(value & opt string "conform-out"
@@ -550,6 +550,174 @@ let conform_cmd =
           shrink and persist any counterexample")
     term
 
+(* --- twins --- *)
+
+let twins_cmd =
+  let module Conf = Bftsim_conformance in
+  let module Twins = Bftsim_twins in
+  let budget_arg =
+    Arg.(value & opt int 128
+         & info [ "budget" ] ~docv:"INT"
+             ~doc:"Max enumerated schedules to check (most-adversarial-first); each is crossed \
+                   with every selected protocol.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"INT"
+             ~doc:"Config seed shared by every scenario (the schedule set itself is \
+                   deterministic).")
+  in
+  let protocols_arg =
+    Arg.(value & opt (some string) None
+         & info [ "protocols" ] ~docv:"NAMES"
+             ~doc:"Comma-separated protocol names (default: every applicable registered \
+                   protocol).")
+  in
+  let n_arg =
+    Arg.(value & opt int Twins.Synth.default_params.Twins.Synth.n
+         & info [ "nodes" ] ~docv:"INT" ~doc:"Logical system size (physical size is n + 1).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int Twins.Synth.default_params.Twins.Synth.rounds
+         & info [ "rounds" ] ~docv:"INT" ~doc:"Schedule length in partition rounds.")
+  in
+  let round_ms_arg =
+    Arg.(value & opt float Twins.Synth.default_params.Twins.Synth.round_ms
+         & info [ "round-ms" ] ~docv:"MS" ~doc:"Duration of one schedule round.")
+  in
+  let enumerate_only_arg =
+    Arg.(value & flag
+         & info [ "enumerate-only" ]
+             ~doc:"Print enumeration statistics (raw, unique, emitted schedule counts) and \
+                   exit without running anything.")
+  in
+  let out_arg =
+    Arg.(value & opt string "twins-out"
+         & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunk counterexample bundles.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"INT"
+             ~doc:"Domains to fan scenario checks across (default BFTSIM_JOBS, else cores - 1).")
+  in
+  let no_det_arg =
+    Arg.(value & flag
+         & info [ "no-determinism" ]
+             ~doc:"Skip the per-scenario determinism replay (3x faster, safety oracles only).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Keep failing configs as generated, do not minimize.")
+  in
+  let shrink_budget_arg =
+    Arg.(value & opt int 48
+         & info [ "shrink-budget" ] ~docv:"INT"
+             ~doc:"Max harness re-evaluations the shrinker may spend per counterexample.")
+  in
+  let action budget seed protocols n rounds round_ms enumerate_only out jobs no_det no_shrink
+      shrink_budget journal resume deadline retries quarantine verbose =
+    setup_logs verbose;
+    let protocols_r =
+      match protocols with
+      | None -> Ok None
+      | Some s ->
+        let items = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | x :: rest -> (
+            match Protocols.Registry.find x with
+            | Some _ -> go (x :: acc) rest
+            | None -> Error (Printf.sprintf "unknown protocol %S" x))
+        in
+        go [] items
+    in
+    match protocols_r with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      Exit_code.crash
+    | Ok protocols -> (
+      let params =
+        { Twins.Synth.default_params with Twins.Synth.n; rounds; round_ms; seed }
+      in
+      match Twins.Synth.synthesize ?protocols ~budget ~params () with
+      | exception Invalid_argument e ->
+        Format.eprintf "error: %s@." e;
+        Exit_code.crash
+      | scenarios, stats ->
+        Format.printf "twins enumeration: %a@." Twins.Synth.pp_stats stats;
+        if enumerate_only then Exit_code.ok
+        else if scenarios = [] then begin
+          Format.eprintf "error: no applicable protocol selected@.";
+          Exit_code.crash
+        end
+        else begin
+          Format.printf "checking %d scenario(s) across %d protocol(s)@."
+            (List.length scenarios)
+            (List.length scenarios / stats.Twins.Enumerate.emitted);
+          let policy =
+            let d = Core.Supervisor.default_policy in
+            {
+              d with
+              Core.Supervisor.seed;
+              deadline_ms = (match deadline with Some _ -> deadline | None -> d.deadline_ms);
+              max_retries = Option.value ~default:d.Core.Supervisor.max_retries retries;
+              quarantine_after =
+                Option.value ~default:d.Core.Supervisor.quarantine_after quarantine;
+            }
+          in
+          let fingerprint =
+            Conf.Harness.campaign_cell ~mode:"twins" ~budget ~seed scenarios
+          in
+          match open_campaign_journal ~fingerprint ~journal ~resume with
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            Exit_code.crash
+          | Ok (journal_t, resumed) ->
+            let report =
+              Conf.Harness.fuzz_scenarios ~mode:"twins" ?jobs ~determinism:(not no_det)
+                ~shrink:(not no_shrink) ~shrink_budget ~bundle_dir:out ~policy
+                ?journal:journal_t ~resumed ~seed scenarios
+            in
+            Option.iter Core.Journal.close journal_t;
+            if report.Conf.Harness.resumed > 0 then
+              Format.eprintf "resumed: %d of %d check(s) already journaled as passed@."
+                report.Conf.Harness.resumed report.Conf.Harness.scenarios;
+            Format.printf "%a@." Conf.Harness.pp_report report;
+            if Conf.Harness.ok report then begin
+              Format.printf "twins OK: %d scenario(s), all oracles hold@."
+                report.Conf.Harness.scenarios;
+              Exit_code.ok
+            end
+            else if report.Conf.Harness.failures <> [] then begin
+              (* Liveness-only findings (a stalled pacemaker) exit 3;
+                 anything touching a safety oracle exits 2. *)
+              let liveness_only =
+                List.for_all
+                  (fun f ->
+                    List.for_all
+                      (fun v -> v.Conf.Oracle.oracle = "liveness")
+                      f.Conf.Harness.verdicts)
+                  report.Conf.Harness.failures
+              in
+              if liveness_only then Exit_code.liveness else Exit_code.safety
+            end
+            else Exit_code.crash
+        end)
+  in
+  let term =
+    Term.(
+      const action $ budget_arg $ seed_arg $ protocols_arg $ n_arg $ rounds_arg $ round_ms_arg
+      $ enumerate_only_arg $ out_arg $ jobs_arg $ no_det_arg $ no_shrink_arg $ shrink_budget_arg
+      $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ quarantine_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "twins"
+       ~doc:
+         "Systematic Twins-style Byzantine testing: enumerate duplicate-identity schedules \
+          (partition rounds + pinned leaders, symmetry-deduplicated), run each against the \
+          selected protocols, and judge with the conformance oracles; counterexamples are \
+          shrunk and persisted as replayable bundles")
+    term
+
 (* --- loc --- *)
 
 let loc_cmd =
@@ -579,7 +747,7 @@ let loc_cmd =
 let main_cmd =
   let doc = "Efficient and flexible simulator for BFT protocols (DSN 2022 reproduction)" in
   let info = Cmd.info "bftsim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; loc_cmd ]
+  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; twins_cmd; loc_cmd ]
 
 let () =
   (* One exit-code scheme for the whole binary: fold cmdliner's CLI-error

@@ -87,7 +87,26 @@ let validate ~n t =
           fail "Fault_schedule: negative delay spike %g" extra_ms;
         check_window "spike" until_ms
       | Gst_shift _ -> ())
-    t
+    t;
+  (* Crash windows on the same node must not overlap: a [Crash] while the
+     node is already down (or a [Recover] while it is up) is a silent no-op
+     schedule — almost always a typo in the node id or the time. *)
+  let down = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match s.action with
+      | Crash node ->
+        if Hashtbl.mem down node then
+          fail
+            "Fault_schedule: crash of node %d at %g overlaps an earlier crash window (recover it first)"
+            node s.at_ms;
+        Hashtbl.replace down node ()
+      | Recover node ->
+        if not (Hashtbl.mem down node) then
+          fail "Fault_schedule: recovery of node %d at %g without a preceding crash" node s.at_ms;
+        Hashtbl.remove down node
+      | _ -> ())
+    (normalize t)
 
 let crash_and_recover ~nodes ~crash_ms ~recover_ms =
   List.map (fun node -> { at_ms = crash_ms; action = Crash node }) nodes

@@ -61,7 +61,8 @@ val validate : n:int -> t -> unit
 (** Rejects malformed plans with a descriptive [Invalid_argument]: node ids
     outside [\[0, n)], non-finite or negative times, burst windows ending
     before they start, probabilities outside [\[0, 1\]], overlapping
-    partition groups. *)
+    partition groups, crash windows that overlap on the same node, and
+    recoveries without a preceding crash. *)
 
 val crash_and_recover : nodes:int list -> crash_ms:float -> recover_ms:float -> t
 (** The canonical chaos scenario: fail-stop [nodes] at [crash_ms] and

@@ -186,6 +186,7 @@ let run ?(protocol = "pbft") ?(decisions_target = 1) ?(max_time_ms = 600_000.)
             if !all_done then finished := Some (now_ms ())
           end);
       probe = (fun ~tag:_ ~detail:_ -> ());
+      leader_schedule = None;
     }
   in
   for i = 0 to n - 1 do

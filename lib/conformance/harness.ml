@@ -59,9 +59,9 @@ let run_scenario ?determinism ?cancel (scenario : Scenario.t) =
 let bundle_name idx (config : Config.t) =
   Printf.sprintf "%03d-%s-n%d-seed%d" idx config.Config.protocol config.Config.n config.Config.seed
 
-let campaign_cell ~budget ~seed scenarios =
+let campaign_cell ?(mode = "conform") ~budget ~seed scenarios =
   ignore (budget, seed);
-  Journal.fingerprint ~mode:"conform" ~reps:1
+  Journal.fingerprint ~mode ~reps:1
     (List.map (fun (s : Scenario.t) -> s.Scenario.config) scenarios)
 
 (* One scenario check under supervision.  [Passed] covers both a fresh
@@ -70,10 +70,9 @@ let campaign_cell ~budget ~seed scenarios =
    report comes out identical to an uninterrupted run's. *)
 type checked = Passed | Failed of (Oracle.verdict list * Controller.result) | Crashed of string
 
-let fuzz ?protocols ?families ?jobs ?(determinism = true) ?(shrink = true) ?(shrink_budget = 48)
-    ?bundle_dir ?policy ?journal ?(resumed = []) ~budget ~seed () =
-  let scenarios = Scenario.sample ?protocols ?families ~budget ~seed () in
-  let cell = campaign_cell ~budget ~seed scenarios in
+let fuzz_scenarios ?mode ?jobs ?(determinism = true) ?(shrink = true) ?(shrink_budget = 48)
+    ?bundle_dir ?policy ?journal ?(resumed = []) ~seed scenarios =
+  let cell = campaign_cell ?mode ~budget:(List.length scenarios) ~seed scenarios in
   let already_passed = Journal.checks resumed ~cell in
   let supervisor =
     let policy = match policy with Some p -> p | None -> { Supervisor.default_policy with seed } in
@@ -182,6 +181,12 @@ let fuzz ?protocols ?families ?jobs ?(determinism = true) ?(shrink = true) ?(shr
     crashed;
     resumed = List.length already_passed;
   }
+
+let fuzz ?protocols ?families ?jobs ?determinism ?shrink ?shrink_budget ?bundle_dir ?policy
+    ?journal ?resumed ~budget ~seed () =
+  let scenarios = Scenario.sample ?protocols ?families ~budget ~seed () in
+  fuzz_scenarios ?jobs ?determinism ?shrink ?shrink_budget ?bundle_dir ?policy ?journal ?resumed
+    ~seed scenarios
 
 let pp_report ppf r =
   Format.fprintf ppf "%d scenario(s), %d failure(s)%s" r.scenarios (List.length r.failures)

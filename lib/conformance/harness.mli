@@ -55,10 +55,30 @@ val run_scenario :
   Scenario.t ->
   Oracle.verdict list * Controller.result
 
-val campaign_cell : budget:int -> seed:int -> Scenario.t list -> string
+val campaign_cell : ?mode:string -> budget:int -> seed:int -> Scenario.t list -> string
 (** Journal cell (and campaign fingerprint) of a fuzzing batch: a stable
     hash over the sampled scenarios' configurations.  The CLI computes it
-    from [Scenario.sample] with the same arguments it passes to {!fuzz}. *)
+    from [Scenario.sample] with the same arguments it passes to {!fuzz}.
+    [mode] (default ["conform"]) namespaces the fingerprint, so a twins
+    campaign's journal is never mistaken for a conformance one's. *)
+
+val fuzz_scenarios :
+  ?mode:string ->
+  ?jobs:int ->
+  ?determinism:bool ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?bundle_dir:string ->
+  ?policy:Supervisor.policy ->
+  ?journal:Journal.t ->
+  ?resumed:Journal.event list ->
+  seed:int ->
+  Scenario.t list ->
+  report
+(** Check an explicitly supplied scenario list through the full
+    supervise → judge → shrink → bundle pipeline.  This is the engine
+    under {!fuzz}; callers with their own scenario source (the twins
+    enumerator) use it directly.  [mode] namespaces the journal cell. *)
 
 val fuzz :
   ?protocols:string list ->

@@ -25,16 +25,35 @@ let contains ~needle haystack =
   let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
   nl = 0 || scan 0
 
+(* A twinned identity is the run's emulated Byzantine node: its two halves
+   may legitimately equivocate, so its decisions never count towards the
+   safety oracles — the violation to detect is disagreement among the
+   remaining honest identities. *)
+let twinned (config : Config.t) node =
+  match config.Config.twins with
+  | None -> false
+  | Some tw -> List.mem node tw.Attack.Twins_schedule.ids
+
 (* A node's decisions count towards safety oracles when it is honest for
-   the whole run: not config-crashed and not adaptively corrupted. *)
+   the whole run: not config-crashed, not adaptively corrupted, not
+   twinned. *)
 let counted (config : Config.t) (result : Controller.result) node =
-  (not (List.mem node config.Config.crashed)) && not (List.mem node result.Controller.corrupted)
+  (not (List.mem node config.Config.crashed))
+  && (not (List.mem node result.Controller.corrupted))
+  && not (twinned config node)
 
 (* Per-index agreement additionally presumes a complete decision log, which
-   chaos-crashed-and-recovered nodes do not have (no state transfer). *)
+   chaos-crashed-and-recovered nodes do not have (no state transfer), and
+   neither does an honest node a twins round ever cut off from a quorum. *)
 let aligned (config : Config.t) (result : Controller.result) node =
   counted config result node
-  && not (Attack.Fault_schedule.ever_crashed config.Config.chaos ~node)
+  && (not (Attack.Fault_schedule.ever_crashed config.Config.chaos ~node))
+  && not
+       (match config.Config.twins with
+       | None -> false
+       | Some tw ->
+         Attack.Twins_schedule.isolated_below_quorum ~n:config.Config.n
+           ~quorum:(Protocols.Quorum.quorum config.Config.n) tw ~node)
 
 let agreement_over ~aligned decisions =
   let verdicts = ref [] in
@@ -102,9 +121,16 @@ let integrity config result =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (node, values) ->
-      if Hashtbl.mem seen node then
-        flag (Printf.sprintf "node %d appears twice in the decision table" node);
-      Hashtbl.replace seen node ();
+      let occurrences = 1 + Option.value ~default:0 (Hashtbl.find_opt seen node) in
+      Hashtbl.replace seen node occurrences;
+      (* A twinned identity legitimately contributes one row per physical
+         half; anything beyond the expected multiplicity is a corrupted
+         decision table. *)
+      let allowed = if twinned config node then 2 else 1 in
+      if occurrences > allowed then
+        flag
+          (Printf.sprintf "node %d appears %d times in the decision table (expected %d)" node
+             occurrences allowed);
       if List.mem node config.Config.crashed && values <> [] then
         flag
           (Printf.sprintf "config-crashed node %d decided %d value(s)" node (List.length values));
@@ -148,7 +174,19 @@ let check_trace config (result : Controller.result) =
   match result.Controller.trace with
   | None -> []
   | Some trace ->
-    let from_trace = List.sort compare (Trace.decisions trace) in
+    (* Trace rows carry physical node ids; the result table is logical.
+       Map before comparing so a twin half's decisions line up with the row
+       its identity published. *)
+    let to_logical node =
+      match config.Config.twins with
+      | Some tw when node >= config.Config.n ->
+        Attack.Twins_schedule.logical ~n:config.Config.n tw node
+      | Some _ | None -> node
+    in
+    let from_trace =
+      List.sort compare
+        (List.map (fun (node, values) -> (to_logical node, values)) (Trace.decisions trace))
+    in
     let from_result =
       List.sort compare
         (List.filter (fun (_, values) -> values <> []) result.Controller.decisions)

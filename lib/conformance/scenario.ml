@@ -4,11 +4,11 @@ module Protocols = Bftsim_protocols
 module Attack = Bftsim_attack
 module Gen = QCheck.Gen
 
-type family = Passthrough | Failstop | Partition_split | Slowdown | Crash_recover
+type family = Passthrough | Failstop | Partition_split | Slowdown | Crash_recover | Twins
 
 type t = { config : Config.t; family : family; expect_live : bool }
 
-let all_families = [ Passthrough; Failstop; Partition_split; Slowdown; Crash_recover ]
+let all_families = [ Passthrough; Failstop; Partition_split; Slowdown; Crash_recover; Twins ]
 
 let family_to_string = function
   | Passthrough -> "none"
@@ -16,6 +16,7 @@ let family_to_string = function
   | Partition_split -> "partition"
   | Slowdown -> "delay"
   | Crash_recover -> "chaos"
+  | Twins -> "twins"
 
 let family_of_string = function
   | "none" | "passthrough" -> Some Passthrough
@@ -23,6 +24,7 @@ let family_of_string = function
   | "partition" -> Some Partition_split
   | "delay" | "slowdown" -> Some Slowdown
   | "chaos" | "crash-recover" -> Some Crash_recover
+  | "twins" -> Some Twins
   | _ -> None
 
 let default_ns = [ 4; 5; 7; 8; 10; 13; 16 ]
@@ -34,7 +36,7 @@ let default_ns = [ 4; 5; 7; 8; 10; 13; 16 ]
 let applicable ~model family =
   match family with
   | Passthrough | Failstop | Crash_recover -> true
-  | Partition_split | Slowdown -> model <> Protocols.Protocol_intf.Synchronous
+  | Partition_split | Slowdown | Twins -> model <> Protocols.Protocol_intf.Synchronous
 
 (* HotStuff with the naive pacemaker loses liveness under crashed leaders
    by design (EXPERIMENTS.md Fig 7: never-certificated exponential backoff
@@ -108,13 +110,13 @@ let gen ?protocols ?(families = all_families) () : t Gen.t =
     Gen.frequency [ (4, Gen.return Config.Distinct); (1, Gen.return (Config.Same "u")) ] st
   in
   let fragile = List.mem protocol crash_fragile in
-  let crashed, attack, chaos, expect_live =
+  let crashed, attack, chaos, twins, expect_live =
     match family with
-    | Passthrough -> ([], Config.No_attack, Attack.Fault_schedule.empty, true)
+    | Passthrough -> ([], Config.No_attack, Attack.Fault_schedule.empty, None, true)
     | Failstop ->
       let count = if f = 0 then 0 else Gen.int_range 1 f st in
       let crashed = distinct_ids ~n ~count st in
-      (crashed, Config.No_attack, Attack.Fault_schedule.empty, crashed = [] || not fragile)
+      (crashed, Config.No_attack, Attack.Fault_schedule.empty, None, crashed = [] || not fragile)
     | Partition_split ->
       let first_size = Gen.int_range 1 (n - 1) st in
       let start_ms = float_range 0. 2000. st in
@@ -125,19 +127,57 @@ let gen ?protocols ?(families = all_families) () : t Gen.t =
       ( [],
         Config.Partition { first_size; start_ms; heal_ms; drop },
         Attack.Fault_schedule.empty,
+        None,
         not fragile )
     | Slowdown ->
       let extra_ms = float_range 10. 200. st in
-      ([], Config.Extra_delay { extra_ms }, Attack.Fault_schedule.empty, true)
+      ([], Config.Extra_delay { extra_ms }, Attack.Fault_schedule.empty, None, true)
     | Crash_recover ->
       let count = if f = 0 then 1 else Gen.int_range 1 f st in
       let nodes = distinct_ids ~n ~count st in
       let crash_ms = float_range 0. 1000. st in
       let recover_ms = snap1 (crash_ms +. float_range 1000. 8000. st) in
-      ([], Config.No_attack, Attack.Fault_schedule.crash_and_recover ~nodes ~crash_ms ~recover_ms, false)
+      ( [],
+        Config.No_attack,
+        Attack.Fault_schedule.crash_and_recover ~nodes ~crash_ms ~recover_ms,
+        None,
+        false )
+    | Twins ->
+      (* One twinned identity (physical half lives at id n), 2..4 rounds
+         drawn from a mix of honest-coherent shapes (only the twin halves
+         are cut off — the classic Twins play, liveness-preserving) and
+         arbitrary splits (safety-only: an isolated honest node may miss
+         commits forever), occasionally with a leader prefix pinned to the
+         twin.  The watchdog holds fire until the schedule ends. *)
+      let twin = Gen.int_range 0 (n - 1) st in
+      let pn = n + 1 in
+      let round_ms = float_range (2. *. lambda_ms) (4. *. lambda_ms) st in
+      let round _ =
+        match Gen.int_range 0 7 st with
+        | 0 | 1 -> [] (* healed round *)
+        | 2 -> [ [ twin ] ] (* original half cut off *)
+        | 3 -> [ [ n ] ] (* twin half cut off *)
+        | 4 -> [ [ twin ]; [ n ] ] (* both halves isolated, separately *)
+        | 5 -> [ [ twin; n ] ] (* the pair cut off together *)
+        | _ ->
+          let size = Gen.int_range 1 (pn - 1) st in
+          [ distinct_ids ~n:pn ~count:size st ]
+      in
+      let rounds = List.init (Gen.int_range 2 4 st) round in
+      let leaders =
+        if Gen.bool st then []
+        else
+          List.init (Gen.int_range 1 4 st) (fun _ ->
+              if Gen.bool st then twin else Gen.int_range 0 (n - 1) st)
+      in
+      let tw = { Attack.Twins_schedule.ids = [ twin ]; round_ms; rounds; leaders } in
+      let live =
+        Attack.Twins_schedule.preserves_liveness ~n ~quorum:(Protocols.Quorum.quorum n) tw
+      in
+      ([], Config.No_attack, Attack.Fault_schedule.empty, Some tw, live && not fragile)
   in
   let config =
-    Config.make protocol ~n ~crashed ~lambda_ms ~delay ~seed ~attack ~chaos ~inputs
+    Config.make protocol ~n ~crashed ~lambda_ms ~delay ~seed ~attack ~chaos ?twins ~inputs
       ~max_time_ms:600_000.
   in
   { config; family; expect_live }

@@ -23,6 +23,11 @@ type family =
   | Partition_split  (** Two-subnet partition that heals within seconds. *)
   | Slowdown  (** Adversarial uniform extra delay on every message. *)
   | Crash_recover  (** Chaos schedule: crash 1..f nodes, restart them later. *)
+  | Twins
+      (** Twins-style Byzantine emulation: one identity runs as two
+          physical halves under a round-indexed partition schedule (and
+          optionally pinned leaders), mechanically producing equivocation
+          without protocol-specific attacker code. *)
 
 type t = {
   config : Config.t;
@@ -36,7 +41,8 @@ type t = {
 val all_families : family list
 
 val family_to_string : family -> string
-(** CLI names: [none], [failstop], [partition], [delay], [chaos]. *)
+(** CLI names: [none], [failstop], [partition], [delay], [chaos],
+    [twins]. *)
 
 val family_of_string : string -> family option
 

@@ -33,7 +33,10 @@ let with_n (config : Config.t) n' =
         | exception Invalid_argument _ -> false)
       config.Config.chaos
   in
-  { config with Config.n = n'; crashed; attack; chaos }
+  (* A twins schedule's partition groups are keyed by physical ids, which
+     shift when n does — there is no faithful down-mapping, so shrinking n
+     drops the twins dimension (its own candidates shrink it in place). *)
+  { config with Config.n = n'; crashed; attack; chaos; twins = None }
 
 let candidates (config : Config.t) =
   let chaos_steps = config.Config.chaos in
@@ -86,8 +89,31 @@ let candidates (config : Config.t) =
     | Config.Distinct -> []
     | _ -> [ { config with Config.inputs = Config.Distinct } ]
   in
+  let twins_candidates =
+    match config.Config.twins with
+    | None -> []
+    | Some tw ->
+      let with_tw tw' = { config with Config.twins = Some tw' } in
+      ({ config with Config.twins = None }
+       :: (if tw.Attack.Twins_schedule.leaders <> [] then
+             [ with_tw { tw with Attack.Twins_schedule.leaders = [] } ]
+           else []))
+      @ (match tw.Attack.Twins_schedule.rounds with
+        | [] | [ _ ] -> []
+        | rounds ->
+          (* Prefix truncation keeps round indices meaningful (a suffix
+             would renumber every remaining round). *)
+          let k = List.length rounds / 2 in
+          [ with_tw { tw with Attack.Twins_schedule.rounds = List.filteri (fun i _ -> i < k) rounds } ])
+      @ List.filter_map
+          (fun round_ms' ->
+            if round_ms' < tw.Attack.Twins_schedule.round_ms then
+              Some (with_tw { tw with Attack.Twins_schedule.round_ms = round_ms' })
+            else None)
+          [ 1000.; 2000. ]
+  in
   List.filter valid
-    (chaos_candidates @ attack_candidates @ crashed_candidates @ n_candidates
+    (twins_candidates @ chaos_candidates @ attack_candidates @ crashed_candidates @ n_candidates
    @ target_candidates @ delay_candidates @ inputs_candidates @ seed_candidates)
 
 let minimize ?(budget = 48) ~fails config =

@@ -48,6 +48,7 @@ type t = {
   record_trace : bool;
   view_sample_ms : float option;
   chaos : Attack.Fault_schedule.t;
+  twins : Attack.Twins_schedule.t option;
   watchdog : float option;
   check_validity : bool;
   naive_reset : Protocols.Context.naive_reset_policy;
@@ -58,6 +59,12 @@ type t = {
 (* Default for the HotStuff+NS pacemaker-reset ablation knob; the
    environment variable keeps the historical spelling.  Read per [make] so
    tests can set the variable mid-process. *)
+(* Total replica count actually instantiated: each twinned identity runs a
+   second physical node sharing its credentials (Twins_schedule's physical-id
+   convention: twin of [ids.(k)] is physical [n + k]). *)
+let physical_n t =
+  match t.twins with None -> t.n | Some tw -> Attack.Twins_schedule.physical_n ~n:t.n tw
+
 let naive_reset_default () =
   match Sys.getenv_opt "BFTSIM_NAIVE_RESET" with
   | Some s -> (
@@ -114,10 +121,71 @@ let validate t =
       (List.length t.crashed) t.n
       (Protocols.Protocol_intf.network_model_to_string (Protocols.Protocol_intf.model p))
       tolerable;
+  (match t.attack with
+  | No_attack -> ()
+  | Partition { first_size; start_ms; heal_ms; drop = _ } ->
+    if first_size < 1 || first_size >= t.n then
+      fail "Config: partition first_size = %d splits nothing with n = %d (need 1..%d)" first_size
+        t.n (t.n - 1);
+    if Float.is_nan start_ms || start_ms < 0. then
+      fail "Config: partition starts at %g ms; the start must be non-negative" start_ms;
+    if Float.is_nan heal_ms || heal_ms <= start_ms then
+      fail
+        "Config: partition heals at %g ms, at or before its start at %g ms — the window is empty; use heal_ms > start_ms"
+        heal_ms start_ms
+  | Silence { nodes; at_ms } ->
+    if Float.is_nan at_ms || at_ms < 0. then
+      fail "Config: silence at %g ms; the onset must be non-negative" at_ms;
+    if nodes = [] then fail "Config: silence attack with no nodes silences nothing";
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun node ->
+        if node < 0 || node >= t.n then
+          fail "Config: silenced node %d out of range 0..%d" node (t.n - 1);
+        if Hashtbl.mem seen node then fail "Config: node %d silenced twice" node;
+        Hashtbl.replace seen node ())
+      nodes
+  | Add_static { f } ->
+    if f < 1 then fail "Config: add-static with f = %d adds no Byzantine nodes" f
+  | Add_rushing_adaptive { budget = Some b } when b < 0 ->
+    fail "Config: add-adaptive budget = %d, must be non-negative" b
+  | Add_rushing_adaptive _ -> ()
+  | Extra_delay { extra_ms } ->
+    if Float.is_nan extra_ms || extra_ms < 0. then
+      fail "Config: extra-delay of %g ms, must be non-negative" extra_ms);
   (match t.watchdog with
   | Some k when Float.is_nan k || k <= 0. ->
     fail "Config: watchdog multiplier %g must be positive" k
   | Some _ | None -> ());
+  (match t.twins with
+  | None -> ()
+  | Some tw ->
+    Attack.Twins_schedule.validate ~n:t.n tw;
+    (* Twins emulate Byzantine faults, so the twinned identities count
+       against the same resilience budget as config-crashed nodes. *)
+    let twinned = Attack.Twins_schedule.count tw in
+    if List.length t.crashed + twinned > tolerable then
+      fail "Config: %d twinned + %d crashed nodes with n = %d exceeds the tolerance of %d"
+        twinned (List.length t.crashed) t.n tolerable;
+    List.iter
+      (fun id ->
+        if List.mem id t.crashed then
+          fail "Config: node %d is both crashed and twinned — a crashed twin tests nothing" id)
+      tw.Attack.Twins_schedule.ids;
+    (match t.attack with
+    | No_attack | Extra_delay _ -> ()
+    | a ->
+      fail
+        "Config: twins cannot combine with the %s attack (attacker node ids do not extend to twin replicas); use the twins partition schedule instead"
+        (match a with
+        | Partition _ -> "partition"
+        | Silence _ -> "silence"
+        | Add_static _ -> "add-static"
+        | Add_rushing_adaptive _ -> "add-adaptive"
+        | No_attack | Extra_delay _ -> assert false));
+    match t.transport with
+    | Direct -> ()
+    | Gossip _ -> fail "Config: twins requires the direct transport (gossip topology is per-physical-node)");
   if t.telemetry.trace_capacity <= 0 then
     fail "Config: trace_capacity = %d, the ring buffer needs room" t.telemetry.trace_capacity;
   (match t.supervision.deadline_ms with
@@ -131,12 +199,14 @@ let validate t =
       t.supervision.quarantine_after;
   if Float.is_nan t.supervision.retry_base_ms || t.supervision.retry_base_ms < 0. then
     fail "Config: retry_base_ms = %g, must be non-negative" t.supervision.retry_base_ms;
-  Attack.Fault_schedule.validate ~n:t.n t.chaos
+  (* Chaos steps may target twin replicas, so node ids range over the
+     physical replica set. *)
+  Attack.Fault_schedule.validate ~n:(physical_n t) t.chaos
 
 let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.normal ~mu:250. ~sigma:50.)
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
-    ?(chaos = Attack.Fault_schedule.empty) ?watchdog ?(check_validity = false) ?naive_reset
+    ?(chaos = Attack.Fault_schedule.empty) ?twins ?watchdog ?(check_validity = false) ?naive_reset
     ?(telemetry = default_telemetry) ?(supervision = default_supervision) protocol =
   let naive_reset =
     match naive_reset with Some p -> p | None -> naive_reset_default ()
@@ -165,6 +235,7 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       record_trace;
       view_sample_ms;
       chaos = Attack.Fault_schedule.normalize chaos;
+      twins;
       watchdog;
       check_validity;
       naive_reset;
@@ -211,6 +282,9 @@ let describe t =
     ^ (match t.chaos with
       | [] -> ""
       | steps -> Printf.sprintf " chaos=[%d steps]" (List.length steps))
+    ^ (match t.twins with
+      | None -> ""
+      | Some tw -> " " ^ Attack.Twins_schedule.describe tw)
     ^ (match t.watchdog with
       | None -> ""
       | Some k -> Printf.sprintf " watchdog=%g*lambda" k)
@@ -367,6 +441,24 @@ let of_keyvalues kvs =
     | None -> Ok Attack.Fault_schedule.empty
     | Some s -> Attack.Fault_schedule.of_string s
   in
+  let* twins =
+    match find "twins" with
+    | None -> Ok None
+    | Some ids_s ->
+      let* ids = Attack.Twins_schedule.ids_of_string ids_s in
+      let* rounds =
+        match find "twins_rounds" with
+        | None -> Ok []
+        | Some s -> Attack.Twins_schedule.rounds_of_string s
+      in
+      let* leaders =
+        match find "twins_leaders" with
+        | None -> Ok []
+        | Some s -> Attack.Twins_schedule.ids_of_string s
+      in
+      let* round_ms = float_key "twins_round_ms" (4. *. lambda_ms) in
+      Ok (Some { Attack.Twins_schedule.ids; round_ms; rounds; leaders })
+  in
   let* watchdog =
     match find "watchdog" with
     | None -> Ok None
@@ -416,7 +508,7 @@ let of_keyvalues kvs =
     (try
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
-            ~max_events ~inputs ~transport ~costs ~chaos ?watchdog ?naive_reset ~telemetry
+            ~max_events ~inputs ~transport ~costs ~chaos ?twins ?watchdog ?naive_reset ~telemetry
             ~supervision protocol)
      with Invalid_argument msg -> Error msg)
 
@@ -447,6 +539,17 @@ let to_keyvalues t =
      else
        [ ("costs", Printf.sprintf "custom:%g,%g" t.costs.Cost_model.sign_ms t.costs.Cost_model.verify_ms) ])
   @ (match t.chaos with [] -> [] | plan -> [ ("chaos", Attack.Fault_schedule.describe plan) ])
+  @ (match t.twins with
+    | None -> []
+    | Some tw ->
+      [ ("twins", Attack.Twins_schedule.ids_to_string tw.Attack.Twins_schedule.ids) ]
+      @ (match tw.Attack.Twins_schedule.rounds with
+        | [] -> []
+        | rounds -> [ ("twins_rounds", Attack.Twins_schedule.rounds_to_string rounds) ])
+      @ (match tw.Attack.Twins_schedule.leaders with
+        | [] -> []
+        | leaders -> [ ("twins_leaders", Attack.Twins_schedule.ids_to_string leaders) ])
+      @ [ ("twins_round_ms", Printf.sprintf "%g" tw.Attack.Twins_schedule.round_ms) ])
   @ (match t.watchdog with None -> [] | Some k -> [ ("watchdog", Printf.sprintf "%g" k) ])
   @ (match t.naive_reset with
     | Protocols.Context.Reset_on_commit -> []

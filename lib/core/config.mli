@@ -93,6 +93,12 @@ type t = {
       (** Timed fault plan (crashes, recoveries, partitions, bursts, GST
           shifts); compiled into an attacker and composed with [attack].
           Kept normalized (sorted by time). *)
+  twins : Bftsim_attack.Twins_schedule.t option;
+      (** Twins-style attacker (DESIGN.md §3.14): each listed identity runs a
+          duplicate replica sharing its credentials, under a round-indexed
+          partition schedule and optional per-view leader pinning.  [None] =
+          ordinary run.  Requires [Direct] transport and no node-addressed
+          [attack]. *)
   watchdog : float option;
       (** Liveness watchdog: abort with {!Controller.outcome.Stalled} once
           no counted node has decided for [k * lambda_ms] (and no scheduled
@@ -121,12 +127,21 @@ val validate : t -> unit
 (** Full consistency check: positive [lambda_ms] / caps / decision target,
     crashed ids in range and unique and within the protocol model's
     tolerance ((n-1)/2 crash faults under synchrony, (n-1)/3 otherwise),
-    well-formed chaos schedule, positive watchdog multiplier.  Run by
-    {!make} and again at [Controller.run] entry so hand-built records are
-    rejected with a descriptive [Invalid_argument] rather than silently
-    misbehaving.  Chaos-schedule crashes are deliberately {e not} counted
-    against the tolerance bound — over-crashing is a legitimate chaos
-    experiment; the watchdog turns the resulting stall into a result. *)
+    well-formed attack windows (partition [heal_ms > start_ms >= 0],
+    non-negative silence onset / extra delay, in-range silenced ids),
+    well-formed chaos schedule over the {e physical} replica set, positive
+    watchdog multiplier, and a consistent twins schedule (twinned ids
+    counted against the tolerance together with [crashed], [Direct]
+    transport, no node-addressed attack).  Run by {!make} and again at
+    [Controller.run] entry so hand-built records are rejected with a
+    descriptive [Invalid_argument] rather than silently misbehaving.
+    Chaos-schedule crashes are deliberately {e not} counted against the
+    tolerance bound — over-crashing is a legitimate chaos experiment; the
+    watchdog turns the resulting stall into a result. *)
+
+val physical_n : t -> int
+(** Replicas actually instantiated: [n] plus one duplicate per twinned
+    identity ({!Bftsim_attack.Twins_schedule.physical_n}). *)
 
 val make :
   ?n:int ->
@@ -144,6 +159,7 @@ val make :
   ?record_trace:bool ->
   ?view_sample_ms:float ->
   ?chaos:Bftsim_attack.Fault_schedule.t ->
+  ?twins:Bftsim_attack.Twins_schedule.t ->
   ?watchdog:float ->
   ?check_validity:bool ->
   ?naive_reset:Bftsim_protocols.Context.naive_reset_policy ->
@@ -186,7 +202,11 @@ val of_keyvalues : (string * string) list -> (t, string) result
     ["crash:3@0;recover:3@15000"]), [watchdog] (the stall multiplier
     [k], in units of [lambda_ms]), [naive_reset]
     ([commit] | [never] | [view]), [max_events], [metrics] / [tracing]
-    (booleans) and [trace_capacity] (ring-buffer entries). *)
+    (booleans), [trace_capacity] (ring-buffer entries), and the twins
+    family: [twins] (comma-separated logical ids to duplicate),
+    [twins_rounds] (per-round physical-id partitions, e.g.
+    ["0,1,4|2,3;-;0,4|1,2,3"]), [twins_leaders] (per-view logical leader
+    ids) and [twins_round_ms] (round duration, default [4 * lambda]). *)
 
 val to_keyvalues : t -> (string * string) list
 (** Inverse of {!of_keyvalues}: the configuration as parseable key = value

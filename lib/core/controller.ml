@@ -130,14 +130,36 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     (Lazy.force injected_faults);
   let (module P : Protocols.Protocol_intf.S) = Protocols.Registry.find_exn config.protocol in
   let n = config.n in
+  (* Twins (DESIGN.md §3.14): each twinned identity runs a second physical
+     replica with the same credentials and input but its own RNG stream and
+     state.  Everything below the protocol boundary — arrays, RNGs, network,
+     traces — is indexed by PHYSICAL id [0..pn); the protocol only ever sees
+     LOGICAL ids (its own via [ctx.node_id], peers via rewritten [msg.src]).
+     Without twins [pn = n] and both id spaces coincide, so the code paths
+     are shared and bit-identical to a pre-twins run. *)
+  let twins = config.twins in
+  let pn = Config.physical_n config in
+  let to_logical p =
+    match twins with
+    | Some tw when p >= n -> Attack.Twins_schedule.logical ~n tw p
+    | Some _ | None -> p
+  in
+  let instances id =
+    match twins with None -> [ id ] | Some tw -> Attack.Twins_schedule.instances ~n tw id
+  in
+  let twinned p =
+    match twins with
+    | None -> false
+    | Some tw -> p >= n || Attack.Twins_schedule.twin_instance ~n tw p <> None
+  in
   let f = Protocols.Quorum.max_faulty n in
   let root_rng = Rng.create config.seed in
   let net_rng = Rng.split root_rng in
   let attacker_rng = Rng.split root_rng in
-  let node_rngs = Array.init n (fun _ -> Rng.split root_rng) in
+  let node_rngs = Array.init pn (fun _ -> Rng.split root_rng) in
   let queue : event Event_queue.t = Event_queue.create () in
   Simlog.set_now (fun () -> Event_queue.now queue);
-  let topology = Topology.fully_connected n in
+  let topology = Topology.fully_connected pn in
   let network = Network.create ~delay:config.delay ~topology ~rng:net_rng in
   let trace = if config.record_trace then Some (Trace.create ()) else None in
   (* Telemetry (DESIGN.md §3.11).  The registry holds only simulated
@@ -172,6 +194,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let c_view_changes = ctr "protocol.view_changes" in
   let c_corruptions = ctr "attacker.corruptions" in
   let c_events = ctr "sim.events" in
+  let c_twin_drops = ctr "twins.round_drops" in
   let h_delay, h_size =
     match reg with
     | Some r ->
@@ -274,9 +297,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
              ~args:[ ("msg", Obs.Tracer.Str s) ]
              ()))
   | None -> ());
-  let crashed = Array.make n false in
+  let crashed = Array.make pn false in
   List.iter (fun i -> crashed.(i) <- true) config.crashed;
-  let corrupted = Array.make n false in
+  let corrupted = Array.make pn false in
   let corrupted_order = ref [] in
   let msg_counter = ref 0 in
   let timer_counter = ref 0 in
@@ -297,44 +320,66 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     else true
   in
   let dropped = ref 0 in
-  let decisions : string list ref array = Array.init n (fun _ -> ref []) in
+  let decisions : string list ref array = Array.init pn (fun _ -> ref []) in
   (* Per-node decision counts, maintained incrementally so the hot
      decide/check_target path never walks the accumulating lists. *)
-  let decision_counts = Array.make n 0 in
+  let decision_counts = Array.make pn 0 in
   let finished = ref None in
   let outcome = ref Queue_drained in
   let view_samples = ref [] in
   let chaos = Attack.Fault_schedule.normalize config.chaos in
   let attacker =
     let base = match attacker_override with Some a -> a | None -> build_attacker config in
-    match chaos with
-    | [] -> base
-    | _ ->
-      (* Chaos first: a message a crashed source never sent must not reach
-         the scenario attacker either. *)
-      Attack.Attacker.compose [ Attack.Fault_schedule.to_attacker chaos; base ]
+    (* Layering: chaos first (a message a crashed source never sent must not
+       reach anything downstream), then the twins partition schedule, then
+       the scenario attacker. *)
+    let layers =
+      (match chaos with [] -> [] | _ -> [ Attack.Fault_schedule.to_attacker chaos ])
+      @
+      match twins with
+      | None -> []
+      | Some tw -> [ Attack.Twins_schedule.to_attacker ~on_drop:(fun () -> incr c_twin_drops) tw ]
+    in
+    match layers with [] -> base | _ -> Attack.Attacker.compose (layers @ [ base ])
   in
   (* Throughput extension (§III-A3): sequential per-node CPUs charged for
      signing and verification; zero costs short-circuit to the paper's
      cost-free behaviour. *)
   let costs = config.Config.costs in
-  let cpus = Array.init n (fun _ -> Cost_model.make_cpu ()) in
+  let cpus = Array.init pn (fun _ -> Cost_model.make_cpu ()) in
   let gossip_rng = Rng.split root_rng in
   let gossip_counter = ref 0 in
   (* Per node: gossip frames already processed (origin, gid). *)
-  let gossip_seen : (int * int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 64) in
+  let gossip_seen : (int * int, unit) Hashtbl.t array = Array.init pn (fun _ -> Hashtbl.create 64) in
 
   (* Nodes the chaos plan fail-stops and never restarts can no more reach
      the decision target than config-crashed ones; recovered nodes stay
      counted and must catch up. *)
   let chaos_gone =
-    Array.init n (fun node -> Attack.Fault_schedule.crashed_at chaos ~node ~at_ms:Float.infinity)
+    Array.init pn (fun node -> Attack.Fault_schedule.crashed_at chaos ~node ~at_ms:Float.infinity)
   in
-  let counted node = (not crashed.(node)) && (not corrupted.(node)) && not chaos_gone.(node) in
+  (* Twin instances emulate a Byzantine identity: they are excluded from the
+     decision target and from agreement — equivocation between the two
+     halves is the attack, not the violation.  The violation the oracles
+     look for is disagreement among the remaining honest nodes. *)
+  let counted node =
+    (not crashed.(node)) && (not corrupted.(node)) && (not chaos_gone.(node)) && not (twinned node)
+  in
   (* Per-index agreement presumes complete logs; a node the plan crashes
      and restarts misses the decisions made while it was down (there is no
-     state transfer), so only never-crashed nodes are index-aligned. *)
-  let aligned node = counted node && not (Attack.Fault_schedule.ever_crashed chaos ~node) in
+     state transfer), so only never-crashed nodes are index-aligned — and
+     neither is an honest node a twins round cut off from a quorum, which
+     misses the quorum side's decisions the same way. *)
+  let aligned node =
+    counted node
+    && (not (Attack.Fault_schedule.ever_crashed chaos ~node))
+    && not
+         (match twins with
+         | None -> false
+         | Some tw ->
+           Attack.Twins_schedule.isolated_below_quorum ~n ~quorum:(Protocols.Quorum.quorum n) tw
+             ~node)
+  in
   let last_progress = ref 0. in
   let monitor =
     Invariant.create ~counted ~aligned
@@ -347,7 +392,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let check_target () =
     if !finished = None then begin
       let all_done = ref true in
-      for i = 0 to n - 1 do
+      for i = 0 to pn - 1 do
         if counted i && decision_counts.(i) < config.decisions_target then all_done := false
       done;
       if !all_done then begin
@@ -371,7 +416,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
 
   let attacker_env =
     {
-      Attack.Attacker.n;
+      (* Attackers see the physical replica set — the twins partition
+         schedule addresses twin halves individually. *)
+      Attack.Attacker.n = pn;
       f;
         lambda_ms = config.lambda_ms;
         now = (fun () -> Event_queue.now queue);
@@ -436,7 +483,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     in
     record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
       ~detail:(Message.payload_to_string msg.payload);
-    (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < n then begin
+    (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < pn then begin
        let now = Time.to_ms (Event_queue.now queue) in
        let finish = Cost_model.charge cpus.(msg.src) ~now_ms:now ~cost_ms:costs.Cost_model.sign_ms in
        msg.Message.delay_ms <- msg.Message.delay_ms +. (finish -. now)
@@ -485,9 +532,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let gossip_forward src (frame : Message.payload) ~tag ~size ~fanout =
     let chosen = Hashtbl.create 8 in
     let attempts = ref 0 in
-    while Hashtbl.length chosen < Stdlib.min fanout (n - 1) && !attempts < 16 * n do
+    while Hashtbl.length chosen < Stdlib.min fanout (pn - 1) && !attempts < 16 * pn do
       incr attempts;
-      let peer = Rng.int gossip_rng n in
+      let peer = Rng.int gossip_rng pn in
       if peer <> src && not (Hashtbl.mem chosen peer) then Hashtbl.replace chosen peer ()
     done;
     Hashtbl.iter (fun peer () -> send_from src ~dst:peer ~tag ~size frame) chosen
@@ -496,7 +543,10 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let broadcast_from src ~include_self ~tag ~size payload =
     match config.Config.transport with
     | Config.Direct ->
-      for dst = 0 to n - 1 do
+      (* Physical fan-out: twin halves receive broadcasts independently.
+         [include_self = false] excludes only the sending instance — its
+         co-twin is another machine on the wire. *)
+      for dst = 0 to pn - 1 do
         if include_self || dst <> src then send_from src ~dst ~tag ~size payload
       done
     | Config.Gossip { fanout } ->
@@ -510,7 +560,19 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         ~tag ~size ~fanout
   in
 
-  let make_ctx node_id =
+  let leader_schedule =
+    match twins with
+    | Some tw when tw.Attack.Twins_schedule.leaders <> [] ->
+      Some (Array.of_list tw.Attack.Twins_schedule.leaders)
+    | Some _ | None -> None
+  in
+  (* [p] is the physical slot; the protocol instance inside it identifies as
+     the LOGICAL [node_id] — a twin half sends, votes and leads under its
+     co-twin's identity.  Bookkeeping (RNG, decisions, timers, trace rows)
+     stays per-physical so the two halves remain distinguishable below the
+     protocol boundary. *)
+  let make_ctx p =
+    let node_id = to_logical p in
     {
       Protocols.Context.node_id;
       n;
@@ -519,12 +581,16 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       seed = config.seed;
       input = Config.input_for config node_id;
       naive_reset = config.Config.naive_reset;
-      rng = node_rngs.(node_id);
+      rng = node_rngs.(p);
       now = (fun () -> Event_queue.now queue);
-      send_raw = (fun ~dst ~tag ~size payload -> send_from node_id ~dst ~tag ~size payload);
+      send_raw =
+        (fun ~dst ~tag ~size payload ->
+          (* The protocol addresses a logical identity; a twinned destination
+             is two machines, each owed its own copy. *)
+          List.iter (fun pdst -> send_from p ~dst:pdst ~tag ~size payload) (instances dst));
       broadcast_raw =
         (fun ~include_self ~tag ~size payload ->
-          broadcast_from node_id ~include_self ~tag ~size payload);
+          broadcast_from p ~include_self ~tag ~size payload);
       set_timer =
         (fun ~delay_ms ~tag payload ->
           incr timer_counter;
@@ -532,7 +598,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           Hashtbl.replace pending_timers id ();
           note_timer_set id;
           let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
-          let timer = { Timer.id; owner = node_id; deadline; tag; payload } in
+          let timer = { Timer.id; owner = p; deadline; tag; payload } in
           Event_queue.schedule queue ~at:deadline (Node_timer timer);
           id);
       cancel_timer =
@@ -540,34 +606,35 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       decide =
         (fun value ->
           let at_ms = Time.to_ms (Event_queue.now queue) in
-          let index = decision_counts.(node_id) in
-          decision_counts.(node_id) <- index + 1;
-          decisions.(node_id) := value :: !(decisions.(node_id));
+          let index = decision_counts.(p) in
+          decision_counts.(p) <- index + 1;
+          decisions.(p) := value :: !(decisions.(p));
           incr c_decisions;
           (match tracer with
           | Some tr ->
-            Obs.Tracer.instant tr ~name:"decide" ~cat:"protocol" ~node:node_id
+            Obs.Tracer.instant tr ~name:"decide" ~cat:"protocol" ~node:p
               ~ts_us:(at_ms *. 1000.)
               ~args:[ ("index", Obs.Tracer.Int index); ("value", Obs.Tracer.Str value) ]
               ()
           | None -> ());
-          record Trace.Decide ~node:node_id ~peer:(-1) ~tag:value ~detail:"";
-          Invariant.on_decide monitor ~node:node_id ~index ~value ~at_ms;
-          if counted node_id then last_progress := Float.max !last_progress at_ms;
+          record Trace.Decide ~node:p ~peer:(-1) ~tag:value ~detail:"";
+          Invariant.on_decide monitor ~node:p ~index ~value ~at_ms;
+          if counted p then last_progress := Float.max !last_progress at_ms;
           check_target ());
       probe =
         (match tracer with
         | None -> fun ~tag:_ ~detail:_ -> ()
         | Some tr ->
           fun ~tag ~detail ->
-            Obs.Tracer.instant tr ~name:tag ~cat:"protocol" ~node:node_id ~ts_us:(us_now ())
+            Obs.Tracer.instant tr ~name:tag ~cat:"protocol" ~node:p ~ts_us:(us_now ())
               ~args:(if detail = "" then [] else [ ("detail", Obs.Tracer.Str detail) ])
               ());
+      leader_schedule;
     }
   in
 
-  let ctxs = Array.init n make_ctx in
-  let nodes = Array.map (fun ctx -> if crashed.(ctx.Protocols.Context.node_id) then None else Some (P.create ctx)) ctxs in
+  let ctxs = Array.init pn make_ctx in
+  let nodes = Array.mapi (fun p ctx -> if crashed.(p) then None else Some (P.create ctx)) ctxs in
 
   attacker.Attack.Attacker.on_start attacker_env;
   Array.iteri (fun i node -> match node with Some nd -> P.on_start nd ctxs.(i) | None -> ()) nodes;
@@ -620,9 +687,25 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     view_samples := (Time.to_ms (Event_queue.now queue), views) :: !view_samples
   in
 
+  (* At the protocol boundary a message carries logical endpoints: a twin
+     half's traffic is indistinguishable from its co-twin's — that is the
+     entire attack surface.  The physical copy stays untouched for traces
+     and replay (delays are keyed by physical link). *)
+  let to_protocol (msg : Message.t) =
+    if msg.Message.src < n && msg.Message.dst < n then msg
+    else begin
+      let m =
+        Message.make ~id:msg.Message.id ~src:(to_logical msg.Message.src)
+          ~dst:(to_logical msg.Message.dst) ~sent_at:msg.Message.sent_at ~tag:msg.Message.tag
+          ~size:msg.Message.size msg.Message.payload
+      in
+      m.Message.delay_ms <- msg.Message.delay_ms;
+      m
+    end
+  in
   let rec dispatch (msg : Message.t) =
     let dst = msg.Message.dst in
-    if dst >= 0 && dst < n then
+    if dst >= 0 && dst < pn then
       match msg.Message.payload with
       | Gossip_frame { origin; gid; tag; size; inner } ->
         (* First sight: unwrap for the protocol and keep the epidemic going;
@@ -646,14 +729,14 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           incr c_delivered;
           record Trace.Deliver ~node:dst ~peer:msg.Message.src ~tag:msg.Message.tag
             ~detail:(Message.payload_to_string msg.Message.payload);
-          P.on_message node ctxs.(dst) msg;
+          P.on_message node ctxs.(dst) (to_protocol msg);
           if telemetry_on then note_view dst
         | None -> ())
   in
   let handle = function
     | Deliver msg ->
       let dst = msg.Message.dst in
-      if costs.Cost_model.verify_ms > 0. && dst >= 0 && dst < n && msg.Message.src <> dst then begin
+      if costs.Cost_model.verify_ms > 0. && dst >= 0 && dst < pn && msg.Message.src <> dst then begin
         (* The receiver's CPU must verify the message before the protocol
            sees it; contention shows up as extra queueing delay. *)
         let now = Time.to_ms (Event_queue.now queue) in
@@ -712,7 +795,15 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
      watchdog holds its fire — the scenario is still unfolding and relief
      may be scheduled — and the last step resets the stall clock. *)
   let last_chaos_ms =
-    List.fold_left Float.max Float.neg_infinity (Attack.Fault_schedule.step_times chaos)
+    let chaos_last =
+      List.fold_left Float.max Float.neg_infinity (Attack.Fault_schedule.step_times chaos)
+    in
+    (* A twins schedule is a scheduled disturbance like chaos: while its
+       partition rounds are still unfolding the watchdog holds its fire, and
+       the heal at the end resets the stall clock. *)
+    match twins with
+    | None -> chaos_last
+    | Some tw -> Float.max chaos_last (Attack.Twins_schedule.end_ms tw)
   in
   let watchdog_ms = Option.map (fun k -> k *. config.lambda_ms) config.watchdog in
   (* Per-phase profiling: each handled event becomes a span at its simulated
@@ -783,17 +874,22 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     (match reg with
     | Some r ->
       Obs.Metrics.set_gauge r "sim.time_ms" time_ms;
-      Obs.Metrics.set_gauge r "queue.pending_end" (float_of_int (Event_queue.pending queue))
+      Obs.Metrics.set_gauge r "queue.pending_end" (float_of_int (Event_queue.pending queue));
+      if twins <> None then Obs.Metrics.set_gauge r "twins.instances" (float_of_int (pn - n))
     | None -> ())
   end;
-  let decisions_list = List.init n (fun i -> (i, List.rev !(decisions.(i)))) in
+  (* The safety sweep runs over physical slots ([counted]/[aligned] are
+     physical predicates); the published decision table carries logical ids,
+     so a twin's two halves appear as two rows under one identity. *)
+  let decisions_phys = List.init pn (fun p -> (p, List.rev !(decisions.(p)))) in
+  let decisions_list = List.map (fun (p, values) -> (to_logical p, values)) decisions_phys in
   let violations = Invariant.violations monitor in
   (* The online agreement monitor subsumes the post-hoc sweep; keep the
      sweep as a final belt-and-braces pass over the complete sequences. *)
   let safety_violation =
     match Invariant.first_violation monitor ~monitor:"agreement" with
     | Some v -> Some v.Invariant.detail
-    | None -> check_safety ~counted:aligned decisions_list
+    | None -> check_safety ~counted:aligned decisions_phys
   in
   let stats = Network.stats network in
   {

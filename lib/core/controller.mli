@@ -29,7 +29,10 @@ type result = {
   bytes_sent : int;
   messages_dropped : int;  (** Suppressed by the attacker. *)
   events_processed : int;
-  decisions : (int * string list) list;  (** Per node, in decision order. *)
+  decisions : (int * string list) list;
+      (** Per node, in decision order, keyed by {e logical} id.  Under a
+          twins configuration a twinned identity contributes one row per
+          physical half (same key twice); everywhere else keys are unique. *)
   safety_ok : bool;
       (** Agreement: for every decision index, all counted honest nodes that
           reached it decided the same value. *)
@@ -43,7 +46,9 @@ type result = {
   final_views : int array;
       (** Each node's view/round/period when the run ended (-1 = crashed) —
           the protocol's round complexity for this run (paper §II-C notes
-          the simulator supports round complexity alongside time usage). *)
+          the simulator supports round complexity alongside time usage).
+          Indexed by physical id ([Config.physical_n] entries; identical to
+          logical ids without twins). *)
   view_samples : (float * int array) list;
       (** (time, view of each node; -1 = crashed), when sampling is on. *)
   trace : Trace.t option;

@@ -11,9 +11,18 @@ let same_decisions (a : Controller.result) (b : Controller.result) =
   clean a = clean b
 
 let decisions_divergence (a : Controller.result) (b : Controller.result) =
+  (* The decision table is keyed by logical identity, and under a twins
+     configuration a twinned identity appears once per physical half — so a
+     key is NOT unique.  Group the value sequences per identity (in table
+     order, which is deterministic physical order) instead of letting a
+     last-write-wins table attribute one half's log to a phantom replica. *)
   let to_table r =
-    let t = Hashtbl.create 16 in
-    List.iter (fun (node, values) -> Hashtbl.replace t node values) r.Controller.decisions;
+    let t : (int, string list list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (node, values) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t node) in
+        Hashtbl.replace t node (prev @ [ values ]))
+      r.Controller.decisions;
     t
   in
   let ta = to_table a and tb = to_table b in
@@ -24,6 +33,9 @@ let decisions_divergence (a : Controller.result) (b : Controller.result) =
   Hashtbl.iter (fun node _ -> Hashtbl.replace nodes node ()) ta;
   Hashtbl.iter (fun node _ -> Hashtbl.replace nodes node ()) tb;
   let sorted = List.sort compare (Hashtbl.fold (fun node () acc -> node :: acc) nodes []) in
+  let show halves =
+    String.concat " / " (List.map (fun vs -> "[" ^ String.concat "; " vs ^ "]") halves)
+  in
   List.fold_left
     (fun diff node ->
       match diff with
@@ -31,10 +43,7 @@ let decisions_divergence (a : Controller.result) (b : Controller.result) =
       | None ->
         let va = Option.value ~default:[] (Hashtbl.find_opt ta node) in
         let vb = Option.value ~default:[] (Hashtbl.find_opt tb node) in
-        if va <> vb then
-          Some
-            (Printf.sprintf "node %d decided [%s] vs [%s]" node (String.concat "; " va)
-               (String.concat "; " vb))
+        if va <> vb then Some (Printf.sprintf "node %d decided %s vs %s" node (show va) (show vb))
         else None)
     None sorted
 

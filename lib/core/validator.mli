@@ -22,7 +22,9 @@ val same_decisions : Controller.result -> Controller.result -> bool
 val decisions_divergence : Controller.result -> Controller.result -> string option
 (** Human-readable first per-node difference between the two decision
     tables, [None] when they agree.  Symmetric: a node that decided in only
-    one of the runs — either one — is reported. *)
+    one of the runs — either one — is reported.  Twins-aware: a twinned
+    identity's two physical halves are grouped under the one logical id and
+    compared half-by-half, never attributed to a phantom extra node. *)
 
 val replay_delays : Trace.t -> src:int -> dst:int -> tag:string -> seq:int -> float option
 (** A {!Controller.run} [delay_override] that replays the message delays

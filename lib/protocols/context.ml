@@ -30,6 +30,10 @@ type t = {
   cancel_timer : Timer.id -> unit;
   decide : string -> unit;
   probe : tag:string -> detail:string -> unit;
+  leader_schedule : int array option;
+      (* Per-view leader pinning (twins runs): [leader_schedule.(view)]
+         overrides the round-robin rotation for views inside the array;
+         views beyond it fall back to rotation. [None] everywhere else. *)
 }
 
 let send t ~dst ~tag ?(size = Message.default_size) payload = t.send_raw ~dst ~tag ~size payload
@@ -39,6 +43,9 @@ let probe t ~tag ?(detail = "") () = t.probe ~tag ~detail
 let broadcast t ?(include_self = true) ~tag ?(size = Message.default_size) payload =
   t.broadcast_raw ~include_self ~tag ~size payload
 
-let leader_round_robin t ~view = ((view mod t.n) + t.n) mod t.n
+let leader_round_robin t ~view =
+  match t.leader_schedule with
+  | Some schedule when view >= 0 && view < Array.length schedule -> schedule.(view)
+  | Some _ | None -> ((view mod t.n) + t.n) mod t.n
 
 let is_leader_round_robin t ~view = leader_round_robin t ~view = t.node_id

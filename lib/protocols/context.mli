@@ -51,6 +51,10 @@ type t = {
           when tracing is enabled, and is a no-op otherwise — protocols can
           sprinkle probes without caring whether telemetry is on.  Prefer
           the {!probe} wrapper. *)
+  leader_schedule : int array option;
+      (** Per-view leader pinning (twins runs): for views inside the array,
+          {!leader_round_robin} returns [leader_schedule.(view)] instead of
+          the rotation; views beyond it fall back.  [None] everywhere else. *)
 }
 
 val send : t -> dst:int -> tag:string -> ?size:int -> Message.payload -> unit
@@ -68,6 +72,6 @@ val broadcast : t -> ?include_self:bool -> tag:string -> ?size:int -> Message.pa
 
 val is_leader_round_robin : t -> view:int -> bool
 (** [true] iff this node is the round-robin leader of [view]
-    ([view mod n]). *)
+    ([view mod n], or the [leader_schedule] override when pinned). *)
 
 val leader_round_robin : t -> view:int -> int

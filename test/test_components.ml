@@ -156,6 +156,7 @@ let test_rbc_spoofed_init_ignored () =
       cancel_timer = ignore;
       decide = (fun v -> delivered := v :: !delivered);
       probe = (fun ~tag:_ ~detail:_ -> ());
+      leader_schedule = None;
     }
   in
   let t = P.Rbc.create () in
@@ -193,6 +194,7 @@ let test_rbc_delivery_thresholds () =
       cancel_timer = ignore;
       decide = ignore;
       probe = (fun ~tag:_ ~detail:_ -> ());
+      leader_schedule = None;
     }
   in
   let t = P.Rbc.create () in

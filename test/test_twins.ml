@@ -1,0 +1,284 @@
+(* Twins subsystem tests: schedule mechanics and boundary cases, the
+   symmetry-reduced enumerator, determinism of twins campaigns across
+   domain-pool sizes, and the pinned hotstuff-ns counterexample the
+   enumerator rediscovered (EXPERIMENTS.md Fig 7's naive-pacemaker
+   weakness, found from scratch by `bftsim twins`). *)
+
+module Attack = Bftsim_attack
+module Core = Bftsim_core
+module Conf = Bftsim_conformance
+module Twins = Bftsim_twins
+module Ts = Attack.Twins_schedule
+
+let sched ?(ids = [ 0 ]) ?(round_ms = 1000.) ?(leaders = []) rounds =
+  { Ts.ids; round_ms; rounds; leaders }
+
+(* --- schedule mechanics and heal boundaries ---------------------------- *)
+
+let test_round_boundaries () =
+  let t = sched [ [ [ 0; 4 ] ]; []; [ [ 1 ] ] ] in
+  Alcotest.(check int) "round 0" 0 (Ts.round_at t ~at_ms:0.);
+  Alcotest.(check int) "just before boundary" 0 (Ts.round_at t ~at_ms:999.999);
+  (* A round boundary belongs to the round it opens, not the one it closes. *)
+  Alcotest.(check int) "exact boundary" 1 (Ts.round_at t ~at_ms:1000.);
+  Alcotest.(check int) "negative clamps" 0 (Ts.round_at t ~at_ms:(-5.));
+  Alcotest.(check (float 0.)) "end" 3000. (Ts.end_ms t);
+  Alcotest.(check bool) "round 0 separates" true (Ts.separated t ~src:0 ~dst:1 ~at_ms:0.);
+  Alcotest.(check bool) "healed round" false (Ts.separated t ~src:0 ~dst:1 ~at_ms:1000.);
+  Alcotest.(check bool) "round 2 separates" true (Ts.separated t ~src:1 ~dst:2 ~at_ms:2000.);
+  (* At the exact end of the schedule everything is healed forever. *)
+  Alcotest.(check bool) "post-schedule" false (Ts.separated t ~src:1 ~dst:2 ~at_ms:3000.);
+  Alcotest.(check bool) "way past" false (Ts.separated t ~src:0 ~dst:1 ~at_ms:1e9)
+
+let test_residual_group () =
+  (* Unlisted nodes share the implicit residual block. *)
+  let t = sched [ [ [ 0; 4 ] ] ] in
+  Alcotest.(check bool) "residual together" false (Ts.separated t ~src:1 ~dst:3 ~at_ms:0.);
+  Alcotest.(check bool) "explicit vs residual" true (Ts.separated t ~src:0 ~dst:1 ~at_ms:0.);
+  Alcotest.(check bool) "within explicit" false (Ts.separated t ~src:0 ~dst:4 ~at_ms:0.)
+
+let test_identity_mapping () =
+  let t = sched ~ids:[ 0; 2 ] [ [] ] in
+  Alcotest.(check int) "physical n" 7 (Ts.physical_n ~n:5 t);
+  Alcotest.(check int) "twin of 0" 5 (Option.get (Ts.twin_instance ~n:5 t 0));
+  Alcotest.(check int) "twin of 2" 6 (Option.get (Ts.twin_instance ~n:5 t 2));
+  Alcotest.(check (option int)) "untwinned" None (Ts.twin_instance ~n:5 t 1);
+  Alcotest.(check int) "logical of half" 2 (Ts.logical ~n:5 t 6);
+  Alcotest.(check (list int)) "instances" [ 0; 5 ] (Ts.instances ~n:5 t 0)
+
+let test_preserves_liveness () =
+  let q = 3 in
+  (* Pair isolated together: honest quorum intact. *)
+  Alcotest.(check bool) "pair cut off" true
+    (Ts.preserves_liveness ~n:4 ~quorum:q (sched [ [ [ 0; 4 ] ] ]));
+  (* An honest node stuck with the pair is below quorum. *)
+  Alcotest.(check bool) "honest dragged along" false
+    (Ts.preserves_liveness ~n:4 ~quorum:q (sched [ [ [ 0; 4; 2 ] ] ]));
+  Alcotest.(check bool) "healed schedule" true
+    (Ts.preserves_liveness ~n:4 ~quorum:q (sched [ []; [] ]));
+  Alcotest.(check bool) "isolated honest node" false
+    (Ts.preserves_liveness ~n:4 ~quorum:q (sched [ [ [ 3 ] ] ]));
+  (* The twin itself below quorum is fine: twins are the attack. *)
+  Alcotest.(check bool) "isolated twin id" true
+    (Ts.isolated_below_quorum ~n:4 ~quorum:q (sched [ [ [ 0; 4 ] ] ]) ~node:0);
+  Alcotest.(check bool) "quorum-side honest" false
+    (Ts.isolated_below_quorum ~n:4 ~quorum:q (sched [ [ [ 0; 4 ] ] ]) ~node:1)
+
+let test_schedule_validation () =
+  let reject msg t =
+    match Ts.validate ~n:4 t with
+    | () -> Alcotest.failf "%s: expected rejection" msg
+    | exception Invalid_argument _ -> ()
+  in
+  Ts.validate ~n:4 (sched [ [ [ 0; 4 ] ]; [] ]);
+  reject "empty ids" (sched ~ids:[] [ [] ]);
+  reject "dup ids" (sched ~ids:[ 1; 1 ] [ [] ]);
+  reject "id range" (sched ~ids:[ 4 ] [ [] ]);
+  reject "round_ms" (sched ~round_ms:0. [ [] ]);
+  reject "physical range" (sched [ [ [ 5 ] ] ]);
+  reject "double placement" (sched [ [ [ 0; 1 ]; [ 1; 2 ] ] ]);
+  reject "leader range" (sched ~leaders:[ 4 ] [ [] ])
+
+let test_config_roundtrip () =
+  let tw = sched ~round_ms:1500. ~leaders:[ 0; 0; 1 ] [ [ [ 0; 4 ] ]; []; [ [ 1; 2 ] ] ] in
+  let config = Core.Config.make "pbft" ~n:4 ~twins:tw ~seed:3 in
+  let back = Core.Config.of_keyvalues (Core.Config.to_keyvalues config) in
+  match back with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok back ->
+    Alcotest.(check bool) "twins survives the key-value round trip" true
+      (back.Core.Config.twins = config.Core.Config.twins)
+
+(* --- enumerator -------------------------------------------------------- *)
+
+let test_enumerator_stats () =
+  (* CI smoke contract: the enumeration space and its dedup ratio are a
+     pure function of (n, rounds) and must not drift silently. *)
+  let _, stats = Twins.Enumerate.enumerate ~n:4 ~rounds:3 in
+  Alcotest.(check int) "raw schedules" 6748 stats.Twins.Enumerate.enumerated;
+  Alcotest.(check int) "unique schedules" 574 stats.Twins.Enumerate.unique;
+  let schedules, stats2 = Twins.Enumerate.enumerate ~n:4 ~rounds:2 in
+  Alcotest.(check int) "unique at 2 rounds" stats2.Twins.Enumerate.unique
+    (List.length schedules)
+
+let test_enumerator_canonical () =
+  (* Every emitted schedule is unique under its own canonical key, and the
+     compiled schedules all validate. *)
+  let schedules, _ = Twins.Enumerate.enumerate ~n:4 ~rounds:2 in
+  let keys = List.map (Twins.Enumerate.canonical_key ~n:4) schedules in
+  Alcotest.(check int) "keys distinct" (List.length schedules)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun s ->
+      Ts.validate ~n:4 (Twins.Enumerate.to_twins_schedule ~n:4 ~round_ms:1000. s))
+    schedules
+
+let test_enumerator_order_deterministic () =
+  let a, _ = Twins.Enumerate.enumerate ~n:4 ~rounds:3 in
+  let b, _ = Twins.Enumerate.enumerate ~n:4 ~rounds:3 in
+  Alcotest.(check bool) "same order" true (a = b)
+
+(* --- campaign determinism across domain pools -------------------------- *)
+
+let report_signature (r : Conf.Harness.report) =
+  let failure (f : Conf.Harness.failure) =
+    Printf.sprintf "%s | %s | shrunk=%s"
+      (Conf.Scenario.describe f.Conf.Harness.scenario)
+      (String.concat "; " (List.map Conf.Oracle.describe f.Conf.Harness.verdicts))
+      (Core.Config.describe f.Conf.Harness.shrunk)
+  in
+  Printf.sprintf "scenarios=%d checks=%d crashed=%d\n%s" r.Conf.Harness.scenarios
+    r.Conf.Harness.checks
+    (List.length r.Conf.Harness.crashed)
+    (String.concat "\n" (List.map failure r.Conf.Harness.failures))
+
+let test_campaign_jobs_deterministic () =
+  (* The same twins campaign must produce a bit-identical report whether
+     checks fan out over 1, 2 or 4 domains. *)
+  let params =
+    { Twins.Synth.default_params with Twins.Synth.round_ms = 48_000.; max_time_ms = 240_000. }
+  in
+  let scenarios, _ =
+    Twins.Synth.synthesize ~protocols:[ "hotstuff-ns"; "pbft" ] ~budget:4 ~params ()
+  in
+  let run jobs =
+    report_signature (Conf.Harness.fuzz_scenarios ~mode:"twins" ~jobs ~shrink_budget:8 ~seed:1 scenarios)
+  in
+  let r1 = run 1 in
+  Alcotest.(check string) "jobs 1 = jobs 2" r1 (run 2);
+  Alcotest.(check string) "jobs 1 = jobs 4" r1 (run 4)
+
+(* --- the rediscovered hotstuff-ns counterexample ----------------------- *)
+
+(* The exact shrunk bundle `bftsim twins --protocols hotstuff-ns --budget 16
+   --round-ms 48000` produces (twins-out/...-hotstuff-ns-n4-seed1): the twin
+   pair is cut off from the honest quorum, with one stale half rejoining
+   mid-schedule.  Round-robin hands the twinned identity both its proposal
+   slots and the vote-aggregation slot for views = 3 mod 4, so three-chain
+   commits never form; the naive pacemaker never resets its doubling, and
+   by the time the partition heals the next view timer fires only at
+   ~254 s — past the 240 s cap.  Timeout-certificate pacemakers (hotstuff,
+   cogsworth, librabft) recover within O(lambda) of the heal. *)
+let counterexample_kvs =
+  [
+    ("protocol", "hotstuff-ns");
+    ("n", "4");
+    ("seed", "1");
+    ("lambda", "1000");
+    ("delay", "constant:100");
+    ("max_time_ms", "240000");
+    ("target", "1");
+    ("inputs", "distinct");
+    ("twins", "0");
+    ("twins_rounds", "0,4|1,2,3;0|4,1,2,3;0,4|1,2,3");
+    ("twins_round_ms", "48000");
+  ]
+
+let counterexample_config () =
+  match Core.Config.of_keyvalues counterexample_kvs with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "counterexample config did not parse: %s" e
+
+let test_hotstuff_ns_regression () =
+  let config = counterexample_config () in
+  let verdicts, result = Conf.Harness.check_config ~determinism:false ~expect_live:true config in
+  Alcotest.(check bool) "does not reach the target" true
+    (result.Core.Controller.outcome <> Core.Controller.Reached_target);
+  let liveness = List.filter (fun v -> v.Conf.Oracle.oracle = "liveness") verdicts in
+  Alcotest.(check int) "exactly the liveness verdict" 1 (List.length liveness);
+  Alcotest.(check int) "no safety verdicts" 0 (List.length verdicts - List.length liveness)
+
+let test_hotstuff_ns_replay_identical () =
+  (* The counterexample is a replayable bundle: running it twice gives
+     byte-identical traces and decisions. *)
+  let report = Core.Validator.check_determinism (counterexample_config ()) in
+  Alcotest.(check bool) "decisions match" true report.Core.Validator.decisions_match;
+  Alcotest.(check (option bool)) "traces match" (Some true) report.Core.Validator.trace_match
+
+let test_peers_survive_counterexample () =
+  (* The same schedule must NOT kill the fixed pacemakers: this is what
+     makes the hotstuff-ns finding a protocol weakness rather than an
+     impossible scenario. *)
+  List.iter
+    (fun protocol ->
+      let kvs =
+        List.map
+          (fun (k, v) -> if k = "protocol" then (k, protocol) else (k, v))
+          counterexample_kvs
+      in
+      match Core.Config.of_keyvalues kvs with
+      | Error e -> Alcotest.failf "%s config: %s" protocol e
+      | Ok config ->
+        let verdicts, _ = Conf.Harness.check_config ~determinism:false ~expect_live:true config in
+        Alcotest.(check (list string))
+          (protocol ^ " passes the counterexample schedule")
+          []
+          (List.map Conf.Oracle.describe verdicts))
+    [ "pbft"; "librabft"; "hotstuff-cogsworth" ]
+
+(* --- fault-schedule window validation (satellite) ---------------------- *)
+
+let test_fault_schedule_windows () =
+  let reject msg steps =
+    match Attack.Fault_schedule.validate ~n:4 steps with
+    | () -> Alcotest.failf "%s: expected rejection" msg
+    | exception Invalid_argument _ -> ()
+  in
+  let crash node at_ms = { Attack.Fault_schedule.at_ms; action = Attack.Fault_schedule.Crash node } in
+  let recover node at_ms =
+    { Attack.Fault_schedule.at_ms; action = Attack.Fault_schedule.Recover node }
+  in
+  Attack.Fault_schedule.validate ~n:4 [ crash 1 0.; recover 1 500.; crash 1 1000. ];
+  reject "overlapping crash windows" [ crash 1 0.; crash 1 500. ];
+  reject "recover without crash" [ recover 2 100. ];
+  reject "re-crash before recovery" [ crash 0 0.; recover 0 800.; crash 0 400. ]
+
+let test_partition_window_validation () =
+  let reject msg attack =
+    let config = Core.Config.make "pbft" ~n:4 in
+    match Core.Config.validate { config with Core.Config.attack } with
+    | () -> Alcotest.failf "%s: expected rejection" msg
+    | exception Invalid_argument _ -> ()
+  in
+  reject "empty window"
+    (Core.Config.Partition { first_size = 2; start_ms = 1000.; heal_ms = 1000.; drop = true });
+  reject "inverted window"
+    (Core.Config.Partition { first_size = 2; start_ms = 1000.; heal_ms = 400.; drop = false });
+  reject "negative start"
+    (Core.Config.Partition { first_size = 2; start_ms = -1.; heal_ms = 400.; drop = false });
+  reject "degenerate split"
+    (Core.Config.Partition { first_size = 4; start_ms = 0.; heal_ms = 400.; drop = false })
+
+let () =
+  Alcotest.run "twins"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "round boundaries and heal" `Quick test_round_boundaries;
+          Alcotest.test_case "residual group" `Quick test_residual_group;
+          Alcotest.test_case "identity mapping" `Quick test_identity_mapping;
+          Alcotest.test_case "preserves_liveness" `Quick test_preserves_liveness;
+          Alcotest.test_case "validation" `Quick test_schedule_validation;
+          Alcotest.test_case "config round-trip" `Quick test_config_roundtrip;
+        ] );
+      ( "enumerator",
+        [
+          Alcotest.test_case "stats stable" `Quick test_enumerator_stats;
+          Alcotest.test_case "canonical dedup" `Quick test_enumerator_canonical;
+          Alcotest.test_case "deterministic order" `Quick test_enumerator_order_deterministic;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "jobs 1/2/4 bit-identical" `Slow test_campaign_jobs_deterministic ] );
+      ( "regression",
+        [
+          Alcotest.test_case "hotstuff-ns pacemaker stall" `Slow test_hotstuff_ns_regression;
+          Alcotest.test_case "counterexample replays byte-identically" `Slow
+            test_hotstuff_ns_replay_identical;
+          Alcotest.test_case "fixed pacemakers survive it" `Slow test_peers_survive_counterexample;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "fault-schedule windows" `Quick test_fault_schedule_windows;
+          Alcotest.test_case "partition windows" `Quick test_partition_window_validation;
+        ] );
+    ]
