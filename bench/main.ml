@@ -590,6 +590,47 @@ let speedup () =
     seq_t par_jobs par_t ratio identical;
   speedup_record := Some (seq_t, par_t, par_jobs, ratio)
 
+(* ---------------- Per-event engine cost ---------------- *)
+
+(* events/sec and minor words/event of one Controller.run on the speedup
+   kernel's configuration — the two numbers the hot-path work of DESIGN.md
+   §3.15 moves.  Minor words come from Gc.quick_stat deltas around the run,
+   so the figure includes protocol allocation (payloads), not just the
+   engine: it is an end-to-end per-event budget. *)
+let event_cost_record : (int * float * float * float) option ref = ref None
+
+let event_cost () =
+  section
+    "Per-event engine cost — one PBFT n=20 run (100 decisions): wall time,\n\
+     events/second and GC minor words allocated per event";
+  let config =
+    {
+      (Core.Experiments.fig3_config ~protocol:"pbft"
+         ~delay:(Net.Delay_model.normal ~mu:250. ~sigma:50.)
+         ~seed:1)
+      with
+      Core.Config.decisions_target = 100;
+      max_time_ms = 3_600_000.;
+    }
+  in
+  (* Warm-up run so lane growth and code paths are resident. *)
+  ignore (Core.Controller.run config);
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Controller.run config in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  let events = r.Core.Controller.events_processed in
+  let events_per_sec = float_of_int events /. Float.max wall_s 1e-9 in
+  let words_per_event =
+    (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int (Stdlib.max events 1)
+  in
+  Printf.printf "  events            %10d\n" events;
+  Printf.printf "  wall time         %10.4f s\n" wall_s;
+  Printf.printf "  events/sec        %10.0f\n" events_per_sec;
+  Printf.printf "  minor words/event %10.1f\n%!" words_per_event;
+  event_cost_record := Some (events, wall_s, events_per_sec, words_per_event)
+
 (* ---------------- JSON report ---------------- *)
 
 let write_json path =
@@ -602,10 +643,26 @@ let write_json path =
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   (match !speedup_record with
   | Some (seq_t, par_t, par_jobs, ratio) ->
+    (* The pr2 fields compare against the same kernel as recorded in
+       BENCH_pr2.json (seq 1.628 s, par 3.307 s at 4 jobs — a 0.49x
+       "speedup" caused by oversubscribing domains past the hardware);
+       [vs_pr2_par] is how much faster the parallel path itself got. *)
+    let pr2_seq = 1.627905 and pr2_par = 3.307015 in
     out
       "  \"run_many_speedup\": { \"kernel\": \"pbft-20rep-sweep\", \"seq_s\": %.6f, \"par_s\": \
-       %.6f, \"par_jobs\": %d, \"speedup\": %.3f },\n"
+       %.6f, \"par_jobs\": %d, \"speedup\": %.3f, \"host_domains\": %d, \"pr2_seq_s\": %.6f, \
+       \"pr2_par_s\": %.6f, \"vs_pr2_seq\": %.3f, \"vs_pr2_par\": %.3f },\n"
       seq_t par_t par_jobs ratio
+      (Domain.recommended_domain_count ())
+      pr2_seq pr2_par (pr2_seq /. Float.max par_t 1e-9)
+      (pr2_par /. Float.max par_t 1e-9)
+  | None -> ());
+  (match !event_cost_record with
+  | Some (events, wall_s, events_per_sec, words_per_event) ->
+    out
+      "  \"event_cost\": { \"kernel\": \"pbft-n20-100dec\", \"events\": %d, \"wall_s\": %.6f, \
+       \"events_per_sec\": %.0f, \"minor_words_per_event\": %.1f },\n"
+      events wall_s events_per_sec words_per_event
   | None -> ());
   (match !obs_overhead_record with
   | Some (off_s, noise_pct, metrics_pct, tracing_pct) ->
@@ -695,14 +752,16 @@ let bechamel_kernels () =
     (List.sort compare rows)
 
 let () =
+  Core.Parallel.tune_gc ();
   Printf.printf "BFT simulator benchmark harness — %d repetitions per configuration\n" reps;
   Printf.printf "(set BFTSIM_REPS to change; the paper uses 100); jobs=%d\n%!" (effective_jobs ());
   if !quick then begin
-    (* CI smoke: the LoC tables (cheap), the parallel-runner kernel and the
-       telemetry-overhead kernel. *)
+    (* CI smoke: the LoC tables (cheap), the parallel-runner kernel, the
+       per-event cost kernel and the telemetry-overhead kernel. *)
     timed "tables" tables;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
+    timed "event-cost" event_cost;
     timed "run_many-speedup" speedup
   end
   else begin
@@ -721,6 +780,7 @@ let () =
     timed "chaos-suite" chaos_suite;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
+    timed "event-cost" event_cost;
     timed "run_many-speedup" speedup;
     timed "bechamel-kernels" bechamel_kernels
   end;

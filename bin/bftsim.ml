@@ -750,6 +750,9 @@ let main_cmd =
   Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; twins_cmd; loc_cmd ]
 
 let () =
+  (* Simulation-profile GC for the coordinating domain; Parallel.map does
+     the same for every worker it spawns. *)
+  Core.Parallel.tune_gc ();
   (* One exit-code scheme for the whole binary: fold cmdliner's CLI-error
      (124) and uncaught-exception (125) codes into 1. *)
   exit (match Cmd.eval' ~term_err:Exit_code.crash main_cmd with 124 | 125 -> Exit_code.crash | c -> c)

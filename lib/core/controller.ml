@@ -204,6 +204,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           r "net.msg.size_bytes" )
     | None -> (Obs.Metrics.null_histogram (), Obs.Metrics.null_histogram ())
   in
+  (* Histogram observes mutate boxed-float fields, so unlike the dead
+     counters they allocate; the off path takes a branch instead. *)
+  let metrics_on = reg <> None in
   (* Per-tag send counters, resolved through a private cache so the
      metrics-on path still pays one registry lookup per {e distinct} tag,
      not per message. *)
@@ -223,7 +226,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         in
         incr cell
   in
-  let us_now () = Time.to_ms (Event_queue.now queue) *. 1000. in
+  let us_now () = Event_queue.now_ms queue *. 1000. in
   (* Message spans run from send to arrival on the receiver's track; the
      simulated timestamps make them line up with dispatch spans in the
      Chrome/Perfetto rendering. *)
@@ -242,14 +245,14 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let timer_set_at : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let note_timer_set id =
     incr c_timer_set;
-    if tracer <> None then Hashtbl.replace timer_set_at id (Time.to_ms (Event_queue.now queue))
+    if tracer <> None then Hashtbl.replace timer_set_at id (Event_queue.now_ms queue)
   in
   let note_timer_fired (timer : Timer.t) =
     incr c_timer_fired;
     match tracer with
     | None -> ()
     | Some tr ->
-      let now_ms = Time.to_ms (Event_queue.now queue) in
+      let now_ms = Event_queue.now_ms queue in
       let set_ms =
         match Hashtbl.find_opt timer_set_at timer.Timer.id with
         | Some s ->
@@ -278,7 +281,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     | None -> ()
     | Some t ->
       Trace.record t
-        { at_ms = Time.to_ms (Event_queue.now queue); kind; node; peer; tag; detail }
+        { at_ms = Event_queue.now_ms queue; kind; node; peer; tag; detail }
   in
   (* Ambient sink: protocol / library code below the controller can emit
      probes without a handle (domain-local, so concurrent runs on a domain
@@ -304,17 +307,18 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let msg_counter = ref 0 in
   let timer_counter = ref 0 in
   (* Timer bookkeeping: [pending] holds every scheduled-but-not-yet-fired
-     id, [cancelled] the pending ids whose owner revoked them.  Both are
-     pruned when the timer event is consumed, so neither grows with run
-     length — only with the number of in-flight timers.  Cancelling an id
-     that already fired is a no-op (nothing is pending), which is what
-     keeps [cancelled] from leaking. *)
-  let pending_timers : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let cancelled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+     id, [cancelled] the pending ids whose owner revoked them.  Timer ids
+     are issued sequentially, so both sets are flat bitsets (one bit per id
+     ever issued, no per-operation allocation) instead of hashtables.  Both
+     are pruned when the timer event is consumed; cancelling an id that
+     already fired is a no-op (nothing is pending), which is what keeps
+     [cancelled] from accumulating. *)
+  let pending_timers = Dense_set.create ~initial_capacity:1024 () in
+  let cancelled = Dense_set.create ~initial_capacity:1024 () in
   let consume_timer id =
-    Hashtbl.remove pending_timers id;
-    if Hashtbl.mem cancelled id then begin
-      Hashtbl.remove cancelled id;
+    Dense_set.remove pending_timers id;
+    if Dense_set.mem cancelled id then begin
+      Dense_set.remove cancelled id;
       false
     end
     else true
@@ -396,7 +400,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         if counted i && decision_counts.(i) < config.decisions_target then all_done := false
       done;
       if !all_done then begin
-        finished := Some (Time.to_ms (Event_queue.now queue));
+        finished := Some (Event_queue.now_ms queue);
         outcome := Reached_target
       end
     end
@@ -428,7 +432,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           (fun ~delay_ms ~tag payload ->
             incr timer_counter;
             let id = !timer_counter in
-            Hashtbl.replace pending_timers id ();
+            Dense_set.add pending_timers id;
             note_timer_set id;
             let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
             let timer = { Timer.id; owner = Timer.attacker_owner; deadline; tag; payload } in
@@ -481,10 +485,15 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         let seq = next_link_seq (msg.src, msg.dst, msg.tag) in
         override ~src:msg.src ~dst:msg.dst ~tag:msg.tag ~seq
     in
-    record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
-      ~detail:(Message.payload_to_string msg.payload);
+    (* [record] drops the row when tracing is off, but the [detail] string
+       would still be rendered eagerly — and payload printing is a sprintf
+       through the printer chain, by far the costliest allocation on the
+       send path.  Guard it. *)
+    if trace <> None then
+      record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
+        ~detail:(Message.payload_to_string msg.payload);
     (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < pn then begin
-       let now = Time.to_ms (Event_queue.now queue) in
+       let now = Event_queue.now_ms queue in
        let finish = Cost_model.charge cpus.(msg.src) ~now_ms:now ~cost_ms:costs.Cost_model.sign_ms in
        msg.Message.delay_ms <- msg.Message.delay_ms +. (finish -. now)
      end);
@@ -503,7 +512,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
     | Attack.Attacker.Deliver ->
       (match replay_delay with Some delay_ms -> msg.Message.delay_ms <- delay_ms | None -> ());
-      if msg.Message.src <> msg.Message.dst then
+      if metrics_on && msg.Message.src <> msg.Message.dst then
         Obs.Metrics.observe_h h_delay msg.Message.delay_ms;
       trace_net_deliver msg;
       Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
@@ -518,7 +527,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         incr c_sent;
         c_bytes := !c_bytes + size;
         count_tag tag;
-        Obs.Metrics.observe_h h_size (float_of_int size)
+        if metrics_on then Obs.Metrics.observe_h h_size (float_of_int size)
       end;
       let msg =
         Message.make ~id:!msg_counter ~src ~dst ~sent_at:(Event_queue.now queue) ~tag ~size payload
@@ -584,10 +593,16 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       rng = node_rngs.(p);
       now = (fun () -> Event_queue.now queue);
       send_raw =
-        (fun ~dst ~tag ~size payload ->
+        (match twins with
+        | None ->
+          (* Without twins the logical and physical id spaces coincide;
+             skip the per-send singleton list [instances] would build. *)
+          fun ~dst ~tag ~size payload -> send_from p ~dst ~tag ~size payload
+        | Some _ ->
           (* The protocol addresses a logical identity; a twinned destination
              is two machines, each owed its own copy. *)
-          List.iter (fun pdst -> send_from p ~dst:pdst ~tag ~size payload) (instances dst));
+          fun ~dst ~tag ~size payload ->
+            List.iter (fun pdst -> send_from p ~dst:pdst ~tag ~size payload) (instances dst));
       broadcast_raw =
         (fun ~include_self ~tag ~size payload ->
           broadcast_from p ~include_self ~tag ~size payload);
@@ -595,17 +610,17 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         (fun ~delay_ms ~tag payload ->
           incr timer_counter;
           let id = !timer_counter in
-          Hashtbl.replace pending_timers id ();
+          Dense_set.add pending_timers id;
           note_timer_set id;
           let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
           let timer = { Timer.id; owner = p; deadline; tag; payload } in
           Event_queue.schedule queue ~at:deadline (Node_timer timer);
           id);
       cancel_timer =
-        (fun id -> if Hashtbl.mem pending_timers id then Hashtbl.replace cancelled id ());
+        (fun id -> if Dense_set.mem pending_timers id then Dense_set.add cancelled id);
       decide =
         (fun value ->
-          let at_ms = Time.to_ms (Event_queue.now queue) in
+          let at_ms = Event_queue.now_ms queue in
           let index = decision_counts.(p) in
           decision_counts.(p) <- index + 1;
           decisions.(p) := value :: !(decisions.(p));
@@ -684,7 +699,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     let views =
       Array.mapi (fun i node -> match node with Some nd when not crashed.(i) -> P.view nd | _ -> -1) nodes
     in
-    view_samples := (Time.to_ms (Event_queue.now queue), views) :: !view_samples
+    view_samples := (Event_queue.now_ms queue, views) :: !view_samples
   in
 
   (* At the protocol boundary a message carries logical endpoints: a twin
@@ -727,8 +742,11 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         match nodes.(dst) with
         | Some node ->
           incr c_delivered;
-          record Trace.Deliver ~node:dst ~peer:msg.Message.src ~tag:msg.Message.tag
-            ~detail:(Message.payload_to_string msg.Message.payload);
+          (* Same guard as the Send site: don't render the payload when the
+             row is going nowhere. *)
+          if trace <> None then
+            record Trace.Deliver ~node:dst ~peer:msg.Message.src ~tag:msg.Message.tag
+              ~detail:(Message.payload_to_string msg.Message.payload);
           P.on_message node ctxs.(dst) (to_protocol msg);
           if telemetry_on then note_view dst
         | None -> ())
@@ -739,7 +757,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       if costs.Cost_model.verify_ms > 0. && dst >= 0 && dst < pn && msg.Message.src <> dst then begin
         (* The receiver's CPU must verify the message before the protocol
            sees it; contention shows up as extra queueing delay. *)
-        let now = Time.to_ms (Event_queue.now queue) in
+        let now = Event_queue.now_ms queue in
         let finish =
           Cost_model.charge cpus.(dst) ~now_ms:now ~cost_ms:costs.Cost_model.verify_ms
         in
@@ -750,9 +768,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
     | Node_timer timer ->
       let id = timer.Timer.id in
       let owner = timer.Timer.owner in
-      let now_ms = Time.to_ms (Event_queue.now queue) in
+      let now_ms = Event_queue.now_ms queue in
       if
-        (not (Hashtbl.mem cancelled id))
+        (not (Dense_set.mem cancelled id))
         && Attack.Fault_schedule.crashed_at chaos ~node:owner ~at_ms:now_ms
       then begin
         (* Crash-recovery semantics: a down node's timer is deferred to
@@ -763,7 +781,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           (* Deferred, not consumed: the id stays pending and cancellable. *)
           let deadline = Time.of_ms recover_ms in
           Event_queue.schedule queue ~at:deadline (Node_timer { timer with Timer.deadline })
-        | None -> Hashtbl.remove pending_timers id
+        | None -> Dense_set.remove pending_timers id
       end
       else if consume_timer id then (
         match nodes.(owner) with
@@ -835,11 +853,14 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
          results stay deterministic. *)
       raise Supervisor.Cancelled
     else if Event_queue.popped queue >= config.max_events then outcome := Event_cap
+    else if Event_queue.is_empty queue then outcome := Queue_drained
     else
-      match Event_queue.next queue with
-      | None -> outcome := Queue_drained
-      | Some (now, ev) ->
-        let now_ms = Time.to_ms now in
+      (* Allocation-free pop: take the event alone and read the advanced
+         clock from the unboxed lane, instead of boxing a (time, event)
+         option per event. *)
+      let ev = Event_queue.next_exn queue in
+      begin
+        let now_ms = Event_queue.now_ms queue in
         if now_ms > config.max_time_ms then outcome := Timed_out
         else begin
           match watchdog_ms with
@@ -853,6 +874,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
             handle_traced now_ms ev;
             loop ()
         end
+      end
   in
   (* The mirror and ambient probes are domain-local; a cancellation or
      crash escaping the loop must not leave them pointing into this run's
@@ -868,7 +890,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let time_ms =
     match !finished with
     | Some at -> at
-    | None -> Float.min (Time.to_ms (Event_queue.now queue)) config.max_time_ms
+    | None -> Float.min (Event_queue.now_ms queue) config.max_time_ms
   in
   if telemetry_on then begin
     (match reg with

@@ -14,20 +14,36 @@ val default_jobs : unit -> int
     for the coordinating domain), overridden by the [BFTSIM_JOBS]
     environment variable when it parses as a positive integer. *)
 
-val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f xs] is [List.map f xs] computed by up to [jobs] domains (the
-    caller participates as one worker; [jobs - 1] are spawned, never more
-    than there are chunks).  Workers claim [chunk] (default 1) consecutive
-    indices at a time from a shared atomic queue.  [f] must be domain-safe
-    for the elements it receives.  Output order equals input order
-    regardless of [jobs] and [chunk].  If any application of [f] raises,
-    the first exception (by completion time) is re-raised in the caller
-    after all workers have stopped.
+val tune_gc : unit -> unit
+(** Grows the current domain's minor heap to the simulation profile
+    (32 MiB) if it is smaller.  Event-loop garbage is short-lived, so a
+    large minor heap makes collections rare — and, under a domain pool,
+    divides the number of stop-the-world synchronizations by the same
+    factor.  Entry points (CLI, bench) call it at startup; {!map} applies
+    it to every spawned worker automatically.  Never shrinks a heap the
+    user already grew via [OCAMLRUNPARAM]. *)
+
+val map : ?jobs:int -> ?chunk:int -> ?oversubscribe:bool -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] computed by up to [jobs] workers (the
+    caller participates as one worker; at most [jobs - 1] are spawned,
+    never more than there are chunks, and — because OCaml 5 minor GCs
+    synchronize every running domain, making oversubscription strictly
+    slower — never more than the hardware supports
+    ([Domain.recommended_domain_count () - 1]); pass
+    [~oversubscribe:true] to lift that last cap, e.g. to exercise true
+    multi-domain interleavings on a small machine).  Workers claim [chunk]
+    consecutive indices at a time from a shared atomic queue; by default
+    [chunk] targets ~8 claims per worker (at least 1).  [f] must be
+    domain-safe for the elements it receives.  Output order equals input
+    order regardless of [jobs], [chunk] and the pool size actually used.
+    If any application of [f] raises, the first exception (by completion
+    time) is re-raised in the caller after all workers have stopped.
     @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
 
 val try_map :
   ?jobs:int ->
   ?chunk:int ->
+  ?oversubscribe:bool ->
   ('a -> 'b) ->
   'a list ->
   ('b, exn * Printexc.raw_backtrace) result list

@@ -22,16 +22,25 @@ let make ~id ~src ~dst ~sent_at ?(tag = "msg") ?(size = default_size) payload =
 
 let arrival_time t = Time.add_ms t.sent_at t.delay_ms
 
-let printers : (payload -> string option) list ref = ref []
+(* Registrations happen from protocol-module initializers, which race when
+   [run_many] first touches several protocols from different domains: the
+   list is an [Atomic.t] updated by compare-and-set, so registration is
+   lock-free, O(1) (prepend, not the quadratic [old @ [f]] append this
+   replaced), and never loses a printer.  The registration-order-first
+   lookup semantics are recovered by reversing the snapshot at rendering
+   time — rendering is a cold path (traces and logs only). *)
+let printers : (payload -> string option) list Atomic.t = Atomic.make []
 
-let register_printer f = printers := !printers @ [ f ]
+let rec register_printer f =
+  let cur = Atomic.get printers in
+  if not (Atomic.compare_and_set printers cur (f :: cur)) then register_printer f
 
 let payload_to_string p =
   let rec try_all = function
     | [] -> ( match p with Blob s -> Printf.sprintf "Blob(%s)" s | _ -> "<payload>")
     | f :: rest -> ( match f p with Some s -> s | None -> try_all rest)
   in
-  try_all !printers
+  try_all (List.rev (Atomic.get printers))
 
 let pp ppf t =
   Format.fprintf ppf "#%d %d->%d %s(+%.1fms) %s" t.id t.src t.dst t.tag t.delay_ms

@@ -40,7 +40,9 @@ val arrival_time : t -> Time.t
 
 val register_printer : (payload -> string option) -> unit
 (** Protocols may register a printer for their payload constructors; used by
-    traces and logs.  First registered printer returning [Some _] wins. *)
+    traces and logs.  First registered printer returning [Some _] wins.
+    Registration is O(1), lock-free and domain-safe: protocol initializers
+    may race under a [run_many] domain pool without losing printers. *)
 
 val payload_to_string : payload -> string
 (** Rendering via registered printers, falling back to ["<payload>"]. *)

@@ -1,28 +1,52 @@
-type 'a t = { queue : 'a Pqueue.t; mutable clock : Time.t; mutable popped : int }
+(* The clock lives in a one-element float array: float-array slots are
+   unboxed, so advancing the clock on every popped event stores a word
+   instead of allocating a fresh box (a mutable float field in this mixed
+   record would box on every write). *)
+type 'a t = {
+  queue : 'a Pqueue.t;
+  clock : float array;
+  (* Boxed mirror of [clock.(0)], refreshed once per clock advance so the
+     many [now] callers (protocol handlers, senders) share one box instead
+     of boxing per call. *)
+  mutable clock_t : Time.t;
+  mutable popped : int;
+}
 
-let create () = { queue = Pqueue.create (); clock = Time.zero; popped = 0 }
+let create () = { queue = Pqueue.create (); clock = [| 0. |]; clock_t = Time.zero; popped = 0 }
 
-let now q = q.clock
+let now_ms q = Array.unsafe_get q.clock 0
+
+let now q = q.clock_t
 
 let schedule q ~at ev =
-  if Time.is_before at q.clock then
+  if Time.to_ms at < now_ms q then
     invalid_arg
       (Printf.sprintf "Event_queue.schedule: %s is in the past (now %s)" (Time.to_string at)
-         (Time.to_string q.clock));
+         (Time.to_string (now q)));
   Pqueue.push q.queue ~priority:(Time.to_ms at) ev
 
 let schedule_after q ~delay_ms ev =
   let delay_ms = if delay_ms < 0. then 0. else delay_ms in
-  schedule q ~at:(Time.add_ms q.clock delay_ms) ev
+  schedule q ~at:(Time.add_ms (now q) delay_ms) ev
+
+let is_empty q = Pqueue.is_empty q.queue
+
+let next_exn q =
+  let at = Pqueue.min_priority q.queue in
+  let ev = Pqueue.pop_exn q.queue in
+  if at > now_ms q then begin
+    Array.unsafe_set q.clock 0 at;
+    q.clock_t <- Time.unsafe_of_ms at
+  end;
+  q.popped <- q.popped + 1;
+  ev
 
 let next q =
-  match Pqueue.pop q.queue with
-  | None -> None
-  | Some (priority, ev) ->
-    let at = Time.of_ms priority in
-    q.clock <- Time.max q.clock at;
-    q.popped <- q.popped + 1;
-    Some (q.clock, ev)
+  if is_empty q then None
+  else begin
+    let ev = next_exn q in
+    Some (now q, ev)
+  end
 
 let peek_time q =
   match Pqueue.peek q.queue with

@@ -25,6 +25,17 @@ val schedule_after : 'a t -> delay_ms:float -> 'a -> unit
 val next : 'a t -> (Time.t * 'a) option
 (** Pops the earliest event and advances the clock to its timestamp. *)
 
+val is_empty : 'a t -> bool
+
+val next_exn : 'a t -> 'a
+(** Allocation-free spelling of {!next} for the event loop: pops the
+    earliest event, advances the clock, and returns the event alone — read
+    the timestamp afterwards with {!now_ms}.
+    @raise Invalid_argument if the queue is empty (guard with {!is_empty}). *)
+
+val now_ms : 'a t -> float
+(** [Time.to_ms (now q)] without going through the boxed {!Time.t}. *)
+
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the next event without popping. *)
 

@@ -1,80 +1,140 @@
-type 'a entry = { priority : float; seq : int; value : 'a }
+(* Allocation-free binary min-heap in parallel lanes.
+
+   The heap state lives in three flat arrays indexed by heap slot: an
+   unboxed float lane for priorities, an int lane for insertion sequence
+   numbers, and a uniform lane for the payloads.  A push or pop therefore
+   moves words between flat arrays instead of allocating and chasing a
+   boxed entry record per element — the representation the simulator's
+   per-event cost budget rests on (DESIGN.md §3.15).
+
+   The payload lane is created from an immediate filler, so it is always a
+   generic (pointer/immediate) array even when ['a] is [float]; payloads of
+   float type are stored boxed, which is the only representation the
+   polymorphic reads below are correct for.  Vacated slots are overwritten
+   with the filler on [pop]/[clear] so the heap never pins popped payloads
+   (the space leak the boxed representation had). *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create ?initial_capacity:_ () = { heap = [||]; size = 0; next_seq = 0 }
+(* An immediate stand-in for an empty payload slot.  Guarded by [size]:
+   no code path ever reads a slot holding the filler. *)
+let filler : unit -> 'a = fun () -> Obj.magic 0
+
+let create ?(initial_capacity = 0) () =
+  let cap = Stdlib.max 0 initial_capacity in
+  {
+    prio = Array.make cap 0.;
+    seq = Array.make cap 0;
+    vals = Array.make cap (filler ());
+    size = 0;
+    next_seq = 0;
+  }
 
 let length q = q.size
 
 let is_empty q = q.size = 0
 
-(* [before a b] decides heap order: smaller priority first, insertion order on
-   ties.  This is the invariant the whole simulator's determinism rests on. *)
-let before a b =
-  a.priority < b.priority || (Float.equal a.priority b.priority && a.seq < b.seq)
+(* [before q i j] decides heap order between slots: smaller priority first,
+   insertion order on ties.  This is the invariant the whole simulator's
+   determinism rests on.  NaN never enters ([push] rejects it), so [=] on
+   the priority lane coincides with [Float.equal]. *)
+let[@inline] before q i j =
+  let pi = Array.unsafe_get q.prio i and pj = Array.unsafe_get q.prio j in
+  pi < pj || (pi = pj && Array.unsafe_get q.seq i < Array.unsafe_get q.seq j)
 
-(* Growth takes a witness entry so the fresh slots are well-typed without
-   resorting to unsafe tricks. *)
-let grow q witness =
-  let cap = Stdlib.max 64 (2 * Array.length q.heap) in
-  let heap' = Array.make cap witness in
-  Array.blit q.heap 0 heap' 0 q.size;
-  q.heap <- heap'
+let[@inline] swap q i j =
+  let p = Array.unsafe_get q.prio i in
+  Array.unsafe_set q.prio i (Array.unsafe_get q.prio j);
+  Array.unsafe_set q.prio j p;
+  let s = Array.unsafe_get q.seq i in
+  Array.unsafe_set q.seq i (Array.unsafe_get q.seq j);
+  Array.unsafe_set q.seq j s;
+  let v = Array.unsafe_get q.vals i in
+  Array.unsafe_set q.vals i (Array.unsafe_get q.vals j);
+  Array.unsafe_set q.vals j v
+
+let grow q =
+  let cap = Stdlib.max 64 (2 * Array.length q.prio) in
+  let prio' = Array.make cap 0. in
+  let seq' = Array.make cap 0 in
+  let vals' = Array.make cap (filler ()) in
+  Array.blit q.prio 0 prio' 0 q.size;
+  Array.blit q.seq 0 seq' 0 q.size;
+  Array.blit q.vals 0 vals' 0 q.size;
+  q.prio <- prio';
+  q.seq <- seq';
+  q.vals <- vals'
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
+    if before q i parent then begin
+      swap q i parent;
       sift_up q parent
     end
   end
 
 let rec sift_down q i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = if left < q.size && before q.heap.(left) q.heap.(i) then left else i in
-  let smallest =
-    if right < q.size && before q.heap.(right) q.heap.(smallest) then right else smallest
-  in
+  let smallest = if left < q.size && before q left i then left else i in
+  let smallest = if right < q.size && before q right smallest then right else smallest in
   if smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(smallest);
-    q.heap.(smallest) <- tmp;
+    swap q i smallest;
     sift_down q smallest
   end
 
 let push q ~priority value =
   if Float.is_nan priority then invalid_arg "Pqueue.push: NaN priority";
-  let entry = { priority; seq = q.next_seq; value } in
-  if q.size = Array.length q.heap then grow q entry;
+  if q.size = Array.length q.prio then grow q;
+  let i = q.size in
+  Array.unsafe_set q.prio i priority;
+  Array.unsafe_set q.seq i q.next_seq;
+  Array.unsafe_set q.vals i value;
   q.next_seq <- q.next_seq + 1;
-  q.heap.(q.size) <- entry;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  q.size <- i + 1;
+  sift_up q i
+
+let min_priority q =
+  if q.size = 0 then invalid_arg "Pqueue.min_priority: empty queue";
+  Array.unsafe_get q.prio 0
+
+let pop_exn q =
+  let n = q.size - 1 in
+  if n < 0 then invalid_arg "Pqueue.pop_exn: empty queue";
+  let v = Array.unsafe_get q.vals 0 in
+  q.size <- n;
+  if n > 0 then begin
+    Array.unsafe_set q.prio 0 (Array.unsafe_get q.prio n);
+    Array.unsafe_set q.seq 0 (Array.unsafe_get q.seq n);
+    Array.unsafe_set q.vals 0 (Array.unsafe_get q.vals n)
+  end;
+  (* Clear the vacated slot so the heap does not pin the payload. *)
+  Array.unsafe_set q.vals n (filler ());
+  if n > 1 then sift_down q 0;
+  v
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (top.priority, top.value)
+    let priority = Array.unsafe_get q.prio 0 in
+    let v = pop_exn q in
+    Some (priority, v)
   end
 
-let peek q = if q.size = 0 then None else Some (q.heap.(0).priority, q.heap.(0).value)
+let peek q =
+  if q.size = 0 then None else Some (Array.unsafe_get q.prio 0, Array.unsafe_get q.vals 0)
 
-let clear q = q.size <- 0
+let clear q =
+  Array.fill q.vals 0 q.size (filler ());
+  q.size <- 0
 
 let to_sorted_list q =
-  let entries = Array.sub q.heap 0 q.size |> Array.to_list in
-  let sorted = List.sort (fun a b -> if before a b then -1 else 1) entries in
-  List.map (fun e -> (e.priority, e.value)) sorted
+  let idx = Array.init q.size Fun.id in
+  Array.sort (fun i j -> if before q i j then -1 else 1) idx;
+  Array.to_list (Array.map (fun i -> (q.prio.(i), q.vals.(i))) idx)

@@ -6,7 +6,14 @@
     interleave simultaneous deliveries differently and traces would not be
     reproducible.  The heap therefore keys entries on the pair
     [(priority, sequence-number)] where the sequence number is a
-    monotonically increasing insertion counter. *)
+    monotonically increasing insertion counter.
+
+    Representation (DESIGN.md §3.15): the heap lives in three flat lanes —
+    an unboxed float array of priorities, an int array of sequence numbers
+    and a uniform payload array — so pushes and pops move words between
+    arrays instead of allocating boxed entries.  {!min_priority} and
+    {!pop_exn} expose the hot path without the option/tuple boxing of
+    {!pop}. *)
 
 type 'a t
 (** A mutable priority queue holding values of type ['a]. *)
@@ -26,11 +33,23 @@ val push : 'a t -> priority:float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** [pop q] removes and returns the minimum entry, or [None] if empty. *)
 
+val min_priority : 'a t -> float
+(** Priority of the minimum entry, without boxing it in an option.
+    @raise Invalid_argument if the queue is empty. *)
+
+val pop_exn : 'a t -> 'a
+(** [pop_exn q] removes the minimum entry and returns its payload alone —
+    the allocation-free spelling of {!pop} for the event loop (read the
+    timestamp first with {!min_priority}).  The vacated slot is cleared so
+    the heap never retains popped payloads.
+    @raise Invalid_argument if the queue is empty. *)
+
 val peek : 'a t -> (float * 'a) option
 (** [peek q] is the minimum entry without removing it. *)
 
 val clear : 'a t -> unit
-(** Removes every entry. *)
+(** Removes every entry and drops every reference the heap held to the
+    queued payloads (capacity is retained). *)
 
 val to_sorted_list : 'a t -> (float * 'a) list
 (** [to_sorted_list q] is a non-destructive snapshot of the queue contents in

@@ -3,8 +3,12 @@ type t = { mutable state : int64 }
 let golden_gamma = 0x9E3779B97F4A7C15L
 
 (* splitmix64: state advances by a fixed gamma; output is a bijective mix of
-   the state, so distinct states never collide within a stream. *)
-let mix64 z =
+   the state, so distinct states never collide within a stream.  [mix64] and
+   [bits64] are inlined into the samplers so the Int64 chain stays in
+   registers — the boxed-Int64 traffic otherwise dominates the per-message
+   delay-sampling cost.  Inlining does not change any arithmetic, so every
+   stream is bit-identical to the out-of-line spelling. *)
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
@@ -13,7 +17,7 @@ let create seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
-let bits64 t =
+let[@inline] bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
@@ -36,7 +40,7 @@ let int_in_range t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
   lo + int t (hi - lo + 1)
 
-let float t bound =
+let[@inline] float t bound =
   (* 53 random bits give a uniform double in [0, 1). *)
   let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
   bits /. 9007199254740992. *. bound

@@ -9,6 +9,8 @@ let of_ms ms =
 
 let to_ms t = t
 
+let unsafe_of_ms ms = ms
+
 let of_sec s = of_ms (s *. 1000.)
 
 let to_sec t = t /. 1000.

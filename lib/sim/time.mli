@@ -20,6 +20,12 @@ val of_ms : float -> t
 val to_ms : t -> float
 (** [to_ms t] is [t] expressed in milliseconds. *)
 
+val unsafe_of_ms : float -> t
+(** [of_ms] without the validity check, for hot paths that re-wrap a float
+    already known to be a valid instant (e.g. the event queue's clock lane).
+    Passing a negative or non-finite float is undefined behaviour for the
+    callers of this module. *)
+
 val of_sec : float -> t
 (** [of_sec s] is the time [s] seconds after the start. *)
 

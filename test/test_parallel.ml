@@ -8,15 +8,23 @@ module Net = Bftsim_net
 
 (* --- Parallel.map --- *)
 
+(* [~oversubscribe:true] lifts the hardware cap so these tests exercise
+   true multi-domain execution even on single-core CI runners, where the
+   cap would otherwise fold the pool back to the calling domain. *)
+
 let test_map_empty_and_singleton () =
-  Alcotest.(check (list int)) "empty" [] (Core.Parallel.map ~jobs:4 (fun x -> x) []);
-  Alcotest.(check (list int)) "singleton" [ 42 ] (Core.Parallel.map ~jobs:4 (fun x -> x * 2) [ 21 ])
+  Alcotest.(check (list int))
+    "empty" []
+    (Core.Parallel.map ~jobs:4 ~oversubscribe:true (fun x -> x) []);
+  Alcotest.(check (list int))
+    "singleton" [ 42 ]
+    (Core.Parallel.map ~jobs:4 ~oversubscribe:true (fun x -> x * 2) [ 21 ])
 
 let test_map_order_basic () =
   let xs = List.init 100 Fun.id in
   Alcotest.(check (list int))
     "order preserved" (List.map succ xs)
-    (Core.Parallel.map ~jobs:4 ~chunk:3 succ xs)
+    (Core.Parallel.map ~jobs:4 ~chunk:3 ~oversubscribe:true succ xs)
 
 let test_map_invalid_args () =
   Alcotest.check_raises "jobs < 1" (Invalid_argument "Parallel.map: jobs < 1") (fun () ->
@@ -28,13 +36,16 @@ exception Boom
 
 let test_map_propagates_exception () =
   Alcotest.check_raises "exception surfaces" Boom (fun () ->
-      ignore (Core.Parallel.map ~jobs:4 (fun x -> if x = 13 then raise Boom else x) (List.init 20 Fun.id)))
+      ignore
+        (Core.Parallel.map ~jobs:4 ~oversubscribe:true
+           (fun x -> if x = 13 then raise Boom else x)
+           (List.init 20 Fun.id)))
 
 let prop_map_preserves_order =
   QCheck.Test.make ~count:200 ~name:"Parallel.map ~jobs ~chunk = List.map"
     QCheck.(triple (small_list small_int) (int_range 1 8) (int_range 1 7))
     (fun (xs, jobs, chunk) ->
-      Core.Parallel.map ~jobs ~chunk (fun x -> (x * 31) + 7) xs
+      Core.Parallel.map ~jobs ~chunk ~oversubscribe:true (fun x -> (x * 31) + 7) xs
       = List.map (fun x -> (x * 31) + 7) xs)
 
 (* --- run_many determinism across jobs counts --- *)

@@ -1,0 +1,202 @@
+(* Property tests for the flat-lane Pqueue and the Event_queue built on it:
+   the heap must pop in exactly the order a sorted-by-(priority, seq)
+   reference model predicts, whatever interleaving of pushes and pops built
+   it — this is the determinism contract the whole simulator rests on
+   (§III-A2, DESIGN.md §3.15). *)
+
+open Bftsim_sim
+
+(* --- reference model: a sorted association list keyed (priority, seq) --- *)
+
+module Model = struct
+  type 'a t = { mutable entries : (float * int * 'a) list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let push m ~priority v =
+    let seq = m.next_seq in
+    m.next_seq <- seq + 1;
+    m.entries <-
+      List.merge
+        (fun (p1, s1, _) (p2, s2, _) -> if p1 <> p2 then compare p1 p2 else compare s1 s2)
+        m.entries [ (priority, seq, v) ]
+
+  let pop m =
+    match m.entries with
+    | [] -> None
+    | (p, _, v) :: rest ->
+      m.entries <- rest;
+      Some (p, v)
+end
+
+(* --- scripted interleavings --- *)
+
+(* A script is a list of operations; priorities are drawn from a small
+   range so ties (the interesting case) are frequent. *)
+type op = Push of float | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun p -> Push (float_of_int p)) (int_range 0 9));
+        (2, return Pop);
+      ])
+
+let script_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function Push p -> Printf.sprintf "push %g" p | Pop -> "pop") ops))
+    QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+let run_script ops =
+  let q = Pqueue.create () in
+  let m = Model.create () in
+  let counter = ref 0 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Push p ->
+        incr counter;
+        Pqueue.push q ~priority:p !counter;
+        Model.push m ~priority:p !counter;
+        true
+      | Pop -> Pqueue.pop q = Model.pop m)
+    ops
+  (* Drain both: every remaining entry must come out in model order too. *)
+  && (let rec drain () =
+        match (Pqueue.pop q, Model.pop m) with
+        | None, None -> true
+        | a, b when a = b -> drain ()
+        | _ -> false
+      in
+      drain ())
+
+let prop_matches_model =
+  QCheck.Test.make ~count:500 ~name:"Pqueue pops = sorted (priority, seq) model" script_arb
+    run_script
+
+(* Equal priorities exclusively: pop order must be exactly insertion order. *)
+let prop_fifo_on_ties =
+  QCheck.Test.make ~count:200 ~name:"equal priorities pop FIFO"
+    QCheck.(int_range 0 300)
+    (fun n ->
+      let q = Pqueue.create () in
+      for i = 0 to n - 1 do
+        Pqueue.push q ~priority:5. i
+      done;
+      let rec check i =
+        match Pqueue.pop q with
+        | None -> i = n
+        | Some (_, v) -> v = i && check (i + 1)
+      in
+      check 0)
+
+(* --- unit tests: NaN rejection, grow boundary, hot-path accessors --- *)
+
+let test_nan_rejected () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "NaN priority"
+    (Invalid_argument "Pqueue.push: NaN priority")
+    (fun () -> Pqueue.push q ~priority:Float.nan ());
+  Alcotest.(check int) "queue untouched" 0 (Pqueue.length q)
+
+(* The lanes grow 0 -> 64 -> 128 -> ...; pushing 130 entries crosses both
+   the first allocation and a doubling, and everything must still pop in
+   model order. *)
+let test_grow_boundary () =
+  let q = Pqueue.create () in
+  let n = 130 in
+  for i = n - 1 downto 0 do
+    Pqueue.push q ~priority:(float_of_int i) i
+  done;
+  Alcotest.(check int) "length across growth" n (Pqueue.length q);
+  for i = 0 to n - 1 do
+    match Pqueue.pop q with
+    | Some (p, v) ->
+      Alcotest.(check (float 0.)) "priority order" (float_of_int i) p;
+      Alcotest.(check int) "payload order" i v
+    | None -> Alcotest.fail "queue drained early"
+  done;
+  Alcotest.(check bool) "empty after drain" true (Pqueue.is_empty q)
+
+let test_min_priority_pop_exn () =
+  let q = Pqueue.create () in
+  Alcotest.check_raises "min_priority empty"
+    (Invalid_argument "Pqueue.min_priority: empty queue")
+    (fun () -> ignore (Pqueue.min_priority q));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Pqueue.pop_exn: empty queue")
+    (fun () -> ignore (Pqueue.pop_exn q));
+  Pqueue.push q ~priority:3. "b";
+  Pqueue.push q ~priority:1. "a";
+  Alcotest.(check (float 0.)) "min_priority" 1. (Pqueue.min_priority q);
+  Alcotest.(check string) "pop_exn payload" "a" (Pqueue.pop_exn q);
+  Alcotest.(check (float 0.)) "next min" 3. (Pqueue.min_priority q)
+
+(* Popped and cleared slots must not retain payloads (the space-leak fix):
+   observe collection of a popped payload through a weak pointer. *)
+let test_no_payload_retention () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  (let payload = Bytes.make 64 'x' in
+   Weak.set w 0 (Some payload);
+   Pqueue.push q ~priority:1. payload;
+   ignore (Pqueue.pop_exn q));
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
+  let w2 = Weak.create 1 in
+  (let payload = Bytes.make 64 'y' in
+   Weak.set w2 0 (Some payload);
+   Pqueue.push q ~priority:1. payload;
+   Pqueue.clear q);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" true (Weak.get w2 0 = None)
+
+(* --- Event_queue on top: same order, monotone clock --- *)
+
+let prop_event_queue_matches_model =
+  QCheck.Test.make ~count:300 ~name:"Event_queue pops = sorted (time, seq) model"
+    QCheck.(list_of_size (Gen.int_range 0 100) (make Gen.(map float_of_int (int_range 0 20))))
+    (fun times ->
+      let q = Event_queue.create () in
+      let m = Model.create () in
+      List.iteri
+        (fun i t ->
+          Event_queue.schedule q ~at:(Time.of_ms t) i;
+          Model.push m ~priority:t i)
+        times;
+      let rec check last =
+        match Event_queue.next q with
+        | None -> Model.pop m = None
+        | Some (at, ev) -> (
+          match Model.pop m with
+          | Some (mt, mv) ->
+            Time.to_ms at = mt && ev = mv
+            && Time.to_ms at >= last
+            && Time.to_ms at = Event_queue.now_ms q
+            && check (Time.to_ms at)
+          | None -> false)
+      in
+      check 0.)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_model;
+          QCheck_alcotest.to_alcotest prop_fifo_on_ties;
+          QCheck_alcotest.to_alcotest prop_event_queue_matches_model;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+          Alcotest.test_case "grow boundary" `Quick test_grow_boundary;
+          Alcotest.test_case "min_priority / pop_exn" `Quick test_min_priority_pop_exn;
+          Alcotest.test_case "no payload retention" `Quick test_no_payload_retention;
+        ] );
+    ]
