@@ -18,6 +18,7 @@
 module Core = Bftsim_core
 module Net = Bftsim_net
 module B = Bftsim_baseline
+module Wl = Bftsim_workload
 
 let reps = Core.Runner.default_reps ()
 
@@ -26,6 +27,7 @@ let reps = Core.Runner.default_reps ()
 let json_file = ref None
 let jobs = ref None
 let quick = ref false
+let fig2_max = ref None
 
 let () =
   let rec parse = function
@@ -37,6 +39,11 @@ let () =
       (match int_of_string_opt v with
       | Some j when j >= 1 -> jobs := Some j
       | Some _ | None -> prerr_endline ("bench: ignoring invalid --jobs " ^ v));
+      parse rest
+    | "--fig2-max" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 4 -> fig2_max := Some n
+      | Some _ | None -> prerr_endline ("bench: ignoring invalid --fig2-max " ^ v));
       parse rest
     | "--quick" :: rest ->
       quick := true;
@@ -111,35 +118,44 @@ let tables () =
 
 (* ---------------- Fig 2: simulation time, ours vs packet-level ---------------- *)
 
-let fig2 () =
+(* Per-n wall times of the extended sweep, for --json. *)
+let fig2_record : (int * int * float) list ref = ref []
+
+let fig2 ~max_n () =
   section
-    "Fig 2 — Simulation wall time for PBFT (lambda=1000, N(250,50)); ours vs\n\
-     the packet-level baseline (BFTSim substitute; capped at 32 nodes like\n\
-     BFTSim's OOM limit)";
+    (Printf.sprintf
+       "Fig 2 — Simulation wall time for PBFT (lambda=1000, N(250,50)); ours vs\n\
+        the packet-level baseline (BFTSim substitute; capped at 32 nodes like\n\
+        BFTSim's OOM limit).  Extended past the paper's 512-node axis to\n\
+        n=%d (one sample above 256; --fig2-max caps the sweep)"
+       max_n);
   Printf.printf "  %-6s %14s %24s %10s\n" "nodes" "ours (s)" "baseline (s)" "ratio";
   List.iter
     (fun n ->
-      let ours =
-        let samples =
-          List.init 3 (fun k ->
-              fst
-                (Core.Controller.wall_clock_of_run
-                   { (Core.Experiments.fig2_config ~n) with Core.Config.seed = 1 + k }))
-        in
-        Core.Stats.of_list samples
-      in
-      if n <= 32 then begin
-        let baseline =
+      if n <= max_n then begin
+        let samples = if n <= 256 then 3 else 1 in
+        let ours =
           Core.Stats.of_list
-            (List.init 3 (fun k -> fst (B.Engine.wall_clock_of_run ~n ~seed:(1 + k) ())))
+            (List.init samples (fun k ->
+                 fst
+                   (Core.Controller.wall_clock_of_run
+                      { (Core.Experiments.fig2_config ~n) with Core.Config.seed = 1 + k })))
         in
-        Printf.printf "  %-6d %14.4f %24.3f %9.0fx\n%!" n ours.mean baseline.mean
-          (baseline.mean /. Float.max ours.mean 1e-9)
-      end
-      else
-        Printf.printf "  %-6d %14.4f %24s %10s\n%!" n ours.mean
-          (Printf.sprintf "(infeasible: ~%d MiB)" (B.Engine.estimated_memory_bytes ~n / 1024 / 1024))
-          "-")
+        fig2_record := (n, samples, ours.mean) :: !fig2_record;
+        if n <= 32 then begin
+          let baseline =
+            Core.Stats.of_list
+              (List.init 3 (fun k -> fst (B.Engine.wall_clock_of_run ~n ~seed:(1 + k) ())))
+          in
+          Printf.printf "  %-6d %14.4f %24.3f %9.0fx\n%!" n ours.mean baseline.mean
+            (baseline.mean /. Float.max ours.mean 1e-9)
+        end
+        else
+          Printf.printf "  %-6d %14.4f %24s %10s\n%!" n ours.mean
+            (Printf.sprintf "(infeasible: ~%d MiB)"
+               (B.Engine.estimated_memory_bytes ~n / 1024 / 1024))
+            "-"
+      end)
     Core.Experiments.fig2_node_counts
 
 (* ---------------- Fig 3: four network environments ---------------- *)
@@ -631,6 +647,36 @@ let event_cost () =
   Printf.printf "  minor words/event %10.1f\n%!" words_per_event;
   event_cost_record := Some (events, wall_s, events_per_sec, words_per_event)
 
+(* ---------------- Workload throughput ---------------- *)
+
+(* The lib/workload curve (DESIGN.md §3.16): open-loop Poisson clients,
+   batched heights, end-to-end request latency.  The record keeps the
+   whole curve plus the saturation knee, for --json. *)
+let load_record : (Wl.Driver.curve * Wl.Driver.point option) option ref = ref None
+
+let load_throughput () =
+  section
+    "Workload throughput — open-loop Poisson clients into PBFT n=4\n\
+     (batch 64@20ms, mempool 4096, lambda=200, N(20,5), 30 heights per\n\
+     point); committed req/s plateaus at the saturation knee while the\n\
+     offered rate keeps climbing";
+  let config =
+    Core.Config.make ~n:4 ~lambda_ms:200.
+      ~delay:(Net.Delay_model.normal ~mu:20. ~sigma:5.)
+      ~decisions_target:30 ~seed:1 "pbft"
+  in
+  let t =
+    Wl.Driver.make
+      ~arrival:(Wl.Arrival.poisson ~rate:1.)
+      ~policy:(Wl.Batch.make ~max_batch:64 ~max_wait_ms:20.)
+      ~mempool_capacity:4096 ()
+  in
+  let rates = [ 400.; 1600.; 6400.; 12800.; 25600. ] in
+  let curve = Wl.Driver.sweep ?jobs:!jobs t config ~rates in
+  Format.printf "%a@?" Wl.Driver.pp_curve curve;
+  Printf.printf "%!";
+  load_record := Some (curve, Wl.Driver.knee curve.Wl.Driver.points)
+
 (* ---------------- JSON report ---------------- *)
 
 let write_json path =
@@ -677,6 +723,26 @@ let write_json path =
       "  \"supervision_overhead\": { \"kernel\": \"pbft-150dec\", \"bare_s\": %.6f, \
        \"wrap_pct\": %.2f, \"deadline_pct\": %.2f },\n"
       bare_s wrap_pct deadline_pct
+  | None -> ());
+  (match List.rev !fig2_record with
+  | [] -> ()
+  | rows ->
+    out "  \"fig2_extended\": { \"kernel\": \"pbft-l1000-N(250,50)\", \"points\": [\n";
+    List.iteri
+      (fun i (n, samples, wall_s) ->
+        out "    { \"n\": %d, \"samples\": %d, \"wall_s\": %.6f }%s\n" n samples wall_s
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    out "  ] },\n");
+  (match !load_record with
+  | Some (curve, knee) ->
+    out "  \"load_throughput\": { \"kernel\": \"pbft-n4-poisson-sweep\"";
+    (match knee with
+    | Some k ->
+      out ", \"knee_rate\": %g, \"knee_throughput\": %.1f" k.Wl.Driver.rate
+        k.Wl.Driver.throughput
+    | None -> ());
+    out ", \"curve\": %s },\n" (Bftsim_obs.Json.to_string (Wl.Driver.curve_to_json curve))
   | None -> ());
   out "  \"kernels\": [\n";
   let rows = List.rev !timings in
@@ -755,10 +821,16 @@ let () =
   Core.Parallel.tune_gc ();
   Printf.printf "BFT simulator benchmark harness — %d repetitions per configuration\n" reps;
   Printf.printf "(set BFTSIM_REPS to change; the paper uses 100); jobs=%d\n%!" (effective_jobs ());
+  (* The extended Fig 2 axis reaches n=4096; --quick caps it at 512 so
+     the CI smoke stays in budget (override with --fig2-max). *)
+  let fig2_cap = match !fig2_max with Some n -> n | None -> if !quick then 512 else 4096 in
   if !quick then begin
-    (* CI smoke: the LoC tables (cheap), the parallel-runner kernel, the
+    (* CI smoke: the LoC tables (cheap), the capped Fig 2 sweep, the
+       workload-throughput kernel, the parallel-runner kernel, the
        per-event cost kernel and the telemetry-overhead kernel. *)
     timed "tables" tables;
+    timed "fig2" (fig2 ~max_n:fig2_cap);
+    timed "load-throughput" load_throughput;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
     timed "event-cost" event_cost;
@@ -766,7 +838,8 @@ let () =
   end
   else begin
     timed "tables" tables;
-    timed "fig2" fig2;
+    timed "fig2" (fig2 ~max_n:fig2_cap);
+    timed "load-throughput" load_throughput;
     timed "fig3" fig3;
     timed "fig4" fig4;
     timed "fig5" fig5;

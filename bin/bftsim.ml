@@ -55,8 +55,9 @@ let read_config_file path =
   close_in ic;
   List.rev !kvs
 
-let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ~config_file ~protocol ~n
-    ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time ~chaos ~watchdog () =
+let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ?zones ?bandwidth ?pipeline
+    ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time
+    ~chaos ~watchdog () =
   let file_kvs = match config_file with Some path -> read_config_file path | None -> [] in
   let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
   (* Flags override file values because assoc finds the first binding. *)
@@ -66,6 +67,7 @@ let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ~config_file
     @ flag "inputs" inputs @ flag "max_time_ms" max_time @ flag "transport" transport
     @ flag "costs" costs @ flag "chaos" chaos @ flag "watchdog" watchdog
     @ flag "deadline_ms" deadline @ flag "retries" retries @ flag "quarantine" quarantine
+    @ flag "zones" zones @ flag "bandwidth" bandwidth @ flag "pipeline" pipeline
     @ file_kvs
   in
   Core.Config.of_keyvalues kvs
@@ -373,6 +375,163 @@ let sweep_cmd =
       $ deadline_arg $ retries_arg $ quarantine_arg $ csv_arg $ metrics_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
+
+(* --- load --- *)
+
+let load_cmd =
+  let module Wl = Bftsim_workload in
+  let rates_arg =
+    Arg.(value & opt string "50,100,200,400,800,1600"
+         & info [ "rates" ] ~docv:"LIST"
+             ~doc:"Comma-separated offered rates (req/s); one simulation per rate.")
+  in
+  let arrival_arg =
+    Arg.(value & opt string "poisson:1"
+         & info [ "arrival" ] ~docv:"SPEC"
+             ~doc:"Arrival process shape: constant:<rate> | poisson:<rate> | \
+                   onoff:<rate>,<on_ms>,<off_ms>.  The rate is overridden by each $(b,--rates) \
+                   point; the shape (and on/off windows) is kept.")
+  in
+  let batch_arg =
+    Arg.(value & opt string (Wl.Batch.to_cli_string Wl.Batch.default)
+         & info [ "batch" ] ~docv:"SIZE[@WAIT]"
+             ~doc:"Leader batching: cut at SIZE requests or after WAIT ms, whichever first.")
+  in
+  let mempool_arg =
+    Arg.(value & opt int 4096
+         & info [ "mempool" ] ~docv:"INT" ~doc:"Mempool capacity (requests beyond it are dropped).")
+  in
+  let heights_arg =
+    Arg.(value & opt int 50
+         & info [ "heights" ] ~docv:"INT" ~doc:"Consensus heights to drive per point.")
+  in
+  let zones_arg =
+    Arg.(value & opt (some string) None
+         & info [ "zones" ] ~docv:"SPEC"
+             ~doc:"Geographic zones: geo3 | geo5 | uniform:<k>@<rtt_ms>; replicas are placed \
+                   round-robin and messages pay the one-way inter-zone latency.")
+  in
+  let bandwidth_arg =
+    Arg.(value & opt (some float) None
+         & info [ "bandwidth" ] ~docv:"MBPS"
+             ~doc:"Per-sender egress bandwidth: batch bytes serialize FIFO into delay.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "pipeline" ] ~docv:"INT" ~doc:"Consensus heights a leader keeps in flight.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"INT"
+             ~doc:"Domains to fan rate points across (default BFTSIM_JOBS, else cores - 1). \
+                   The curve is byte-identical whatever the value.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the curve as CSV.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the curve as JSON.")
+  in
+  let action config_file protocol n lambda delay seed crashed max_time rates arrival batch
+      mempool heights zones bandwidth pipeline jobs journal resume csv out metrics verbose =
+    setup_logs verbose;
+    let parse_rates s =
+      let items = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+      let rec go acc = function
+        | [] -> if acc = [] then Error "empty --rates" else Ok (List.rev acc)
+        | x :: rest -> (
+          match float_of_string_opt x with
+          | Some r when r > 0. -> go (r :: acc) rest
+          | _ -> Error (Printf.sprintf "invalid rate %S" x))
+      in
+      go [] items
+    in
+    let spec =
+      let ( let* ) = Result.bind in
+      let* rates = parse_rates rates in
+      let* arrival = Wl.Arrival.of_string arrival in
+      let* policy = Wl.Batch.of_string batch in
+      let* config =
+        config_of_args ?zones
+          ?bandwidth:(Option.map (Printf.sprintf "%g") bandwidth)
+          ?pipeline:(Option.map string_of_int pipeline)
+          ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack:None ~crashed
+          ~target:(Some (string_of_int heights)) ~inputs:None ~max_time ~chaos:None
+          ~watchdog:None ()
+      in
+      Ok (rates, arrival, policy, config)
+    in
+    match spec with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      Exit_code.crash
+    | Ok (rates, arrival, policy, config) ->
+      let config =
+        if metrics then
+          {
+            config with
+            Core.Config.telemetry =
+              { config.Core.Config.telemetry with Core.Config.metrics = true };
+          }
+        else config
+      in
+      let driver = Wl.Driver.make ~arrival ~policy ~mempool_capacity:mempool () in
+      let fingerprint = Wl.Driver.fingerprint driver config ~rates in
+      (match open_campaign_journal ~fingerprint ~journal ~resume with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        Exit_code.crash
+      | Ok (journal_t, resumed) ->
+        let curve = Wl.Driver.sweep ?jobs ?journal:journal_t ~resumed driver config ~rates in
+        Option.iter Core.Journal.close journal_t;
+        (* Progress notes go to stderr: stdout must stay byte-diffable
+           between resumed and uninterrupted sweeps and across --jobs. *)
+        if curve.Wl.Driver.resumed > 0 then
+          Format.eprintf "resumed: %d of %d point(s) journaled, %d run now@."
+            curve.Wl.Driver.resumed (List.length rates)
+            (List.length rates - curve.Wl.Driver.resumed);
+        Format.printf "%s@." (Core.Config.describe config);
+        Format.printf "workload: %s, %d height(s) per point@." (Wl.Driver.describe driver)
+          heights;
+        Format.printf "%a" Wl.Driver.pp_curve curve;
+        (match curve.Wl.Driver.metrics with
+        | Some reg when metrics -> print_metrics reg
+        | _ -> ());
+        (match csv with
+        | None -> ()
+        | Some path ->
+          Core.Csv_export.write_file ~path ~header:Wl.Driver.header
+            ~rows:(List.map Wl.Driver.row curve.Wl.Driver.points);
+          Format.printf "wrote %s (%d rows)@." path (List.length curve.Wl.Driver.points));
+        (match out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Obs.Json.to_string (Wl.Driver.curve_to_json curve));
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "wrote %s@." path);
+        if
+          List.exists
+            (fun (p : Wl.Driver.point) -> p.Wl.Driver.outcome = "event-cap")
+            curve.Wl.Driver.points
+        then Exit_code.crash
+        else Exit_code.ok)
+  in
+  let term =
+    Term.(
+      const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
+      $ crashed_arg $ max_time_arg $ rates_arg $ arrival_arg $ batch_arg $ mempool_arg
+      $ heights_arg $ zones_arg $ bandwidth_arg $ pipeline_arg $ jobs_arg $ journal_arg
+      $ resume_arg $ csv_arg $ out_arg $ metrics_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop rate sweep: clients feed a bounded mempool, leaders batch requests through \
+          pipelined consensus, and each offered rate yields one point of the \
+          throughput-latency curve (saturation knee included)")
+    term
 
 (* --- list --- *)
 
@@ -747,7 +906,8 @@ let loc_cmd =
 let main_cmd =
   let doc = "Efficient and flexible simulator for BFT protocols (DSN 2022 reproduction)" in
   let info = Cmd.info "bftsim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; sweep_cmd; list_cmd; validate_cmd; conform_cmd; twins_cmd; loc_cmd ]
+  Cmd.group info
+    [ run_cmd; sweep_cmd; load_cmd; list_cmd; validate_cmd; conform_cmd; twins_cmd; loc_cmd ]
 
 let () =
   (* Simulation-profile GC for the coordinating domain; Parallel.map does

@@ -187,6 +187,8 @@ let run ?(protocol = "pbft") ?(decisions_target = 1) ?(max_time_ms = 600_000.)
           end);
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
+      request_proposal = (fun ~slot:_ ~default k -> k default);
+      pipeline_depth = 1;
     }
   in
   for i = 0 to n - 1 do

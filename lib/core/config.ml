@@ -54,6 +54,17 @@ type t = {
   naive_reset : Protocols.Context.naive_reset_policy;
   telemetry : telemetry;
   supervision : supervision;
+  zones : string option;
+      (** Geographic zone spec ([geo3] | [geo5] | [uniform:<k>@<rtt>]):
+          replicas are placed round-robin across named zones and every
+          message pays the one-way inter-zone latency on top of the
+          sampled delay (which becomes the jitter). *)
+  bandwidth_mbps : float option;
+      (** Per-sender egress bandwidth; messages serialize FIFO through it
+          so size becomes delay and congestion.  [None] = infinite. *)
+  pipeline : int;
+      (** Consensus heights a leader may keep in flight (slot-based
+          protocols); 1 = the classic sequential behavior. *)
 }
 
 (* Default for the HotStuff+NS pacemaker-reset ablation knob; the
@@ -199,6 +210,17 @@ let validate t =
       t.supervision.quarantine_after;
   if Float.is_nan t.supervision.retry_base_ms || t.supervision.retry_base_ms < 0. then
     fail "Config: retry_base_ms = %g, must be non-negative" t.supervision.retry_base_ms;
+  (match t.zones with
+  | None -> ()
+  | Some spec -> (
+    match Topology.zones_of_spec spec with
+    | Ok _ -> ()
+    | Error e -> fail "Config: %s" e));
+  (match t.bandwidth_mbps with
+  | Some b when Float.is_nan b || b <= 0. ->
+    fail "Config: bandwidth = %g Mbps, must be positive" b
+  | Some _ | None -> ());
+  if t.pipeline < 1 then fail "Config: pipeline = %d, need at least one height in flight" t.pipeline;
   (* Chaos steps may target twin replicas, so node ids range over the
      physical replica set. *)
   Attack.Fault_schedule.validate ~n:(physical_n t) t.chaos
@@ -207,7 +229,8 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
     ?(seed = 1) ?(attack = No_attack) ?decisions_target ?(max_time_ms = 600_000.)
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
     ?(chaos = Attack.Fault_schedule.empty) ?twins ?watchdog ?(check_validity = false) ?naive_reset
-    ?(telemetry = default_telemetry) ?(supervision = default_supervision) protocol =
+    ?(telemetry = default_telemetry) ?(supervision = default_supervision) ?zones ?bandwidth_mbps
+    ?(pipeline = 1) protocol =
   let naive_reset =
     match naive_reset with Some p -> p | None -> naive_reset_default ()
   in
@@ -241,6 +264,9 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       naive_reset;
       telemetry;
       supervision;
+      zones;
+      bandwidth_mbps;
+      pipeline;
     }
   in
   validate t;
@@ -292,6 +318,11 @@ let describe t =
       | Protocols.Context.Reset_on_commit -> ""
       | p ->
         Printf.sprintf " naive-reset=%s" (Protocols.Context.naive_reset_policy_to_string p))
+    ^ (match t.zones with None -> "" | Some spec -> Printf.sprintf " zones=%s" spec)
+    ^ (match t.bandwidth_mbps with
+      | None -> ""
+      | Some b -> Printf.sprintf " bw=%gMbps" b)
+    ^ (if t.pipeline = 1 then "" else Printf.sprintf " pipeline=%d" t.pipeline)
     ^
     match (t.telemetry.metrics, t.telemetry.tracing) with
     | false, false -> ""
@@ -499,6 +530,21 @@ let of_keyvalues kvs =
   let* quarantine_after = int_key "quarantine" default_supervision.quarantine_after in
   let* retry_base_ms = float_key "retry_base_ms" default_supervision.retry_base_ms in
   let supervision = { deadline_ms; max_retries; quarantine_after; retry_base_ms } in
+  let* zones =
+    match find "zones" with
+    | None -> Ok None
+    | Some spec -> (
+      match Topology.zones_of_spec spec with Ok _ -> Ok (Some spec) | Error e -> Error e)
+  in
+  let* bandwidth_mbps =
+    match find "bandwidth" with
+    | None -> Ok None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some b when b > 0. -> Ok (Some b)
+      | _ -> Error (Printf.sprintf "invalid bandwidth %S (positive Mbps)" v))
+  in
+  let* pipeline = int_key "pipeline" 1 in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -509,7 +555,7 @@ let of_keyvalues kvs =
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
             ~max_events ~inputs ~transport ~costs ~chaos ?twins ?watchdog ?naive_reset ~telemetry
-            ~supervision protocol)
+            ~supervision ?zones ?bandwidth_mbps ~pipeline protocol)
      with Invalid_argument msg -> Error msg)
 
 (* Inverse of [of_keyvalues]: render the configuration as the key = value
@@ -554,6 +600,11 @@ let to_keyvalues t =
   @ (match t.naive_reset with
     | Protocols.Context.Reset_on_commit -> []
     | p -> [ ("naive_reset", Protocols.Context.naive_reset_policy_to_string p) ])
+  @ (match t.zones with None -> [] | Some spec -> [ ("zones", spec) ])
+  @ (match t.bandwidth_mbps with
+    | None -> []
+    | Some b -> [ ("bandwidth", Printf.sprintf "%g" b) ])
+  @ (if t.pipeline = 1 then [] else [ ("pipeline", string_of_int t.pipeline) ])
   @ (if t.telemetry.metrics then [ ("metrics", "true") ] else [])
   @ (if t.telemetry.tracing then [ ("tracing", "true") ] else [])
   @ (match t.supervision.deadline_ms with

@@ -121,6 +121,20 @@ type t = {
           retry budget, quarantine threshold.  Only consulted by the
           supervised campaign drivers ([Runner.run_many],
           [Conformance.Harness]); a bare [Controller.run] ignores them. *)
+  zones : string option;
+      (** Geographic zone spec ([geo3] | [geo5] | [uniform:<k>@<rtt>], see
+          {!Bftsim_net.Topology.zones_of_spec}): replicas are placed
+          round-robin across named zones and every message pays the one-way
+          inter-zone latency on top of the sampled delay, which becomes the
+          jitter.  [None] = the classic single-site model. *)
+  bandwidth_mbps : float option;
+      (** Per-sender egress bandwidth (Mbps): messages serialize FIFO
+          through the sender's link, so message size becomes delay and
+          congestion.  [None] = infinite bandwidth (sizes cost nothing). *)
+  pipeline : int;
+      (** Consensus heights a leader may keep in flight at once (slot-based
+          protocols; consumed through [Context.pipeline_depth]).  [1] (the
+          default) reproduces the classic sequential behavior bit for bit. *)
 }
 
 val validate : t -> unit
@@ -165,6 +179,9 @@ val make :
   ?naive_reset:Bftsim_protocols.Context.naive_reset_policy ->
   ?telemetry:telemetry ->
   ?supervision:supervision ->
+  ?zones:string ->
+  ?bandwidth_mbps:float ->
+  ?pipeline:int ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:
@@ -202,7 +219,9 @@ val of_keyvalues : (string * string) list -> (t, string) result
     ["crash:3@0;recover:3@15000"]), [watchdog] (the stall multiplier
     [k], in units of [lambda_ms]), [naive_reset]
     ([commit] | [never] | [view]), [max_events], [metrics] / [tracing]
-    (booleans), [trace_capacity] (ring-buffer entries), and the twins
+    (booleans), [trace_capacity] (ring-buffer entries), [zones]
+    ([geo3] | [geo5] | [uniform:<k>@<rtt>]), [bandwidth] (per-sender
+    egress Mbps), [pipeline] (heights in flight), and the twins
     family: [twins] (comma-separated logical ids to duplicate),
     [twins_rounds] (per-round physical-id partitions, e.g.
     ["0,1,4|2,3;-;0,4|1,2,3"]), [twins_leaders] (per-view logical leader

@@ -35,6 +35,35 @@ type result = {
 
 type Timer.payload += Sample_views
 
+(* Workload layer (DESIGN.md §3.16): a run can be driven by client traffic
+   instead of one pre-agreed value.  The hooks live here — not in Config —
+   because they are closures over harness state, and Config must stay a
+   serializable key = value record.  With [?workload] absent every hook site
+   below degenerates to the pre-workload behavior, bit for bit. *)
+type workload_env = {
+  wl_now_ms : unit -> float;
+  wl_schedule : delay_ms:float -> (unit -> unit) -> unit;
+      (** Deterministic one-shot callback on the simulation clock; the
+          workload harness uses it for client arrivals and batch timers. *)
+}
+
+type workload = {
+  on_workload_start : workload_env -> unit;
+  on_request_proposal :
+    node:int ->
+    slot:int ->
+    default:Protocols.Context.proposal ->
+    (Protocols.Context.proposal -> unit) ->
+    unit;
+      (** A leader asks for a proposal payload; the harness may delay the
+          continuation until a batch is cut. *)
+  on_commit : node:int -> index:int -> value:string -> at_ms:float -> unit;
+      (** Every decide by every physical node, in simulation order — the
+          commit-ack stream that closes the request-latency loop. *)
+}
+
+type Timer.payload += Workload_fire of (unit -> unit)
+
 type Message.payload +=
   | Gossip_frame of { origin : int; gid : int; tag : string; size : int; inner : Message.payload }
       (** Epidemic-transport envelope: first-time receivers unwrap [inner]
@@ -112,7 +141,8 @@ let injected_faults =
 
 let no_cancel () = false
 
-let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (config : Config.t) =
+let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workload
+    (config : Config.t) =
   Config.validate config;
   List.iter
     (fun (kind, seed) ->
@@ -159,8 +189,20 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let node_rngs = Array.init pn (fun _ -> Rng.split root_rng) in
   let queue : event Event_queue.t = Event_queue.create () in
   Simlog.set_now (fun () -> Event_queue.now queue);
-  let topology = Topology.fully_connected pn in
-  let network = Network.create ~delay:config.delay ~topology ~rng:net_rng in
+  let topology =
+    match config.Config.zones with
+    | None -> Topology.fully_connected pn
+    | Some spec -> (
+      (* Validated by [Config.validate]; re-surface the error defensively
+         for hand-built records that bypassed it. *)
+      match Topology.of_zone_spec spec ~n:pn with
+      | Ok t -> t
+      | Error e -> invalid_arg ("Config: " ^ e))
+  in
+  let network =
+    Network.create ?bandwidth_mbps:config.Config.bandwidth_mbps ~delay:config.delay ~topology
+      ~rng:net_rng ()
+  in
   let trace = if config.record_trace then Some (Trace.create ()) else None in
   (* Telemetry (DESIGN.md §3.11).  The registry holds only simulated
      quantities so [Runner.run_many]'s merge is identical whatever domain
@@ -203,6 +245,14 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           ~buckets:[| 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144. |]
           r "net.msg.size_bytes" )
     | None -> (Obs.Metrics.null_histogram (), Obs.Metrics.null_histogram ())
+  in
+  let bandwidth_on = config.Config.bandwidth_mbps <> None in
+  (* Egress queue-delay distribution; only present when the bandwidth model
+     is on, so the registry of existing configs is unchanged. *)
+  let h_queue =
+    match reg with
+    | Some r when bandwidth_on -> Obs.Metrics.histogram r "net.queue_ms"
+    | Some _ | None -> Obs.Metrics.null_histogram ()
   in
   (* Histogram observes mutate boxed-float fields, so unlike the dead
      counters they allocate; the off path takes a branch instead. *)
@@ -512,8 +562,10 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
       record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
     | Attack.Attacker.Deliver ->
       (match replay_delay with Some delay_ms -> msg.Message.delay_ms <- delay_ms | None -> ());
-      if metrics_on && msg.Message.src <> msg.Message.dst then
+      if metrics_on && msg.Message.src <> msg.Message.dst then begin
         Obs.Metrics.observe_h h_delay msg.Message.delay_ms;
+        if bandwidth_on then Obs.Metrics.observe_h h_queue (Network.last_queue_ms network)
+      end;
       trace_net_deliver msg;
       Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
   in
@@ -634,6 +686,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
           | None -> ());
           record Trace.Decide ~node:p ~peer:(-1) ~tag:value ~detail:"";
           Invariant.on_decide monitor ~node:p ~index ~value ~at_ms;
+          (match workload with
+          | Some w -> w.on_commit ~node:p ~index ~value ~at_ms
+          | None -> ());
           if counted p then last_progress := Float.max !last_progress at_ms;
           check_target ());
       probe =
@@ -645,6 +700,14 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
               ~args:(if detail = "" then [] else [ ("detail", Obs.Tracer.Str detail) ])
               ());
       leader_schedule;
+      request_proposal =
+        (match workload with
+        | None ->
+          (* No workload: the continuation runs immediately with the
+             protocol's own default — the pre-workload behavior. *)
+          fun ~slot:_ ~default k -> k default
+        | Some w -> fun ~slot ~default k -> w.on_request_proposal ~node:p ~slot ~default k);
+      pipeline_depth = config.Config.pipeline;
     }
   in
 
@@ -652,6 +715,26 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
   let nodes = Array.mapi (fun p ctx -> if crashed.(p) then None else Some (P.create ctx)) ctxs in
 
   attacker.Attack.Attacker.on_start attacker_env;
+  (* The workload initializes before the nodes start: a leader's first
+     proposal request must already find the harness listening. *)
+  (match workload with
+  | None -> ()
+  | Some w ->
+    w.on_workload_start
+      {
+        wl_now_ms = (fun () -> Event_queue.now_ms queue);
+        wl_schedule =
+          (fun ~delay_ms f ->
+            incr timer_counter;
+            let id = !timer_counter in
+            Dense_set.add pending_timers id;
+            note_timer_set id;
+            let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
+            let timer =
+              { Timer.id; owner = Timer.attacker_owner; deadline; tag = "workload"; payload = Workload_fire f }
+            in
+            Event_queue.schedule queue ~at:deadline (Attacker_timer timer));
+      });
   Array.iteri (fun i node -> match node with Some nd -> P.on_start nd ctxs.(i) | None -> ()) nodes;
 
   (* View-change accounting: compare a node's view after each of its
@@ -799,6 +882,12 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override (confi
         let next = Time.add_ms timer.Timer.deadline (Option.get config.view_sample_ms) in
         let timer = { timer with Timer.deadline = next } in
         Event_queue.schedule queue ~at:next (Attacker_timer timer)
+      | Workload_fire f ->
+        if consume_timer timer.Timer.id then begin
+          note_timer_fired timer;
+          f ()
+        end
+        else note_timer_cancelled timer
       | _ ->
         if consume_timer timer.Timer.id then begin
           note_timer_fired timer;

@@ -63,10 +63,47 @@ type result = {
           log, a different artifact. *)
 }
 
+type workload_env = {
+  wl_now_ms : unit -> float;  (** Current simulation time. *)
+  wl_schedule : delay_ms:float -> (unit -> unit) -> unit;
+      (** Deterministic one-shot callback on the simulation clock; the
+          workload harness uses it for client arrivals and batch-wait
+          timers.  Fires through the ordinary event queue, so workload
+          events interleave reproducibly with protocol events. *)
+}
+(** Capabilities handed to a workload harness at run start. *)
+
+type workload = {
+  on_workload_start : workload_env -> unit;
+      (** Called after the attacker starts but before any node's
+          [on_start] — a leader's first proposal request must already find
+          the harness listening. *)
+  on_request_proposal :
+    node:int ->
+    slot:int ->
+    default:Bftsim_protocols.Context.proposal ->
+    (Bftsim_protocols.Context.proposal -> unit) ->
+    unit;
+      (** A leader asks for the payload of [slot] (physical [node]).  The
+          harness may call the continuation immediately (pass-through) or
+          defer it until a request batch is cut; the protocol's
+          continuation re-checks staleness itself. *)
+  on_commit : node:int -> index:int -> value:string -> at_ms:float -> unit;
+      (** Every decide by every physical node in simulation order — the
+          commit-ack stream from which end-to-end request latency
+          (arrival to commit quorum) is measured. *)
+}
+(** Workload hooks (DESIGN.md §3.16).  Passed to {!run} as an optional
+    argument — like [?attacker], not part of {!Config.t}, because the hooks
+    close over harness state and configs must stay serializable.  When
+    absent, every hook site degenerates to the pre-workload behavior and
+    runs are bit-identical to older builds. *)
+
 val run :
   ?cancel:(unit -> bool) ->
   ?delay_override:(src:int -> dst:int -> tag:string -> seq:int -> float option) ->
   ?attacker:Bftsim_attack.Attacker.t ->
+  ?workload:workload ->
   Config.t ->
   result
 (** Runs one simulation to completion.  [cancel] is polled in the event

@@ -70,6 +70,7 @@ let digest_of_result ~rep (r : Controller.result) =
 type event =
   | Run of { cell : string; digest : digest }
   | Check of { cell : string; index : int }
+  | Note of { cell : string; body : Json.t }
   | Failure of {
       cell : string;
       rep : int;
@@ -124,6 +125,8 @@ let event_to_json = function
       [ ("run", Json.Assoc [ ("cell", Json.String cell); ("digest", digest_to_json digest) ]) ]
   | Check { cell; index } ->
     Json.Assoc [ ("check", Json.Assoc [ ("cell", Json.String cell); ("index", Json.Int index) ]) ]
+  | Note { cell; body } ->
+    Json.Assoc [ ("note", Json.Assoc [ ("cell", Json.String cell); ("body", body) ]) ]
   | Failure { cell; rep; attempt; wall_ms; kind; detail; backtrace } ->
     Json.Assoc
       [
@@ -207,17 +210,26 @@ let digest_of_json json =
     }
 
 let event_of_json json =
-  match (Json.member "run" json, Json.member "check" json, Json.member "failure" json) with
-  | Some body, _, _ ->
+  match
+    ( Json.member "run" json,
+      Json.member "check" json,
+      Json.member "note" json,
+      Json.member "failure" json )
+  with
+  | Some body, _, _, _ ->
     let* cell = string_field "cell" body in
     let* dj = field "digest" body in
     let* digest = digest_of_json dj in
     Ok (Run { cell; digest })
-  | None, Some body, _ ->
+  | None, Some body, _, _ ->
     let* cell = string_field "cell" body in
     let* index = int_field "index" body in
     Ok (Check { cell; index })
-  | None, None, Some body ->
+  | None, None, Some body, _ ->
+    let* cell = string_field "cell" body in
+    let* b = field "body" body in
+    Ok (Note { cell; body = b })
+  | None, None, None, Some body ->
     let* cell = string_field "cell" body in
     let* rep = int_field "rep" body in
     let* attempt = int_field "attempt" body in
@@ -226,7 +238,7 @@ let event_of_json json =
     let* detail = string_field "detail" body in
     let* backtrace = string_field "backtrace" body in
     Ok (Failure { cell; rep; attempt; wall_ms; kind; detail; backtrace })
-  | None, None, None -> Error "journal: line is neither run, check nor failure"
+  | None, None, None, None -> Error "journal: line is neither run, check, note nor failure"
 
 (* {1 Writing} *)
 
@@ -358,3 +370,6 @@ let runs events ~cell =
 let checks events ~cell =
   List.filter_map (function Check c when c.cell = cell -> Some c.index | _ -> None) events
   |> List.sort_uniq Stdlib.compare
+
+let notes events ~cell =
+  List.filter_map (function Note n when n.cell = cell -> Some n.body | _ -> None) events

@@ -51,6 +51,11 @@ type event =
       (** One completed replication of campaign cell [cell]. *)
   | Check of { cell : string; index : int }
       (** One passed conformance scenario check. *)
+  | Note of { cell : string; body : Bftsim_obs.Json.t }
+      (** A completed unit of campaign-specific work whose result is an
+          arbitrary JSON document — the load driver journals each finished
+          throughput-latency point this way.  The encoding goes through
+          {!Bftsim_obs.Json}, so resumed and live points are byte-equal. *)
   | Failure of {
       cell : string;
       rep : int;
@@ -102,3 +107,6 @@ val runs : event list -> cell:string -> (int * digest) list
 
 val checks : event list -> cell:string -> int list
 (** Indices of the passed checks of one cell, deduplicated, sorted. *)
+
+val notes : event list -> cell:string -> Bftsim_obs.Json.t list
+(** Note bodies recorded for one cell, in file order. *)

@@ -6,6 +6,7 @@ type t =
   | Normal of { mu : float; sigma : float }
   | Exponential of { mean : float }
   | Poisson of { mean : float }
+  | LogNormal of { mu : float; sigma : float }
   | Bounded of { base : t; bound : float }
 
 let rec sample t rng =
@@ -15,26 +16,42 @@ let rec sample t rng =
   | Normal { mu; sigma } -> Rng.truncated_normal rng ~mu ~sigma ~lo:0.
   | Exponential { mean } -> Rng.exponential rng ~mean
   | Poisson { mean } -> float_of_int (Rng.poisson rng ~mean)
+  | LogNormal { mu; sigma } -> Float.exp (Rng.normal rng ~mu ~sigma)
   | Bounded { base; bound } -> Float.min bound (sample base rng)
 
 let rec upper_bound = function
   | Constant ms -> Some ms
   | Uniform { hi; _ } -> Some hi
-  | Normal _ | Exponential _ | Poisson _ -> None
+  | Normal _ | Exponential _ | Poisson _ | LogNormal _ -> None
   | Bounded { base; bound } -> (
     match upper_bound base with Some b -> Some (Float.min b bound) | None -> Some bound)
 
-let rec mean = function
+let mean = function
   | Constant ms -> ms
   | Uniform { lo; hi } -> (lo +. hi) /. 2.
   | Normal { mu; _ } -> mu
   | Exponential { mean = m } -> m
   | Poisson { mean = m } -> m
-  | Bounded { base; bound } -> Float.min (mean base) bound
+  | LogNormal { mu; sigma } -> Float.exp (mu +. (sigma *. sigma /. 2.))
+  | Bounded _ as t ->
+    (* E[min(X, bound)] has no closed form for an arbitrary base:
+       min(mean base, bound) overstates the clipped mean (clipping moves
+       the whole upper tail down to [bound], not just the part above the
+       mean).  Estimate it numerically from a fixed-seed stream so the
+       result stays a pure function of the model. *)
+    let rng = Rng.create 0x7ac1de5 in
+    let k = 4096 in
+    let acc = ref 0. in
+    for _ = 1 to k do
+      acc := !acc +. sample t rng
+    done;
+    !acc /. float_of_int k
 
 let normal ~mu ~sigma = Normal { mu; sigma }
 
 let bounded base ~bound = Bounded { base; bound }
+
+let log_normal ~mu ~sigma = LogNormal { mu; sigma }
 
 let rec describe = function
   | Constant ms -> Printf.sprintf "const(%g)" ms
@@ -42,6 +59,7 @@ let rec describe = function
   | Normal { mu; sigma } -> Printf.sprintf "N(%g,%g)" mu sigma
   | Exponential { mean } -> Printf.sprintf "Exp(%g)" mean
   | Poisson { mean } -> Printf.sprintf "Poisson(%g)" mean
+  | LogNormal { mu; sigma } -> Printf.sprintf "LogN(%g,%g)" mu sigma
   | Bounded { base; bound } -> Printf.sprintf "%s|%g" (describe base) bound
 
 let pp ppf t = Format.pp_print_string ppf (describe t)
@@ -52,6 +70,7 @@ let rec to_cli_string = function
   | Normal { mu; sigma } -> Printf.sprintf "normal:%g,%g" mu sigma
   | Exponential { mean } -> Printf.sprintf "exp:%g" mean
   | Poisson { mean } -> Printf.sprintf "poisson:%g" mean
+  | LogNormal { mu; sigma } -> Printf.sprintf "lognormal:%g,%g" mu sigma
   | Bounded { base; bound } -> Printf.sprintf "bounded:%s@%g" (to_cli_string base) bound
 
 let parse_floats s =
@@ -79,6 +98,10 @@ let rec of_string s =
       match parse_floats rest with Some [ mean ] -> Ok (Exponential { mean }) | _ -> invalid ())
     | "poisson" -> (
       match parse_floats rest with Some [ mean ] -> Ok (Poisson { mean }) | _ -> invalid ())
+    | "lognormal" | "logn" -> (
+      match parse_floats rest with
+      | Some [ mu; sigma ] -> Ok (LogNormal { mu; sigma })
+      | _ -> invalid ())
     | "bounded" -> (
       match String.rindex_opt rest '@' with
       | None -> invalid ()

@@ -20,6 +20,10 @@ type t =
       (** The paper's [N(mu, sigma)], truncated at 0 (delays are causal). *)
   | Exponential of { mean : float }  (** Heavy-ish tail; asynchronous runs. *)
   | Poisson of { mean : float }  (** Integer-ms Poisson delays. *)
+  | LogNormal of { mu : float; sigma : float }
+      (** [exp(N(mu, sigma))]: heavy-tailed WAN latencies / jitter.  Note
+          [mu]/[sigma] parameterize the underlying normal, so the mean is
+          [exp(mu + sigma^2/2)]. *)
   | Bounded of { base : t; bound : float }
       (** [base] clipped from above: realizes (partially-)synchronous
           networks with a hard delay bound. *)
@@ -31,10 +35,15 @@ val upper_bound : t -> float option
 (** Static upper bound if one exists ([Constant], [Uniform], [Bounded]). *)
 
 val mean : t -> float
-(** Analytic mean of the distribution (ignoring truncation effects). *)
+(** Mean of the distribution.  Analytic where a closed form exists
+    (ignoring the at-zero truncation of [Normal]); for [Bounded] the
+    clipped mean [E(min(X, bound))] is estimated numerically from a
+    fixed-seed sample, so it is deterministic but approximate. *)
 
 val normal : mu:float -> sigma:float -> t
 (** Convenience for the paper's ubiquitous [N(mu, sigma)]. *)
+
+val log_normal : mu:float -> sigma:float -> t
 
 val bounded : t -> bound:float -> t
 
@@ -43,7 +52,7 @@ val describe : t -> string
 
 val of_string : string -> (t, string) result
 (** Parses the CLI syntax: ["constant:100"], ["uniform:10,20"],
-    ["normal:250,50"], ["exp:300"], ["poisson:250"],
+    ["normal:250,50"], ["exp:300"], ["poisson:250"], ["lognormal:1.5,0.5"],
     ["bounded:<inner>@<bound>"] e.g. ["bounded:normal:250,50@1000"]. *)
 
 val to_cli_string : t -> string

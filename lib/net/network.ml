@@ -1,36 +1,89 @@
 open Bftsim_sim
 
-type stats = { sent : int; bytes : int }
+type stats = { sent : int; bytes : int; queued : int; queue_ms_total : float }
 
 type t = {
   mutable delay : Delay_model.t;
   topology : Topology.t;
   rng : Rng.t;
+  bandwidth_mbps : float option;
+  link_busy_until : float array;  (* per-source egress link, FIFO *)
+  mutable last_queue_ms : float;
   mutable sent : int;
   mutable bytes : int;
+  mutable queued : int;
+  mutable queue_ms_total : float;
 }
 
-let create ~delay ~topology ~rng = { delay; topology; rng; sent = 0; bytes = 0 }
+let create ?bandwidth_mbps ~delay ~topology ~rng () =
+  (match bandwidth_mbps with
+  | Some b when (not (Float.is_finite b)) || b <= 0. ->
+    invalid_arg "Network.create: bandwidth_mbps must be finite and > 0"
+  | _ -> ());
+  {
+    delay;
+    topology;
+    rng;
+    bandwidth_mbps;
+    link_busy_until = Array.make (Topology.n topology) 0.;
+    last_queue_ms = 0.;
+    sent = 0;
+    bytes = 0;
+    queued = 0;
+    queue_ms_total = 0.;
+  }
 
 let delay_model t = t.delay
 
 let topology t = t.topology
 
 let assign_delay t (msg : Message.t) =
-  if msg.src = msg.dst then msg.delay_ms <- 0.
+  if msg.src = msg.dst then begin
+    msg.delay_ms <- 0.;
+    t.last_queue_ms <- 0.
+  end
   else begin
-    let base = Delay_model.sample t.delay t.rng in
-    msg.delay_ms <- base *. Topology.pair_scale t.topology ~src:msg.src ~dst:msg.dst;
+    let jitter = Delay_model.sample t.delay t.rng in
+    let propagation =
+      (jitter *. Topology.pair_scale t.topology ~src:msg.src ~dst:msg.dst)
+      +. Topology.zone_delay_ms t.topology ~src:msg.src ~dst:msg.dst
+    in
+    let transport =
+      match t.bandwidth_mbps with
+      | None ->
+        t.last_queue_ms <- 0.;
+        0.
+      | Some mbps ->
+        (* The sender's egress link is a FIFO server: a message must wait
+           for everything ahead of it, then occupies the link for its
+           serialization time (bytes -> ms at [mbps]). *)
+        let now = Time.to_ms msg.sent_at in
+        let serialization = float_of_int msg.size *. 0.008 /. mbps in
+        let start = Float.max now t.link_busy_until.(msg.src) in
+        t.link_busy_until.(msg.src) <- start +. serialization;
+        let wait = start -. now in
+        if wait > 0. then begin
+          t.queued <- t.queued + 1;
+          t.queue_ms_total <- t.queue_ms_total +. wait
+        end;
+        t.last_queue_ms <- wait;
+        wait +. serialization
+    in
+    msg.delay_ms <- transport +. propagation;
     (* Self-addressed messages are local deliveries, not wire traffic, so
        only cross-node messages count toward message usage (§II-C). *)
     t.sent <- t.sent + 1;
     t.bytes <- t.bytes + msg.size
   end
 
+let last_queue_ms t = t.last_queue_ms
+
 let override_delay t delay = t.delay <- delay
 
-let stats t = { sent = t.sent; bytes = t.bytes }
+let stats t = { sent = t.sent; bytes = t.bytes; queued = t.queued; queue_ms_total = t.queue_ms_total }
 
 let reset_stats t =
   t.sent <- 0;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.queued <- 0;
+  t.queue_ms_total <- 0.

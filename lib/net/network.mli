@@ -3,8 +3,14 @@
     Each node is connected to this module.  A sender sets [src] and [dst] in
     the envelope and hands the message over; the network samples the [delay]
     variable from the configured distribution (scaled by the topology's
-    per-link factor) and forwards the message onward — in the full simulator
-    the next hop is the attacker module, then the event queue.  The network
+    per-link factor, plus the one-way zone latency when the topology has
+    geographic zones) and forwards the message onward — in the full
+    simulator the next hop is the attacker module, then the event queue.
+
+    With a per-link bandwidth configured, each sender's egress link is a
+    FIFO server: a message waits behind everything the sender already put
+    on the wire, then occupies the link for its serialization time, so
+    message {e size} translates into delay and congestion.  The network
     also keeps the message-usage counters backing the paper's second metric
     (§II-C). *)
 
@@ -15,11 +21,16 @@ type t
 type stats = {
   sent : int;  (** Messages that entered the network. *)
   bytes : int;  (** Sum of estimated message sizes. *)
+  queued : int;  (** Messages that waited behind a busy egress link. *)
+  queue_ms_total : float;  (** Total time spent waiting in egress queues. *)
 }
 
-val create : delay:Delay_model.t -> topology:Topology.t -> rng:Rng.t -> t
+val create :
+  ?bandwidth_mbps:float -> delay:Delay_model.t -> topology:Topology.t -> rng:Rng.t -> unit -> t
 (** The network owns its RNG stream so delay sampling is independent of
-    protocol randomness. *)
+    protocol randomness.  [bandwidth_mbps] enables the per-sender FIFO
+    egress model; omitted means infinite bandwidth (sizes cost nothing).
+    @raise Invalid_argument if [bandwidth_mbps <= 0] or non-finite. *)
 
 val delay_model : t -> Delay_model.t
 
@@ -27,7 +38,14 @@ val topology : t -> Topology.t
 
 val assign_delay : t -> Message.t -> unit
 (** Samples and writes [delay_ms] (self-addressed messages get 0 delay —
-    local delivery does not traverse the wire) and updates the counters. *)
+    local delivery does not traverse the wire) and updates the counters.
+    [delay_ms] = egress queue wait + serialization + zone one-way latency
+    + sampled jitter x pair scale. *)
+
+val last_queue_ms : t -> float
+(** Queue-wait + serialization component of the most recent
+    {!assign_delay}; [0.] without bandwidth modelling.  Read it immediately
+    after the call (it is overwritten by the next one). *)
 
 val override_delay : t -> Delay_model.t -> unit
 (** Swaps the delay distribution mid-simulation; used to model networks that

@@ -14,6 +14,8 @@ let naive_reset_policy_to_string = function
   | Never_reset -> "never"
   | Per_view_number -> "view"
 
+type proposal = { value : string; size : int }
+
 type t = {
   node_id : int;
   n : int;
@@ -34,6 +36,14 @@ type t = {
       (* Per-view leader pinning (twins runs): [leader_schedule.(view)]
          overrides the round-robin rotation for views inside the array;
          views beyond it fall back to rotation. [None] everywhere else. *)
+  request_proposal : slot:int -> default:proposal -> (proposal -> unit) -> unit;
+      (* Workload hook: a leader about to propose asks for a payload.  With
+         no workload attached the continuation runs immediately with
+         [default] (same behavior as before the hook existed); a workload
+         layer may instead defer the callback while a batch accumulates. *)
+  pipeline_depth : int;
+      (* How many consensus heights a leader may keep in flight at once;
+         1 = sequential heights (the classic single-shot behavior). *)
 }
 
 let send t ~dst ~tag ?(size = Message.default_size) payload = t.send_raw ~dst ~tag ~size payload

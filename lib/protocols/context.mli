@@ -22,6 +22,11 @@ val naive_reset_policy_of_string : string -> naive_reset_policy option
 
 val naive_reset_policy_to_string : naive_reset_policy -> string
 
+type proposal = { value : string; size : int }
+(** What a leader puts into a pre-prepare/proposal: an opaque value string
+    and its estimated wire size in bytes.  Produced either by the protocol
+    itself (the classic pre-agreed input) or by a workload batcher. *)
+
 type t = {
   node_id : int;
   n : int;  (** Total number of nodes, including crashed/Byzantine ones. *)
@@ -55,6 +60,17 @@ type t = {
       (** Per-view leader pinning (twins runs): for views inside the array,
           {!leader_round_robin} returns [leader_schedule.(view)] instead of
           the rotation; views beyond it fall back.  [None] everywhere else. *)
+  request_proposal : slot:int -> default:proposal -> (proposal -> unit) -> unit;
+      (** A leader about to propose for [slot] asks for the payload.
+          Without a workload layer the continuation runs {e immediately}
+          with [default], so protocols that adopt the hook behave exactly
+          as before; with one attached (see [Controller]'s [?workload])
+          the callback may be deferred until a request batch is cut.  The
+          continuation must re-check its own staleness (view/leadership
+          may have moved on by the time it fires). *)
+  pipeline_depth : int;
+      (** How many consensus heights a leader may keep in flight at once;
+          [1] (the default) reproduces the classic sequential behavior. *)
 }
 
 val send : t -> dst:int -> tag:string -> ?size:int -> Message.payload -> unit

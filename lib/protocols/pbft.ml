@@ -37,6 +37,10 @@ type node = {
           once it advances. *)
   sent_prepare : (int * int, unit) Hashtbl.t;
   sent_commit : (int * int, unit) Hashtbl.t;
+  requested : (int * int, unit) Hashtbl.t;
+      (** (view, slot) pairs whose proposal payload this primary already
+          asked the workload hook for; guards against double proposing when
+          the pipeline window slides. *)
   decided : (int, string) Hashtbl.t;
 }
 
@@ -53,6 +57,7 @@ let create _ctx =
     proposals = Hashtbl.create 64;
     sent_prepare = Hashtbl.create 64;
     sent_commit = Hashtbl.create 64;
+    requested = Hashtbl.create 64;
     decided = Hashtbl.create 64;
   }
 
@@ -70,10 +75,26 @@ let restart_timer t ctx =
   in
   t.timer <- Some id
 
+(* The primary proposes every slot in the pipeline window
+   [t.slot .. t.slot + depth - 1] it has not proposed yet.  Payloads come
+   through the workload hook: with no workload the continuation fires
+   immediately with the default value, reproducing the classic single-shot
+   behavior message for message; with one, the callback may arrive later
+   (once a batch is cut) and must re-check that the view has not moved on. *)
 let propose t ctx =
-  if primary ctx t.view = ctx.Context.node_id then
-    Context.broadcast ctx ~tag:"pre-prepare" ~size:256
-      (Pre_prepare { view = t.view; slot = t.slot; value = proposal_value ctx t.slot })
+  if primary ctx t.view = ctx.Context.node_id then begin
+    let view = t.view in
+    for slot = t.slot to t.slot + ctx.Context.pipeline_depth - 1 do
+      if not (Hashtbl.mem t.requested (view, slot)) then begin
+        Hashtbl.replace t.requested (view, slot) ();
+        let default = { Context.value = proposal_value ctx slot; size = 256 } in
+        ctx.Context.request_proposal ~slot ~default (fun proposal ->
+            if t.view = view && slot >= t.slot && primary ctx t.view = ctx.Context.node_id then
+              Context.broadcast ctx ~tag:"pre-prepare" ~size:proposal.Context.size
+                (Pre_prepare { view; slot; value = proposal.Context.value }))
+      end
+    done
+  end
 
 let on_start t ctx =
   restart_timer t ctx;
@@ -85,20 +106,28 @@ let send_prepare t ctx ~view ~slot ~value =
     Context.broadcast ctx ~tag:"prepare" (Prepare { view; slot; value })
   end
 
+(* A proposal is actionable when it falls inside the pipeline window
+   [t.slot .. t.slot + depth - 1]; with depth 1 that degenerates to the
+   classic "current slot only" rule. *)
+let in_window t ctx slot = slot >= t.slot && slot < t.slot + ctx.Context.pipeline_depth
+
 let accept_proposal t ctx ~view ~slot ~value =
   Hashtbl.replace t.proposals (view, slot) value;
-  if view = t.view && slot = t.slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
+  if view = t.view && in_window t ctx slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
     Hashtbl.replace t.accepted (view, slot) value;
     send_prepare t ctx ~view ~slot ~value
   end
 
-(* After advancing slot or view, adopt any buffered proposal that fits. *)
+(* After advancing slot or view, adopt any buffered proposal that slid into
+   the window. *)
 let catch_up t ctx =
-  match Hashtbl.find_opt t.proposals (t.view, t.slot) with
-  | Some value when not (Hashtbl.mem t.accepted (t.view, t.slot)) ->
-    Hashtbl.replace t.accepted (t.view, t.slot) value;
-    send_prepare t ctx ~view:t.view ~slot:t.slot ~value
-  | _ -> ()
+  for slot = t.slot to t.slot + ctx.Context.pipeline_depth - 1 do
+    match Hashtbl.find_opt t.proposals (t.view, slot) with
+    | Some value when not (Hashtbl.mem t.accepted (t.view, slot)) ->
+      Hashtbl.replace t.accepted (t.view, slot) value;
+      send_prepare t ctx ~view:t.view ~slot ~value
+    | _ -> ()
+  done
 
 (* Entering a view resets the progress timer (with its doubled duration);
    the new primary re-proposes the pending slot.  Only a value backed by a
@@ -148,9 +177,25 @@ let start_view_change t ctx ~first =
 let try_decide t ctx ~slot ~value =
   if not (Hashtbl.mem t.decided slot) then begin
     Hashtbl.replace t.decided slot value;
-    ctx.Context.decide value;
-    if slot = t.slot then begin
-      t.slot <- t.slot + 1;
+    if ctx.Context.pipeline_depth = 1 then begin
+      (* Classic sequential path, kept verbatim for bit-identical replays. *)
+      ctx.Context.decide value;
+      if slot = t.slot then begin
+        t.slot <- t.slot + 1;
+        t.timeouts <- 0;
+        restart_timer t ctx;
+        propose t ctx;
+        catch_up t ctx
+      end
+    end
+    else if slot = t.slot then begin
+      (* Pipelined: commits may form out of order across the window, but
+         decisions must be reported in slot order — emit the contiguous
+         decided prefix, holding back anything behind a gap. *)
+      while Hashtbl.mem t.decided t.slot do
+        ctx.Context.decide (Hashtbl.find t.decided t.slot);
+        t.slot <- t.slot + 1
+      done;
       t.timeouts <- 0;
       restart_timer t ctx;
       propose t ctx;
@@ -196,7 +241,7 @@ let on_message t ctx (msg : Message.t) =
         restart_timer t ctx
       end;
       Hashtbl.replace t.proposals (view, slot) value;
-      if slot = t.slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
+      if in_window t ctx slot && not (Hashtbl.mem t.accepted (view, slot)) then begin
         Hashtbl.replace t.accepted (view, slot) value;
         send_prepare t ctx ~view ~slot ~value
       end

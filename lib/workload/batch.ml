@@ -1,0 +1,49 @@
+(* Leader-side batching policy and batch size model (DESIGN.md §3.16).
+
+   Two cut rules, the standard pair: a batch is cut as soon as [max_batch]
+   requests are pending, or when [max_wait_ms] has elapsed since the leader
+   first asked for a payload with requests still short of a full batch.
+   The size model turns a batch into wire bytes (header + per-request),
+   which the bandwidth-aware network serializes into delay. *)
+
+type policy = { max_batch : int; max_wait_ms : float }
+
+let validate { max_batch; max_wait_ms } =
+  if max_batch <= 0 then invalid_arg "Batch: max_batch must be > 0";
+  if (not (Float.is_finite max_wait_ms)) || max_wait_ms < 0. then
+    invalid_arg "Batch: max_wait_ms must be finite and >= 0"
+
+let make ~max_batch ~max_wait_ms =
+  let p = { max_batch; max_wait_ms } in
+  validate p;
+  p
+
+let default = { max_batch = 256; max_wait_ms = 50. }
+
+(* Wire-size model: consensus metadata plus a fixed per-request payload.
+   Chosen so an empty batch still costs a header (a no-op height is not
+   free) and a full default batch is ~33 KB — enough for bandwidth to
+   matter at WAN rates. *)
+let header_bytes = 64
+let request_bytes = 128
+
+let size_bytes ~count =
+  if count < 0 then invalid_arg "Batch.size_bytes: count must be >= 0";
+  header_bytes + (request_bytes * count)
+
+let describe { max_batch; max_wait_ms } = Printf.sprintf "batch(%d@%gms)" max_batch max_wait_ms
+
+let to_cli_string { max_batch; max_wait_ms } = Printf.sprintf "%d@%g" max_batch max_wait_ms
+
+let of_string s =
+  let invalid () = Error (Printf.sprintf "invalid batch policy %S (want SIZE[@WAIT_MS])" s) in
+  let parse ~size ~wait =
+    match (int_of_string_opt size, float_of_string_opt wait) with
+    | Some max_batch, Some max_wait_ms when max_batch > 0 && max_wait_ms >= 0. ->
+      Ok { max_batch; max_wait_ms }
+    | _ -> invalid ()
+  in
+  match String.index_opt s '@' with
+  | None -> parse ~size:s ~wait:(Printf.sprintf "%g" default.max_wait_ms)
+  | Some i ->
+    parse ~size:(String.sub s 0 i) ~wait:(String.sub s (i + 1) (String.length s - i - 1))

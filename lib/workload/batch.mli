@@ -1,0 +1,30 @@
+(** Leader-side batching policy and batch size model (DESIGN.md §3.16). *)
+
+type policy = {
+  max_batch : int;  (** Cut immediately once this many requests are pending. *)
+  max_wait_ms : float;
+      (** Otherwise cut this long after the leader first asked for a
+          payload; [0.] cuts immediately with whatever is pending. *)
+}
+
+val make : max_batch:int -> max_wait_ms:float -> policy
+(** @raise Invalid_argument on a non-positive size or negative wait. *)
+
+val default : policy
+(** 256 requests, 50 ms. *)
+
+val header_bytes : int
+val request_bytes : int
+
+val size_bytes : count:int -> int
+(** Wire bytes of a batch of [count] requests:
+    [header_bytes + count * request_bytes].  An empty (no-op) batch still
+    pays the header. *)
+
+val describe : policy -> string
+
+val to_cli_string : policy -> string
+(** ["SIZE@WAIT_MS"]; [of_string (to_cli_string p) = Ok p]. *)
+
+val of_string : string -> (policy, string) result
+(** Parses ["SIZE"] (default wait) or ["SIZE@WAIT_MS"]. *)

@@ -1,0 +1,483 @@
+(* Workload driver (DESIGN.md §3.16): wires arrivals, the mempool and the
+   batcher into a [Controller.run] through the workload hooks, measures
+   end-to-end request latency (arrival → commit quorum), and sweeps offered
+   rates into a throughput-latency curve.
+
+   Determinism: the harness owns a private RNG derived from the config
+   seed — it never touches the controller's split chain, so a run with the
+   workload enabled perturbs nothing but its own events, and a run without
+   it is bit-identical to older builds.  Sweep points are independent runs
+   aggregated in rate order, so the curve is byte-identical at any
+   [--jobs]. *)
+
+open Bftsim_sim
+module Core = Bftsim_core
+module Context = Bftsim_protocols.Context
+module Json = Bftsim_obs.Json
+module Metrics = Bftsim_obs.Metrics
+
+type t = {
+  arrival : Arrival.t;
+  policy : Batch.policy;
+  mempool_capacity : int;
+}
+
+let make ?(arrival = Arrival.poisson ~rate:100.) ?(policy = Batch.default)
+    ?(mempool_capacity = 4096) () =
+  if mempool_capacity <= 0 then invalid_arg "Driver.make: mempool_capacity must be > 0";
+  { arrival; policy; mempool_capacity }
+
+let describe t =
+  Printf.sprintf "%s %s mempool=%d" (Arrival.describe t.arrival) (Batch.describe t.policy)
+    t.mempool_capacity
+
+(* {1 One run} *)
+
+(* Per-run harness state, closed over by the workload hooks. *)
+type harness = {
+  rng : Rng.t;
+  pool : Mempool.t;
+  policy : Batch.policy;
+  arrival : Arrival.t;
+  ack_quorum : int;
+  mutable env : Core.Controller.workload_env option;
+  mutable next_request : int;
+  mutable submitted : int;
+  mutable next_batch : int;
+  batches : (string, Mempool.request list) Hashtbl.t;  (* in-flight value -> requests *)
+  acks : (int, int ref) Hashtbl.t;  (* decision index -> distinct-node ack count *)
+  committed_idx : (int, unit) Hashtbl.t;
+  mutable committed : int;
+  mutable latencies : float list;  (* newest first *)
+  mutable occupancies : int list;  (* newest first; 0 = empty (no-op) batch *)
+  mutable empty_batches : int;
+  waiting : (Context.proposal -> unit) Queue.t;  (* deferred leader requests *)
+  mutable waiting_armed : int;  (* timers in flight for deferred requests *)
+}
+
+let create_harness ~seed ~n (t : t) =
+  let f = (n - 1) / 3 in
+  {
+    (* Private stream: xor with an ASCII-"load" constant so it cannot
+       collide with the controller's root/net/attacker/node split order. *)
+    rng = Rng.create (seed lxor 0x6c6f6164);
+    pool = Mempool.create ~capacity:t.mempool_capacity;
+    policy = t.policy;
+    arrival = t.arrival;
+    ack_quorum = f + 1;
+    env = None;
+    next_request = 0;
+    submitted = 0;
+    next_batch = 0;
+    batches = Hashtbl.create 64;
+    acks = Hashtbl.create 64;
+    committed_idx = Hashtbl.create 64;
+    committed = 0;
+    latencies = [];
+    occupancies = [];
+    empty_batches = 0;
+    waiting = Queue.create ();
+    waiting_armed = 0;
+  }
+
+let env_exn h =
+  match h.env with
+  | Some e -> e
+  | None -> invalid_arg "Workload: hook fired before on_workload_start"
+
+(* Cut a batch now: drain up to [max_batch] requests and hand the leader a
+   value that names the batch.  An empty pool yields the protocol's default
+   (no-op) proposal so an idle system still advances heights. *)
+let cut h ~default k =
+  let reqs = Mempool.take h.pool ~max:h.policy.Batch.max_batch in
+  match reqs with
+  | [] ->
+    h.empty_batches <- h.empty_batches + 1;
+    h.occupancies <- 0 :: h.occupancies;
+    k default
+  | _ ->
+    let count = List.length reqs in
+    let seq = h.next_batch in
+    h.next_batch <- seq + 1;
+    let value = Printf.sprintf "b%d(%d)" seq count in
+    Hashtbl.replace h.batches value reqs;
+    h.occupancies <- count :: h.occupancies;
+    k { Context.value; size = Batch.size_bytes ~count }
+
+(* Fire deferred leader requests while a full batch is available — the
+   early-cut rule; the max-wait timer handles the rest. *)
+let fire_ready h ~default_of =
+  while
+    (not (Queue.is_empty h.waiting)) && Mempool.length h.pool >= h.policy.Batch.max_batch
+  do
+    let k = Queue.pop h.waiting in
+    cut h ~default:(default_of ()) k
+  done
+
+let on_request_proposal h ~node:_ ~slot:_ ~default k =
+  if Mempool.length h.pool >= h.policy.Batch.max_batch || h.policy.Batch.max_wait_ms <= 0. then
+    cut h ~default k
+  else begin
+    (* Defer until the wait window closes (or a full batch arrives first).
+       The timer pops whichever request is oldest; queue discipline keeps
+       the pairing FIFO even when cuts race with arrivals. *)
+    Queue.add k h.waiting;
+    h.waiting_armed <- h.waiting_armed + 1;
+    let env = env_exn h in
+    env.Core.Controller.wl_schedule ~delay_ms:h.policy.Batch.max_wait_ms (fun () ->
+        h.waiting_armed <- h.waiting_armed - 1;
+        if not (Queue.is_empty h.waiting) then cut h ~default (Queue.pop h.waiting))
+  end
+
+let on_commit h ~node:_ ~index ~value ~at_ms =
+  if not (Hashtbl.mem h.committed_idx index) then begin
+    let count =
+      match Hashtbl.find_opt h.acks index with
+      | Some r ->
+        incr r;
+        !r
+      | None ->
+        Hashtbl.replace h.acks index (ref 1);
+        1
+    in
+    if count >= h.ack_quorum then begin
+      Hashtbl.replace h.committed_idx index ();
+      Hashtbl.remove h.acks index;
+      match Hashtbl.find_opt h.batches value with
+      | None -> ()  (* no-op height or foreign value: no requests to ack *)
+      | Some reqs ->
+        Hashtbl.remove h.batches value;
+        List.iter
+          (fun (r : Mempool.request) ->
+            h.committed <- h.committed + 1;
+            h.latencies <- (at_ms -. r.Mempool.arrived_ms) :: h.latencies)
+          reqs
+    end
+  end
+
+let on_workload_start h env =
+  h.env <- Some env;
+  let rec pump () =
+    let now_ms = env.Core.Controller.wl_now_ms () in
+    let gap = Arrival.next_gap_ms h.arrival ~now_ms h.rng in
+    env.Core.Controller.wl_schedule ~delay_ms:gap (fun () ->
+        let arrived_ms = env.Core.Controller.wl_now_ms () in
+        let id = h.next_request in
+        h.next_request <- id + 1;
+        h.submitted <- h.submitted + 1;
+        ignore (Mempool.add h.pool { Mempool.id; arrived_ms } : bool);
+        fire_ready h ~default_of:(fun () ->
+            (* An early cut always finds a full pool, so the default is
+               never consulted; a placeholder keeps the types honest. *)
+            { Context.value = "noop"; size = Batch.size_bytes ~count:0 });
+        pump ())
+  in
+  pump ()
+
+let workload_of_harness h =
+  {
+    Core.Controller.on_workload_start = on_workload_start h;
+    on_request_proposal = (fun ~node ~slot ~default k -> on_request_proposal h ~node ~slot ~default k);
+    on_commit = (fun ~node ~index ~value ~at_ms -> on_commit h ~node ~index ~value ~at_ms);
+  }
+
+(* {1 Points} *)
+
+type point = {
+  rate : float;
+  outcome : string;
+  duration_ms : float;
+  submitted : int;
+  committed : int;
+  dropped : int;
+  mempool_peak : int;
+  batches : int;
+  empty_batches : int;
+  occupancy_mean : float;
+  throughput : float;
+  latency : Core.Stats.t option;
+}
+
+let point_to_json p =
+  Json.Assoc
+    ([
+       ("rate", Json.Float p.rate);
+       ("outcome", Json.String p.outcome);
+       ("duration_ms", Json.Float p.duration_ms);
+       ("submitted", Json.Int p.submitted);
+       ("committed", Json.Int p.committed);
+       ("dropped", Json.Int p.dropped);
+       ("mempool_peak", Json.Int p.mempool_peak);
+       ("batches", Json.Int p.batches);
+       ("empty_batches", Json.Int p.empty_batches);
+       ("occupancy_mean", Json.Float p.occupancy_mean);
+       ("throughput", Json.Float p.throughput);
+     ]
+    @
+    match p.latency with
+    | None -> []
+    | Some s ->
+      [
+        ( "latency",
+          Json.Assoc
+            [
+              ("count", Json.Int s.Core.Stats.count);
+              ("mean", Json.Float s.Core.Stats.mean);
+              ("stddev", Json.Float s.Core.Stats.stddev);
+              ("min", Json.Float s.Core.Stats.min);
+              ("max", Json.Float s.Core.Stats.max);
+              ("median", Json.Float s.Core.Stats.median);
+              ("p95", Json.Float s.Core.Stats.p95);
+              ("p99", Json.Float s.Core.Stats.p99);
+            ] );
+      ])
+
+let ( let* ) r f = Result.bind r f
+
+let j_field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "load point: missing field %S" name)
+
+let j_num name json =
+  let* v = j_field name json in
+  match Json.to_number v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "load point: %S is not a number" name)
+
+let j_int name json =
+  let* v = j_field name json in
+  match v with
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "load point: %S is not an int" name)
+
+let j_string name json =
+  let* v = j_field name json in
+  match v with
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "load point: %S is not a string" name)
+
+let point_of_json json =
+  let* rate = j_num "rate" json in
+  let* outcome = j_string "outcome" json in
+  let* duration_ms = j_num "duration_ms" json in
+  let* submitted = j_int "submitted" json in
+  let* committed = j_int "committed" json in
+  let* dropped = j_int "dropped" json in
+  let* mempool_peak = j_int "mempool_peak" json in
+  let* batches = j_int "batches" json in
+  let* empty_batches = j_int "empty_batches" json in
+  let* occupancy_mean = j_num "occupancy_mean" json in
+  let* throughput = j_num "throughput" json in
+  let* latency =
+    match Json.member "latency" json with
+    | None -> Ok None
+    | Some s ->
+      let* count = j_int "count" s in
+      let* mean = j_num "mean" s in
+      let* stddev = j_num "stddev" s in
+      let* min = j_num "min" s in
+      let* max = j_num "max" s in
+      let* median = j_num "median" s in
+      let* p95 = j_num "p95" s in
+      let* p99 = j_num "p99" s in
+      Ok (Some { Core.Stats.count; mean; stddev; min; max; median; p95; p99 })
+  in
+  Ok
+    {
+      rate;
+      outcome;
+      duration_ms;
+      submitted;
+      committed;
+      dropped;
+      mempool_peak;
+      batches;
+      empty_batches;
+      occupancy_mean;
+      throughput;
+      latency;
+    }
+
+(* Live points pass through the JSON codec once, so a point computed now
+   and the same point resumed from a journal are structurally equal — the
+   byte-identity contract the campaign journal established for digests. *)
+let canonical_point p =
+  match Result.bind (Json.of_string (Json.to_string (point_to_json p))) point_of_json with
+  | Ok p' -> p'
+  | Error _ -> p
+
+(* Post-run injection of the workload cells into the run's registry, so
+   [--metrics] output and cross-point merges carry the mempool/batching
+   telemetry next to the controller's own. *)
+let inject_metrics reg (h : harness) ~throughput =
+  Metrics.incr ~by:h.submitted reg "wl.submitted";
+  Metrics.incr ~by:h.committed reg "wl.committed";
+  Metrics.incr ~by:(Mempool.dropped h.pool) reg "wl.dropped";
+  Metrics.incr ~by:h.empty_batches reg "wl.empty_batches";
+  Metrics.set_gauge reg "wl.mempool_peak" (float_of_int (Mempool.peak h.pool));
+  Metrics.set_gauge reg "wl.committed_per_s" throughput;
+  let occ = Metrics.histogram reg "wl.batch_occupancy" in
+  List.iter (fun c -> Metrics.observe_h occ (float_of_int c)) (List.rev h.occupancies);
+  let lat = Metrics.histogram reg "wl.request_latency_ms" in
+  List.iter (fun l -> Metrics.observe_h lat l) (List.rev h.latencies)
+
+let run_point (t : t) ~rate (config : Core.Config.t) =
+  let t = { t with arrival = Arrival.with_rate t.arrival rate } in
+  let h = create_harness ~seed:config.Core.Config.seed ~n:config.Core.Config.n t in
+  let result = Core.Controller.run ~workload:(workload_of_harness h) config in
+  let duration_ms = result.Core.Controller.time_ms in
+  let throughput =
+    if duration_ms > 0. then float_of_int h.committed /. (duration_ms /. 1000.) else 0.
+  in
+  Option.iter (fun reg -> inject_metrics reg h ~throughput) result.Core.Controller.metrics;
+  let occupancies = List.rev h.occupancies in
+  let point =
+    canonical_point
+      {
+        rate;
+        outcome = Core.Journal.outcome_class result.Core.Controller.outcome;
+        duration_ms;
+        submitted = h.submitted;
+        committed = h.committed;
+        dropped = Mempool.dropped h.pool;
+        mempool_peak = Mempool.peak h.pool;
+        batches = h.next_batch;
+        empty_batches = h.empty_batches;
+        occupancy_mean =
+          (match occupancies with
+          | [] -> 0.
+          | l ->
+            float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l));
+        throughput;
+        latency = (match h.latencies with [] -> None | l -> Some (Core.Stats.of_list l));
+      }
+  in
+  (point, result.Core.Controller.metrics)
+
+(* {1 Rate sweeps} *)
+
+type curve = {
+  points : point list;  (** In offered-rate order (the input order). *)
+  metrics : Metrics.t option;  (** Merged across points when telemetry is on. *)
+  resumed : int;  (** Points loaded from the journal instead of run. *)
+}
+
+let cell (t : t) (config : Core.Config.t) ~rate =
+  Printf.sprintf "%s|load|%s|%s|%d|%g"
+    (Core.Journal.cell_of_config config)
+    (Arrival.to_cli_string t.arrival)
+    (Batch.to_cli_string t.policy) t.mempool_capacity rate
+
+let fingerprint (t : t) (config : Core.Config.t) ~rates =
+  let mode =
+    Printf.sprintf "load|%s|%s|%d|%s" (Arrival.to_cli_string t.arrival)
+      (Batch.to_cli_string t.policy) t.mempool_capacity
+      (String.concat "," (List.map (Printf.sprintf "%g") rates))
+  in
+  Core.Journal.fingerprint ~mode ~reps:1 [ config ]
+
+(* A journaled point carries the merged-registry contribution next to the
+   point itself (like a digest's [metrics] field), so a resumed sweep
+   rebuilds the identical merged registry without re-running. *)
+let note_body point metrics =
+  Json.Assoc
+    (("point", point_to_json point)
+    ::
+    (match metrics with
+    | None -> []
+    | Some reg -> [ ("metrics", Metrics.to_json reg) ]))
+
+let note_decode json =
+  let* pj = j_field "point" json in
+  let* point = point_of_json pj in
+  let* metrics =
+    match Json.member "metrics" json with
+    | None -> Ok None
+    | Some mj -> Result.map Option.some (Metrics.of_json mj)
+  in
+  Ok (point, metrics)
+
+let sweep ?jobs ?journal ?(resumed = []) (t : t) (config : Core.Config.t) ~rates =
+  let recovered =
+    List.map
+      (fun rate ->
+        match Core.Journal.notes resumed ~cell:(cell t config ~rate) with
+        | body :: _ -> (
+          match note_decode body with Ok pm -> Some pm | Error _ -> None)
+        | [] -> None)
+      rates
+  in
+  let todo = List.filteri (fun i _ -> List.nth recovered i = None) rates in
+  let ran =
+    Core.Parallel.map ?jobs
+      (fun rate ->
+        let point, metrics = run_point t ~rate config in
+        (rate, point, metrics))
+      todo
+  in
+  (* Journal completed points in rate order (the deterministic order the
+     sequential path produces), then stitch recovered + fresh results. *)
+  Option.iter
+    (fun j ->
+      List.iter
+        (fun (rate, point, metrics) ->
+          Core.Journal.append j
+            (Core.Journal.Note { cell = cell t config ~rate; body = note_body point metrics }))
+        ran)
+    journal;
+  let fresh = Hashtbl.create 16 in
+  List.iter (fun (rate, point, metrics) -> Hashtbl.replace fresh rate (point, metrics)) ran;
+  let resolved =
+    List.map2
+      (fun rate recovered ->
+        match recovered with
+        | Some pm -> (pm, true)
+        | None -> (Hashtbl.find fresh rate, false))
+      rates recovered
+  in
+  let points = List.map (fun ((p, _), _) -> p) resolved in
+  let registries = List.filter_map (fun ((_, m), _) -> m) resolved in
+  let metrics = match registries with [] -> None | rs -> Some (Metrics.merge rs) in
+  { points; metrics; resumed = List.length (List.filter (fun (_, r) -> r) resolved) }
+
+(* {1 Rendering} *)
+
+let knee points =
+  List.fold_left
+    (fun best p ->
+      match best with
+      | Some b when b.throughput >= p.throughput -> best
+      | _ -> Some p)
+    None points
+
+let header = "rate,outcome,throughput,committed,submitted,dropped,batches,occupancy,lat_p50_ms,lat_p95_ms,lat_p99_ms,mempool_peak"
+
+let row p =
+  let lat f = match p.latency with None -> "" | Some s -> Printf.sprintf "%.3f" (f s) in
+  Printf.sprintf "%g,%s,%.3f,%d,%d,%d,%d,%.2f,%s,%s,%s,%d" p.rate p.outcome p.throughput
+    p.committed p.submitted p.dropped p.batches p.occupancy_mean
+    (lat (fun s -> s.Core.Stats.median))
+    (lat (fun s -> s.Core.Stats.p95))
+    (lat (fun s -> s.Core.Stats.p99))
+    p.mempool_peak
+
+let pp_curve ppf { points; _ } =
+  Format.fprintf ppf "%-10s %-14s %10s %10s %8s %9s %9s %9s@." "rate" "outcome" "tput/s" "commit"
+    "drop" "p50ms" "p95ms" "p99ms";
+  List.iter
+    (fun p ->
+      let lat f = match p.latency with None -> "-" | Some s -> Printf.sprintf "%.1f" (f s) in
+      Format.fprintf ppf "%-10g %-14s %10.1f %10d %8d %9s %9s %9s@." p.rate p.outcome
+        p.throughput p.committed p.dropped
+        (lat (fun s -> s.Core.Stats.median))
+        (lat (fun s -> s.Core.Stats.p95))
+        (lat (fun s -> s.Core.Stats.p99)))
+    points;
+  match knee points with
+  | Some k when k.throughput > 0. ->
+    Format.fprintf ppf "saturation: %.1f req/s committed at offered %g req/s@." k.throughput
+      k.rate
+  | _ -> ()
+
+let curve_to_json { points; _ } = Json.List (List.map point_to_json points)

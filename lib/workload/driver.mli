@@ -1,0 +1,85 @@
+(** Workload driver (DESIGN.md §3.16): open-loop clients feeding a bounded
+    mempool, leader-side batching through the controller's workload hooks,
+    and offered-rate sweeps into a throughput-latency curve.
+
+    End-to-end request latency is measured from client arrival to the
+    commit ack quorum: a request counts as committed when [f + 1] distinct
+    replicas have decided the batch that contains it.
+
+    Determinism: the harness draws arrivals from a private RNG derived
+    from the config seed (never from the controller's split chain), sweep
+    points are independent runs aggregated in offered-rate order, and
+    journaled points round-trip through {!Bftsim_obs.Json} — so the curve
+    is byte-identical at any [--jobs] and across [--resume]. *)
+
+type t
+(** A workload description: arrival process shape, batching policy,
+    mempool capacity.  The sweep re-rates the arrival process per point. *)
+
+val make : ?arrival:Arrival.t -> ?policy:Batch.policy -> ?mempool_capacity:int -> unit -> t
+(** Defaults: Poisson arrivals (the rate is overridden per sweep point),
+    {!Batch.default} batching, a 4096-request pool. *)
+
+val describe : t -> string
+
+type point = {
+  rate : float;  (** Offered rate (req/s). *)
+  outcome : string;  (** [Journal.outcome_class] of the underlying run. *)
+  duration_ms : float;  (** Simulated time the run took. *)
+  submitted : int;
+  committed : int;  (** Requests that reached the ack quorum. *)
+  dropped : int;  (** Rejected by the mempool bound. *)
+  mempool_peak : int;
+  batches : int;  (** Non-empty batches cut. *)
+  empty_batches : int;  (** Heights that proposed the no-op default. *)
+  occupancy_mean : float;  (** Mean requests per cut (empty cuts count). *)
+  throughput : float;  (** Committed req/s of simulated time. *)
+  latency : Bftsim_core.Stats.t option;
+      (** Arrival-to-commit latency (ms); [None] when nothing committed. *)
+}
+
+val run_point :
+  t -> rate:float -> Bftsim_core.Config.t -> point * Bftsim_obs.Metrics.t option
+(** One run at one offered rate.  The config's [decisions_target] bounds
+    the heights driven; the returned registry (when telemetry is on) has
+    the [wl.*] cells injected next to the controller's own. *)
+
+type curve = {
+  points : point list;  (** In offered-rate order (the input order). *)
+  metrics : Bftsim_obs.Metrics.t option;
+      (** Deterministic rate-order merge across points. *)
+  resumed : int;  (** Points loaded from the journal instead of run. *)
+}
+
+val fingerprint : t -> Bftsim_core.Config.t -> rates:float list -> string
+(** Campaign fingerprint for the journal (covers workload shape, rates and
+    the base config). *)
+
+val sweep :
+  ?jobs:int ->
+  ?journal:Bftsim_core.Journal.t ->
+  ?resumed:Bftsim_core.Journal.event list ->
+  t ->
+  Bftsim_core.Config.t ->
+  rates:float list ->
+  curve
+(** Runs one point per rate (fanned across [jobs] domains), journaling each
+    completed point as a {!Bftsim_core.Journal.Note} and skipping points
+    already present in [resumed].  Output is identical whatever [jobs], and
+    a resumed sweep's curve is byte-identical to an uninterrupted one. *)
+
+val knee : point list -> point option
+(** The point with the highest committed throughput — the saturation knee
+    of an open-loop sweep. *)
+
+val point_to_json : point -> Bftsim_obs.Json.t
+val point_of_json : Bftsim_obs.Json.t -> (point, string) result
+val curve_to_json : curve -> Bftsim_obs.Json.t
+
+val header : string
+(** CSV column names for {!row}. *)
+
+val row : point -> string
+
+val pp_curve : Format.formatter -> curve -> unit
+(** Human table plus the saturation line; deterministic. *)

@@ -1,0 +1,43 @@
+(* Bounded FIFO mempool (DESIGN.md §3.16).
+
+   One logical pool of pending client requests on the proposer path.  The
+   bound models admission control: when the pool is full, new requests are
+   rejected (counted, not queued), which is what keeps an overdriven
+   open-loop run from accumulating unbounded state past the saturation
+   knee. *)
+
+type request = { id : int; arrived_ms : float }
+
+type t = {
+  capacity : int;
+  q : request Queue.t;
+  mutable dropped : int;
+  mutable peak : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mempool.create: capacity must be > 0";
+  { capacity; q = Queue.create (); dropped = 0; peak = 0 }
+
+let length t = Queue.length t.q
+
+let add t r =
+  if Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.add r t.q;
+    if Queue.length t.q > t.peak then t.peak <- Queue.length t.q;
+    true
+  end
+
+let take t ~max =
+  if max < 0 then invalid_arg "Mempool.take: max must be >= 0";
+  let rec go acc k =
+    if k = 0 || Queue.is_empty t.q then List.rev acc else go (Queue.pop t.q :: acc) (k - 1)
+  in
+  go [] max
+
+let dropped t = t.dropped
+let peak t = t.peak

@@ -1,0 +1,30 @@
+(** Bounded FIFO mempool of pending client requests (DESIGN.md §3.16).
+
+    The proposer path drains it in arrival order when a batch is cut; the
+    capacity bound models admission control — a full pool rejects (and
+    counts) new requests instead of queueing without limit, which keeps
+    overdriven open-loop runs finite past the saturation knee. *)
+
+type request = { id : int; arrived_ms : float }
+(** Deterministic request id (submission order) and arrival timestamp —
+    the start of the end-to-end latency measurement. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument unless [capacity > 0]. *)
+
+val add : t -> request -> bool
+(** Enqueue; [false] means the pool was full and the request was dropped
+    (the drop is counted). *)
+
+val take : t -> max:int -> request list
+(** Dequeue up to [max] requests in FIFO order (may return fewer, or []). *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Requests rejected by the bound so far. *)
+
+val peak : t -> int
+(** High-water mark of the pool depth. *)

@@ -157,6 +157,8 @@ let test_rbc_spoofed_init_ignored () =
       decide = (fun v -> delivered := v :: !delivered);
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
+      request_proposal = (fun ~slot:_ ~default k -> k default);
+      pipeline_depth = 1;
     }
   in
   let t = P.Rbc.create () in
@@ -195,6 +197,8 @@ let test_rbc_delivery_thresholds () =
       decide = ignore;
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
+      request_proposal = (fun ~slot:_ ~default k -> k default);
+      pipeline_depth = 1;
     }
   in
   let t = P.Rbc.create () in

@@ -92,6 +92,62 @@ let test_delay_describe_parse_roundtrip () =
     Alcotest.(check (float 1e-9)) "sigma" 50. sigma
   | _ -> Alcotest.fail "normal parse shape"
 
+let test_delay_lognormal () =
+  let m = Delay_model.log_normal ~mu:1.5 ~sigma:0.5 in
+  let r = rng () in
+  for _ = 1 to 2000 do
+    let v = Delay_model.sample m r in
+    if v <= 0. || not (Float.is_finite v) then Alcotest.failf "lognormal sample out of range: %f" v
+  done;
+  Alcotest.(check (option (float 1e-9))) "lognormal unbounded" None (Delay_model.upper_bound m);
+  (* E[LogN(mu, sigma)] = exp(mu + sigma^2/2). *)
+  Alcotest.(check (float 1e-9)) "lognormal mean" (Float.exp (1.5 +. (0.5 *. 0.5 /. 2.)))
+    (Delay_model.mean m);
+  (match Delay_model.of_string "lognormal:1.5,0.5" with
+  | Ok (Delay_model.LogNormal { mu; sigma }) ->
+    Alcotest.(check (float 1e-9)) "mu" 1.5 mu;
+    Alcotest.(check (float 1e-9)) "sigma" 0.5 sigma
+  | _ -> Alcotest.fail "lognormal parse shape");
+  match Delay_model.of_string "logn:0,1" with
+  | Ok (Delay_model.LogNormal _) -> ()
+  | _ -> Alcotest.fail "logn alias rejected"
+
+let test_delay_bounded_mean_truncated () =
+  (* min(mean base, bound) would report 250 here; the truncated mean must be
+     strictly below the bound because clipping moves the upper tail down. *)
+  let m = Delay_model.bounded (Delay_model.normal ~mu:250. ~sigma:50.) ~bound:250. in
+  let est = Delay_model.mean m in
+  if est >= 250. then Alcotest.failf "truncated mean not below bound: %f" est;
+  if est < 200. then Alcotest.failf "truncated mean implausibly low: %f" est;
+  (* Pure function of the model: repeated calls agree exactly. *)
+  Alcotest.(check (float 0.)) "deterministic estimate" est (Delay_model.mean m)
+
+(* Generator covering every Delay_model constructor, with parameters drawn so
+   that printf "%g" round-trips them exactly (small integers scaled by 0.5). *)
+let delay_model_gen =
+  let open QCheck.Gen in
+  let g_float = map (fun k -> float_of_int k /. 2.) (int_range 0 2000) in
+  let g_pos = map (fun k -> float_of_int (k + 1) /. 2.) (int_range 0 2000) in
+  let leaf =
+    oneof
+      [
+        map (fun ms -> Delay_model.Constant ms) g_float;
+        map2 (fun lo span -> Delay_model.Uniform { lo; hi = lo +. span }) g_float g_pos;
+        map2 (fun mu sigma -> Delay_model.Normal { mu; sigma }) g_float g_pos;
+        map (fun mean -> Delay_model.Exponential { mean }) g_pos;
+        map (fun mean -> Delay_model.Poisson { mean }) g_pos;
+        map2 (fun mu sigma -> Delay_model.LogNormal { mu; sigma }) g_float g_pos;
+      ]
+  in
+  oneof [ leaf; map2 (fun base bound -> Delay_model.Bounded { base; bound }) leaf g_pos ]
+
+let prop_delay_cli_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_cli_string d) = d for every constructor" ~count:500
+    (QCheck.make ~print:Delay_model.describe delay_model_gen) (fun m ->
+      match Delay_model.of_string (Delay_model.to_cli_string m) with
+      | Ok m' -> m' = m
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
 let prop_delay_samples_nonnegative_finite =
   let model_gen =
     QCheck.Gen.(
@@ -146,6 +202,59 @@ let test_topology_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mismatched subnet assignment accepted"
 
+let test_topology_with_subnets_no_aliasing () =
+  (* Regression: with_subnets used to share the scales hashtable with its
+     parent, so scaling a link on the derived topology silently mutated the
+     original. *)
+  let t = Topology.fully_connected 4 in
+  let t' = Topology.with_subnets t [| 0; 0; 1; 1 |] in
+  Topology.set_pair_scale t' ~src:0 ~dst:1 9.0;
+  Alcotest.(check (float 1e-9)) "derived scaled" 9.0 (Topology.pair_scale t' ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "parent untouched" 1.0 (Topology.pair_scale t ~src:0 ~dst:1);
+  (* And the subnet array is a copy too. *)
+  let assignment = [| 0; 0; 1; 1 |] in
+  let t'' = Topology.with_subnets t assignment in
+  assignment.(0) <- 1;
+  Alcotest.(check int) "assignment copied" 0 (Topology.subnet_of t'' 0)
+
+let test_topology_zones () =
+  match Topology.of_zone_spec "geo3" ~n:7 with
+  | Error e -> Alcotest.failf "geo3 rejected: %s" e
+  | Ok t ->
+    Alcotest.(check int) "zone count" 3 (Topology.zone_count t);
+    (* Round-robin placement. *)
+    Alcotest.(check (option int)) "node 0 zone" (Some 0) (Topology.zone_of t 0);
+    Alcotest.(check (option int)) "node 4 zone" (Some 1) (Topology.zone_of t 4);
+    Alcotest.(check string) "zone name" "eu-west" (Topology.zone_name t 1);
+    (* Matrix symmetry: rtt(a,b) = rtt(b,a) for every node pair. *)
+    for a = 0 to 6 do
+      for b = 0 to 6 do
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "rtt symmetric %d,%d" a b)
+          (Topology.zone_rtt_ms t ~a ~b)
+          (Topology.zone_rtt_ms t ~a:b ~b:a)
+      done
+    done;
+    (* One-way zone delay is half the RTT; nodes 0 and 1 sit in different
+       zones of geo3 (us-east / eu-west, 80 ms RTT). *)
+    Alcotest.(check (float 1e-9)) "one-way = rtt/2" 40. (Topology.zone_delay_ms t ~src:0 ~dst:1);
+    Alcotest.(check (float 1e-9)) "intra-zone rtt" Topology.intra_rtt
+      (Topology.zone_rtt_ms t ~a:0 ~b:3)
+
+let test_topology_zone_specs () =
+  (match Topology.zones_of_spec "uniform:4@120" with
+  | Ok (names, m) ->
+    Alcotest.(check int) "k zones" 4 (Array.length names);
+    Alcotest.(check (float 1e-9)) "uniform rtt" 120. m.(0).(3);
+    Alcotest.(check (float 1e-9)) "diagonal intra" Topology.intra_rtt m.(2).(2)
+  | Error e -> Alcotest.failf "uniform spec rejected: %s" e);
+  (match Topology.zones_of_spec "geo5" with
+  | Ok (names, _) -> Alcotest.(check int) "geo5 zones" 5 (Array.length names)
+  | Error e -> Alcotest.failf "geo5 rejected: %s" e);
+  match Topology.zones_of_spec "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense zone spec accepted"
+
 (* --- Network --- *)
 
 let make_msg ~src ~dst = Message.make ~id:1 ~src ~dst ~sent_at:Time.zero (Message.Blob "x")
@@ -153,7 +262,7 @@ let make_msg ~src ~dst = Message.make ~id:1 ~src ~dst ~sent_at:Time.zero (Messag
 let test_network_assigns_delay () =
   let net =
     Network.create ~delay:(Delay_model.Constant 30.) ~topology:(Topology.fully_connected 4)
-      ~rng:(rng ())
+      ~rng:(rng ()) ()
   in
   let m = make_msg ~src:0 ~dst:1 in
   Network.assign_delay net m;
@@ -162,7 +271,7 @@ let test_network_assigns_delay () =
 let test_network_self_messages_free () =
   let net =
     Network.create ~delay:(Delay_model.Constant 30.) ~topology:(Topology.fully_connected 4)
-      ~rng:(rng ())
+      ~rng:(rng ()) ()
   in
   let m = make_msg ~src:2 ~dst:2 in
   Network.assign_delay net m;
@@ -172,7 +281,7 @@ let test_network_self_messages_free () =
 let test_network_counters () =
   let net =
     Network.create ~delay:(Delay_model.Constant 1.) ~topology:(Topology.fully_connected 4)
-      ~rng:(rng ())
+      ~rng:(rng ()) ()
   in
   Network.assign_delay net (make_msg ~src:0 ~dst:1);
   Network.assign_delay net (make_msg ~src:1 ~dst:2);
@@ -185,15 +294,74 @@ let test_network_counters () =
 let test_network_pair_scaling () =
   let topology = Topology.fully_connected 4 in
   Topology.set_pair_scale topology ~src:0 ~dst:1 2.0;
-  let net = Network.create ~delay:(Delay_model.Constant 10.) ~topology ~rng:(rng ()) in
+  let net = Network.create ~delay:(Delay_model.Constant 10.) ~topology ~rng:(rng ()) () in
   let m = make_msg ~src:0 ~dst:1 in
   Network.assign_delay net m;
   Alcotest.(check (float 1e-9)) "scaled delay" 20. m.Message.delay_ms
 
+let test_network_zone_delay_additive () =
+  (* Propagation = jitter * pair_scale + one-way zone delay. *)
+  match Topology.of_zone_spec "geo3" ~n:4 with
+  | Error e -> Alcotest.failf "geo3 rejected: %s" e
+  | Ok topology ->
+    let net = Network.create ~delay:(Delay_model.Constant 5.) ~topology ~rng:(rng ()) () in
+    let m = make_msg ~src:0 ~dst:1 in
+    Network.assign_delay net m;
+    (* us-east -> eu-west: 80 ms RTT, so 40 ms one-way, plus 5 ms jitter. *)
+    Alcotest.(check (float 1e-9)) "zone + jitter" 45. m.Message.delay_ms;
+    let intra = make_msg ~src:0 ~dst:3 in
+    Network.assign_delay net intra;
+    Alcotest.(check (float 1e-9)) "intra-zone" (5. +. (Topology.intra_rtt /. 2.))
+      intra.Message.delay_ms
+
+let test_network_bandwidth_serialization () =
+  (* 1 Mbps: a default-size (128 B) message serializes in 128*8/1000 = 1.024 ms. *)
+  let net =
+    Network.create ~bandwidth_mbps:1. ~delay:(Delay_model.Constant 10.)
+      ~topology:(Topology.fully_connected 4) ~rng:(rng ()) ()
+  in
+  let m = make_msg ~src:0 ~dst:1 in
+  Network.assign_delay net m;
+  Alcotest.(check (float 1e-9)) "serialization added" (10. +. 1.024) m.Message.delay_ms;
+  Alcotest.(check (float 1e-9)) "first message sees empty link" 0. (Network.last_queue_ms net)
+
+let test_network_bandwidth_fifo_queue () =
+  (* Two messages leaving the same source at t=0 share its egress link: the
+     second waits for the first to finish serializing. *)
+  let net =
+    Network.create ~bandwidth_mbps:1. ~delay:(Delay_model.Constant 10.)
+      ~topology:(Topology.fully_connected 4) ~rng:(rng ()) ()
+  in
+  let m1 = make_msg ~src:0 ~dst:1 in
+  let m2 = make_msg ~src:0 ~dst:2 in
+  let m3 = make_msg ~src:1 ~dst:2 in
+  Network.assign_delay net m1;
+  Network.assign_delay net m2;
+  Network.assign_delay net m3;
+  Alcotest.(check (float 1e-9)) "head of line" (10. +. 1.024) m1.Message.delay_ms;
+  Alcotest.(check (float 1e-9)) "queued behind head" (10. +. 1.024 +. 1.024) m2.Message.delay_ms;
+  Alcotest.(check (float 1e-9)) "queue wait recorded" 1.024 (Network.stats net).Network.queue_ms_total;
+  Alcotest.(check int) "one message queued" 1 (Network.stats net).Network.queued;
+  (* A different source has its own link. *)
+  Alcotest.(check (float 1e-9)) "independent link" (10. +. 1.024) m3.Message.delay_ms
+
+let test_network_bandwidth_link_drains () =
+  (* After the link goes idle, a later message pays no queue wait. *)
+  let net =
+    Network.create ~bandwidth_mbps:1. ~delay:(Delay_model.Constant 0.)
+      ~topology:(Topology.fully_connected 4) ~rng:(rng ()) ()
+  in
+  let early = make_msg ~src:0 ~dst:1 in
+  Network.assign_delay net early;
+  let late = Message.make ~id:2 ~src:0 ~dst:1 ~sent_at:(Time.of_ms 100.) (Message.Blob "x") in
+  Network.assign_delay net late;
+  Alcotest.(check (float 1e-9)) "no wait on idle link" 1.024 late.Message.delay_ms;
+  Alcotest.(check int) "nothing queued" 0 (Network.stats net).Network.queued
+
 let test_network_override_delay () =
   let net =
     Network.create ~delay:(Delay_model.Constant 10.) ~topology:(Topology.fully_connected 4)
-      ~rng:(rng ())
+      ~rng:(rng ()) ()
   in
   Network.override_delay net (Delay_model.Constant 99.);
   let m = make_msg ~src:0 ~dst:1 in
@@ -218,6 +386,9 @@ let () =
           Alcotest.test_case "bounded clipping" `Quick test_delay_bounded;
           Alcotest.test_case "means" `Quick test_delay_mean;
           Alcotest.test_case "parse/describe" `Quick test_delay_describe_parse_roundtrip;
+          Alcotest.test_case "lognormal" `Quick test_delay_lognormal;
+          Alcotest.test_case "bounded truncated mean" `Quick test_delay_bounded_mean_truncated;
+          qc prop_delay_cli_roundtrip;
           qc prop_delay_samples_nonnegative_finite;
         ] );
       ( "topology",
@@ -226,6 +397,9 @@ let () =
           Alcotest.test_case "two subnets" `Quick test_topology_split;
           Alcotest.test_case "pair scaling" `Quick test_topology_pair_scale;
           Alcotest.test_case "validation" `Quick test_topology_validation;
+          Alcotest.test_case "with_subnets copies state" `Quick test_topology_with_subnets_no_aliasing;
+          Alcotest.test_case "zones" `Quick test_topology_zones;
+          Alcotest.test_case "zone specs" `Quick test_topology_zone_specs;
         ] );
       ( "network",
         [
@@ -233,6 +407,10 @@ let () =
           Alcotest.test_case "self messages free and uncounted" `Quick test_network_self_messages_free;
           Alcotest.test_case "counters" `Quick test_network_counters;
           Alcotest.test_case "per-pair scaling" `Quick test_network_pair_scaling;
+          Alcotest.test_case "zone delay additive" `Quick test_network_zone_delay_additive;
+          Alcotest.test_case "bandwidth serialization" `Quick test_network_bandwidth_serialization;
+          Alcotest.test_case "bandwidth fifo queue" `Quick test_network_bandwidth_fifo_queue;
+          Alcotest.test_case "bandwidth link drains" `Quick test_network_bandwidth_link_drains;
           Alcotest.test_case "mid-run override" `Quick test_network_override_delay;
         ] );
     ]

@@ -1,0 +1,224 @@
+(* Tests for the workload subsystem: arrival processes, the bounded
+   mempool, batching policy, and the driver's determinism guarantees
+   (same point twice, jobs-independent sweeps, journal round-trips). *)
+
+open Bftsim_sim
+module Core = Bftsim_core
+module Wl = Bftsim_workload
+
+let rng () = Rng.create 42
+
+(* --- Arrival --- *)
+
+let test_arrival_roundtrip () =
+  let cases =
+    [
+      Wl.Arrival.constant ~rate:100.;
+      Wl.Arrival.poisson ~rate:0.5;
+      Wl.Arrival.on_off ~rate:800. ~on_ms:100. ~off_ms:400.;
+    ]
+  in
+  List.iter
+    (fun a ->
+      match Wl.Arrival.of_string (Wl.Arrival.to_cli_string a) with
+      | Ok a' -> Alcotest.(check bool) (Wl.Arrival.describe a) true (a = a')
+      | Error e -> Alcotest.failf "reparse %s failed: %s" (Wl.Arrival.to_cli_string a) e)
+    cases;
+  (match Wl.Arrival.of_string "poisson:-5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative rate accepted");
+  match Wl.Arrival.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense accepted"
+
+let test_arrival_constant_gap () =
+  let a = Wl.Arrival.constant ~rate:200. in
+  Alcotest.(check (float 1e-9)) "gap = 1000/rate" 5. (Wl.Arrival.next_gap_ms a ~now_ms:0. (rng ()));
+  Alcotest.(check (float 1e-9)) "rate" 200. (Wl.Arrival.mean_rate a)
+
+let test_arrival_onoff_windows () =
+  (* Walk the arrival stream; every arrival must land inside an on window. *)
+  let on_ms = 100. and off_ms = 400. in
+  let a = Wl.Arrival.on_off ~rate:500. ~on_ms ~off_ms in
+  let r = rng () in
+  let now = ref 0. in
+  for _ = 1 to 2000 do
+    let gap = Wl.Arrival.next_gap_ms a ~now_ms:!now r in
+    if gap < 0. then Alcotest.failf "negative gap %f" gap;
+    now := !now +. gap;
+    let phase = Float.rem !now (on_ms +. off_ms) in
+    if phase > on_ms +. 1e-9 then Alcotest.failf "arrival at %f lands in off window (phase %f)" !now phase
+  done;
+  (* Duty cycle scales the long-run rate. *)
+  Alcotest.(check (float 1e-9)) "mean rate" 100. (Wl.Arrival.mean_rate a)
+
+let test_arrival_with_rate () =
+  let a = Wl.Arrival.on_off ~rate:500. ~on_ms:100. ~off_ms:400. in
+  match Wl.Arrival.with_rate a 1000. with
+  | Wl.Arrival.On_off { rate; on_ms; off_ms } ->
+    Alcotest.(check (float 1e-9)) "rate swapped" 1000. rate;
+    Alcotest.(check (float 1e-9)) "on kept" 100. on_ms;
+    Alcotest.(check (float 1e-9)) "off kept" 400. off_ms
+  | _ -> Alcotest.fail "shape changed"
+
+(* --- Mempool --- *)
+
+let req id = { Wl.Mempool.id; arrived_ms = float_of_int id }
+
+let test_mempool_fifo () =
+  let p = Wl.Mempool.create ~capacity:10 in
+  for i = 0 to 4 do
+    Alcotest.(check bool) "accepted" true (Wl.Mempool.add p (req i))
+  done;
+  Alcotest.(check int) "length" 5 (Wl.Mempool.length p);
+  let taken = Wl.Mempool.take p ~max:3 in
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2 ]
+    (List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) taken);
+  let rest = Wl.Mempool.take p ~max:100 in
+  Alcotest.(check (list int)) "remainder in order" [ 3; 4 ]
+    (List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) rest);
+  Alcotest.(check int) "drained" 0 (Wl.Mempool.length p)
+
+let test_mempool_bound () =
+  let p = Wl.Mempool.create ~capacity:3 in
+  for i = 0 to 4 do
+    ignore (Wl.Mempool.add p (req i) : bool)
+  done;
+  Alcotest.(check int) "capped" 3 (Wl.Mempool.length p);
+  Alcotest.(check int) "drops counted" 2 (Wl.Mempool.dropped p);
+  Alcotest.(check int) "peak" 3 (Wl.Mempool.peak p);
+  (* The bound rejects the newest requests, keeping the oldest. *)
+  let taken = Wl.Mempool.take p ~max:3 in
+  Alcotest.(check (list int)) "oldest kept" [ 0; 1; 2 ]
+    (List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) taken)
+
+(* --- Batch --- *)
+
+let test_batch_policy () =
+  let p = Wl.Batch.make ~max_batch:128 ~max_wait_ms:25. in
+  Alcotest.(check string) "cli" "128@25" (Wl.Batch.to_cli_string p);
+  (match Wl.Batch.of_string "128@25" with
+  | Ok p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+  | Error e -> Alcotest.fail e);
+  (match Wl.Batch.of_string "64" with
+  | Ok p' ->
+    Alcotest.(check int) "bare size" 64 p'.Wl.Batch.max_batch;
+    Alcotest.(check (float 1e-9)) "default wait" Wl.Batch.default.Wl.Batch.max_wait_ms
+      p'.Wl.Batch.max_wait_ms
+  | Error e -> Alcotest.fail e);
+  (match Wl.Batch.of_string "0@10" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero batch accepted");
+  Alcotest.(check int) "empty batch pays header" Wl.Batch.header_bytes (Wl.Batch.size_bytes ~count:0);
+  Alcotest.(check int) "linear size"
+    (Wl.Batch.header_bytes + (3 * Wl.Batch.request_bytes))
+    (Wl.Batch.size_bytes ~count:3)
+
+(* --- Driver --- *)
+
+let load_config () =
+  Core.Config.make ~n:4 ~lambda_ms:200. ~delay:(Bftsim_net.Delay_model.normal ~mu:20. ~sigma:5.)
+    ~decisions_target:10 ~seed:7 "pbft"
+
+let driver () =
+  Wl.Driver.make
+    ~arrival:(Wl.Arrival.poisson ~rate:1.)
+    ~policy:(Wl.Batch.make ~max_batch:64 ~max_wait_ms:20.)
+    ~mempool_capacity:512 ()
+
+let test_driver_point_deterministic () =
+  let config = load_config () in
+  let p1, _ = Wl.Driver.run_point (driver ()) ~rate:400. config in
+  let p2, _ = Wl.Driver.run_point (driver ()) ~rate:400. config in
+  Alcotest.(check bool) "same point twice" true (p1 = p2);
+  Alcotest.(check string) "liveness" "reached-target" p1.Wl.Driver.outcome;
+  Alcotest.(check bool) "committed some requests" true (p1.Wl.Driver.committed > 0);
+  Alcotest.(check bool) "latency measured" true (p1.Wl.Driver.latency <> None)
+
+let test_driver_sweep_jobs_identical () =
+  let config = load_config () in
+  let rates = [ 200.; 800. ] in
+  let c1 = Wl.Driver.sweep ~jobs:1 (driver ()) config ~rates in
+  let c2 = Wl.Driver.sweep ~jobs:2 (driver ()) config ~rates in
+  Alcotest.(check bool) "points identical at any jobs" true
+    (c1.Wl.Driver.points = c2.Wl.Driver.points)
+
+let test_driver_saturation () =
+  (* Drive far past capacity: the pool must overflow and committed
+     throughput must fall well short of the offered rate. *)
+  let config = load_config () in
+  let p, _ = Wl.Driver.run_point (driver ()) ~rate:50000. config in
+  Alcotest.(check bool) "mempool overflowed" true (p.Wl.Driver.dropped > 0);
+  Alcotest.(check bool) "throughput below offered" true (p.Wl.Driver.throughput < 25000.);
+  Alcotest.(check bool) "batches full" true (p.Wl.Driver.occupancy_mean > 32.)
+
+let test_driver_point_json_roundtrip () =
+  let config = load_config () in
+  let p, _ = Wl.Driver.run_point (driver ()) ~rate:400. config in
+  match Wl.Driver.point_of_json (Wl.Driver.point_to_json p) with
+  | Ok p' -> Alcotest.(check bool) "point json roundtrip" true (p = p')
+  | Error e -> Alcotest.fail e
+
+let test_driver_pipeline_commits () =
+  (* Pipelined heights must preserve liveness and contiguous commits. *)
+  let config = { (load_config ()) with Core.Config.pipeline = 4 } in
+  let p, _ = Wl.Driver.run_point (driver ()) ~rate:400. config in
+  Alcotest.(check string) "pipelined liveness" "reached-target" p.Wl.Driver.outcome;
+  Alcotest.(check bool) "pipelined commits" true (p.Wl.Driver.committed > 0)
+
+let test_driver_metrics_injected () =
+  let config =
+    {
+      (load_config ()) with
+      Core.Config.telemetry =
+        { Core.Config.default_telemetry with Core.Config.metrics = true };
+    }
+  in
+  let _, metrics = Wl.Driver.run_point (driver ()) ~rate:400. config in
+  match metrics with
+  | None -> Alcotest.fail "no registry with telemetry on"
+  | Some reg ->
+    let names = List.map fst (Bftsim_obs.Metrics.snapshot reg) in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) name true (List.mem name names))
+      [ "wl.submitted"; "wl.committed"; "wl.batch_occupancy"; "wl.request_latency_ms" ]
+
+let test_workload_disabled_identical () =
+  (* A run without the workload hook must be bit-identical to the
+     pre-workload engine: same fingerprint fields, no stray events. *)
+  let config = load_config () in
+  let r1 = Core.Controller.run config in
+  let r2 = Core.Controller.run config in
+  Alcotest.(check bool) "plain runs deterministic" true
+    (r1.Core.Controller.decisions = r2.Core.Controller.decisions
+    && r1.Core.Controller.time_ms = r2.Core.Controller.time_ms
+    && r1.Core.Controller.events_processed = r2.Core.Controller.events_processed)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "cli roundtrip" `Quick test_arrival_roundtrip;
+          Alcotest.test_case "constant gap" `Quick test_arrival_constant_gap;
+          Alcotest.test_case "on/off windows" `Quick test_arrival_onoff_windows;
+          Alcotest.test_case "with_rate keeps shape" `Quick test_arrival_with_rate;
+        ] );
+      ( "mempool",
+        [
+          Alcotest.test_case "FIFO order" `Quick test_mempool_fifo;
+          Alcotest.test_case "bound drops newest" `Quick test_mempool_bound;
+        ] );
+      ( "batch", [ Alcotest.test_case "policy parse and size" `Quick test_batch_policy ] );
+      ( "driver",
+        [
+          Alcotest.test_case "point deterministic" `Quick test_driver_point_deterministic;
+          Alcotest.test_case "sweep jobs-identical" `Quick test_driver_sweep_jobs_identical;
+          Alcotest.test_case "saturation under overload" `Quick test_driver_saturation;
+          Alcotest.test_case "point json roundtrip" `Quick test_driver_point_json_roundtrip;
+          Alcotest.test_case "pipelined liveness" `Quick test_driver_pipeline_commits;
+          Alcotest.test_case "wl metrics injected" `Quick test_driver_metrics_injected;
+          Alcotest.test_case "disabled path deterministic" `Quick test_workload_disabled_identical;
+        ] );
+    ]
