@@ -677,6 +677,45 @@ let load_throughput () =
   Printf.printf "%!";
   load_record := Some (curve, Wl.Driver.knee curve.Wl.Driver.points)
 
+(* ---------------- Chained pipelining ---------------- *)
+
+(* (protocol, depth-1 tput, depth-4 tput, ratio) per protocol, for --json.
+   The PR-9 gate is the hotstuff-ns ratio >= 2. *)
+let chained_pipeline_record : (string * float * float * float) list ref = ref []
+
+let chained_pipeline () =
+  section
+    "Chained pipelining — saturated committed req/s at pipeline depth 1 vs 4\n\
+     (n=4, lambda=200, N(20,5), batch 64@20ms, 20 heights, offered 4000/s).\n\
+     Chained protocols pack [depth] batch chunks into each block, so one\n\
+     three-chain commit lands a whole window; PBFT instead widens its slot\n\
+     window, overlapping independent instances";
+  Printf.printf "  %-14s %14s %14s %10s\n" "protocol" "depth 1" "depth 4" "ratio";
+  chained_pipeline_record := [];
+  List.iter
+    (fun protocol ->
+      let tput pipeline =
+        let config =
+          Core.Config.make protocol ~n:4 ~lambda_ms:200.
+            ~delay:(Net.Delay_model.normal ~mu:20. ~sigma:5.)
+            ~decisions_target:20 ~seed:1 ~pipeline
+        in
+        let t =
+          Wl.Driver.make
+            ~arrival:(Wl.Arrival.poisson ~rate:1.)
+            ~policy:(Wl.Batch.make ~max_batch:64 ~max_wait_ms:20.)
+            ~mempool_capacity:4096 ()
+        in
+        let p, _ = Wl.Driver.run_point t ~rate:4000. config in
+        p.Wl.Driver.throughput
+      in
+      let t1 = tput 1 and t4 = tput 4 in
+      let ratio = t4 /. Float.max t1 1e-9 in
+      chained_pipeline_record := (protocol, t1, t4, ratio) :: !chained_pipeline_record;
+      Printf.printf "  %-14s %12.1f/s %12.1f/s %9.2fx\n%!" protocol t1 t4 ratio)
+    [ "hotstuff-ns"; "librabft"; "tendermint"; "pbft" ];
+  chained_pipeline_record := List.rev !chained_pipeline_record
+
 (* ---------------- JSON report ---------------- *)
 
 let write_json path =
@@ -744,6 +783,19 @@ let write_json path =
     | None -> ());
     out ", \"curve\": %s },\n" (Bftsim_obs.Json.to_string (Wl.Driver.curve_to_json curve))
   | None -> ());
+  (match !chained_pipeline_record with
+  | [] -> ()
+  | rows ->
+    out "  \"chained_pipeline\": { \"kernel\": \"n4-sat4000-depth1v4\", \"rows\": [\n";
+    List.iteri
+      (fun i (protocol, t1, t4, ratio) ->
+        out
+          "    { \"protocol\": %S, \"depth1_tput\": %.1f, \"depth4_tput\": %.1f, \"ratio\": %.2f \
+           }%s\n"
+          protocol t1 t4 ratio
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    out "  ] },\n");
   out "  \"kernels\": [\n";
   let rows = List.rev !timings in
   List.iteri
@@ -831,6 +883,7 @@ let () =
     timed "tables" tables;
     timed "fig2" (fig2 ~max_n:fig2_cap);
     timed "load-throughput" load_throughput;
+    timed "chained-pipeline" chained_pipeline;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
     timed "event-cost" event_cost;
@@ -840,6 +893,7 @@ let () =
     timed "tables" tables;
     timed "fig2" (fig2 ~max_n:fig2_cap);
     timed "load-throughput" load_throughput;
+    timed "chained-pipeline" chained_pipeline;
     timed "fig3" fig3;
     timed "fig4" fig4;
     timed "fig5" fig5;

@@ -401,6 +401,19 @@ let load_cmd =
     Arg.(value & opt int 4096
          & info [ "mempool" ] ~docv:"INT" ~doc:"Mempool capacity (requests beyond it are dropped).")
   in
+  let clients_arg =
+    Arg.(value & opt string "open"
+         & info [ "clients" ] ~docv:"MODE"
+             ~doc:"Client loop: open (arrival-process driven, the default) | closed:<cap> — a \
+                   fixed population each keeping <cap> requests in flight; with closed loops \
+                   each $(b,--rates) entry is a population size, not a req/s rate.")
+  in
+  let keys_arg =
+    Arg.(value & opt string "single"
+         & info [ "keys" ] ~docv:"DIST"
+             ~doc:"Request key distribution: single (default, unkeyed) | uniform:<n> | \
+                   zipf:<s>[,<n>].  Adjacent commits with equal keys count as wl.key_conflicts.")
+  in
   let heights_arg =
     Arg.(value & opt int 50
          & info [ "heights" ] ~docv:"INT" ~doc:"Consensus heights to drive per point.")
@@ -433,7 +446,8 @@ let load_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the curve as JSON.")
   in
   let action config_file protocol n lambda delay seed crashed max_time rates arrival batch
-      mempool heights zones bandwidth pipeline jobs journal resume csv out metrics verbose =
+      mempool clients keys heights zones bandwidth pipeline jobs journal resume csv out metrics
+      verbose =
     setup_logs verbose;
     let parse_rates s =
       let items = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
@@ -451,6 +465,8 @@ let load_cmd =
       let* rates = parse_rates rates in
       let* arrival = Wl.Arrival.of_string arrival in
       let* policy = Wl.Batch.of_string batch in
+      let* clients = Wl.Driver.clients_of_string clients in
+      let* keys = Wl.Keys.of_string keys in
       let* config =
         config_of_args ?zones
           ?bandwidth:(Option.map (Printf.sprintf "%g") bandwidth)
@@ -459,13 +475,13 @@ let load_cmd =
           ~target:(Some (string_of_int heights)) ~inputs:None ~max_time ~chaos:None
           ~watchdog:None ()
       in
-      Ok (rates, arrival, policy, config)
+      Ok (rates, arrival, policy, clients, keys, config)
     in
     match spec with
     | Error e ->
       Format.eprintf "error: %s@." e;
       Exit_code.crash
-    | Ok (rates, arrival, policy, config) ->
+    | Ok (rates, arrival, policy, clients, keys, config) ->
       let config =
         if metrics then
           {
@@ -475,7 +491,7 @@ let load_cmd =
           }
         else config
       in
-      let driver = Wl.Driver.make ~arrival ~policy ~mempool_capacity:mempool () in
+      let driver = Wl.Driver.make ~arrival ~policy ~mempool_capacity:mempool ~clients ~keys () in
       let fingerprint = Wl.Driver.fingerprint driver config ~rates in
       (match open_campaign_journal ~fingerprint ~journal ~resume with
       | Error e ->
@@ -522,15 +538,16 @@ let load_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ crashed_arg $ max_time_arg $ rates_arg $ arrival_arg $ batch_arg $ mempool_arg
-      $ heights_arg $ zones_arg $ bandwidth_arg $ pipeline_arg $ jobs_arg $ journal_arg
-      $ resume_arg $ csv_arg $ out_arg $ metrics_arg $ verbose_arg)
+      $ clients_arg $ keys_arg $ heights_arg $ zones_arg $ bandwidth_arg $ pipeline_arg
+      $ jobs_arg $ journal_arg $ resume_arg $ csv_arg $ out_arg $ metrics_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "load"
        ~doc:
-         "Open-loop rate sweep: clients feed a bounded mempool, leaders batch requests through \
-          pipelined consensus, and each offered rate yields one point of the \
-          throughput-latency curve (saturation knee included)")
+         "Load sweep: open- or closed-loop clients feed a bounded mempool, leaders batch \
+          requests through pipelined consensus (stale batches re-queue on view change), and \
+          each offered rate yields one point of the throughput-latency curve (saturation knee \
+          included)")
     term
 
 (* --- list --- *)

@@ -187,7 +187,7 @@ let run ?(protocol = "pbft") ?(decisions_target = 1) ?(max_time_ms = 600_000.)
           end);
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
-      request_proposal = (fun ~slot:_ ~default k -> k default);
+      request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
     }
   in

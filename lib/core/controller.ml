@@ -52,11 +52,15 @@ type workload = {
   on_request_proposal :
     node:int ->
     slot:int ->
+    width:int ->
     default:Protocols.Context.proposal ->
-    (Protocols.Context.proposal -> unit) ->
+    (Protocols.Context.proposal -> bool) ->
     unit;
-      (** A leader asks for a proposal payload; the harness may delay the
-          continuation until a batch is cut. *)
+      (** A leader asks for a proposal payload covering [width] consensus
+          slots; the harness may delay the continuation until a batch is
+          cut.  The continuation reports whether the proposal was actually
+          used — [false] means the leader window went stale (view change)
+          and the harness should re-queue the batched requests. *)
   on_commit : node:int -> index:int -> value:string -> at_ms:float -> unit;
       (** Every decide by every physical node, in simulation order — the
           commit-ack stream that closes the request-latency loop. *)
@@ -705,8 +709,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
         | None ->
           (* No workload: the continuation runs immediately with the
              protocol's own default — the pre-workload behavior. *)
-          fun ~slot:_ ~default k -> k default
-        | Some w -> fun ~slot ~default k -> w.on_request_proposal ~node:p ~slot ~default k);
+          fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool)
+        | Some w ->
+          fun ~slot ~width ~default k -> w.on_request_proposal ~node:p ~slot ~width ~default k);
       pipeline_depth = config.Config.pipeline;
     }
   in

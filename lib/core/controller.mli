@@ -81,13 +81,18 @@ type workload = {
   on_request_proposal :
     node:int ->
     slot:int ->
+    width:int ->
     default:Bftsim_protocols.Context.proposal ->
-    (Bftsim_protocols.Context.proposal -> unit) ->
+    (Bftsim_protocols.Context.proposal -> bool) ->
     unit;
-      (** A leader asks for the payload of [slot] (physical [node]).  The
-          harness may call the continuation immediately (pass-through) or
-          defer it until a request batch is cut; the protocol's
-          continuation re-checks staleness itself. *)
+      (** A leader asks for the payload of [slot] (physical [node]),
+          covering [width] consensus slots — chained protocols pack their
+          whole pipeline window into one block, slot-windowed protocols
+          pass [1] per slot.  The harness may call the continuation
+          immediately (pass-through) or defer it until a request batch is
+          cut; the protocol's continuation re-checks staleness itself and
+          returns whether the proposal was used, [false] signalling the
+          harness to re-queue the batch rather than drop it. *)
   on_commit : node:int -> index:int -> value:string -> at_ms:float -> unit;
       (** Every decide by every physical node in simulation order — the
           commit-ack stream from which end-to-end request latency

@@ -2,26 +2,37 @@ module Sha256 = Bftsim_crypto.Sha256
 
 type qc = { view : int; block : string }
 
-type block = { digest : string; view : int; parent : string; justify : qc; proposer : int }
+type block = {
+  digest : string;
+  view : int;
+  parent : string;
+  justify : qc;
+  proposer : int;
+  payload : string;
+}
 
 let genesis_digest = "genesis"
 
 let genesis_qc = { view = 0; block = genesis_digest }
 
 let genesis =
-  { digest = genesis_digest; view = 0; parent = ""; justify = genesis_qc; proposer = -1 }
+  { digest = genesis_digest; view = 0; parent = ""; justify = genesis_qc; proposer = -1; payload = "" }
 
-let make_block ~view ~(parent : block) ~(justify : qc) ~proposer =
-  let digest =
-    Sha256.to_hex
-      (Sha256.digest_string
-         (Printf.sprintf "block|%d|%s|%d|%s|%d" view parent.digest justify.view justify.block
-            proposer))
+let make_block ?(payload = "") ~view ~(parent : block) ~(justify : qc) ~proposer () =
+  let preimage =
+    (* The historical preimage is kept verbatim for payload-free blocks so
+       that runs without a workload keep their exact digests (and hence
+       golden fingerprints); a batch payload extends it. *)
+    let base =
+      Printf.sprintf "block|%d|%s|%d|%s|%d" view parent.digest justify.view justify.block proposer
+    in
+    if payload = "" then base else base ^ "|" ^ payload
   in
+  let digest = Sha256.to_hex (Sha256.digest_string preimage) in
   (* 16 hex chars are plenty to be collision-free within a run and keep
      decided values readable in traces. *)
   let digest = String.sub digest 0 16 in
-  { digest; view; parent = parent.digest; justify; proposer }
+  { digest; view; parent = parent.digest; justify; proposer; payload }
 
 type store = { blocks : (string, block) Hashtbl.t }
 
@@ -68,4 +79,8 @@ let three_chain_tail store (qc : qc) =
 let pp_qc ppf (qc : qc) = Format.fprintf ppf "QC(v=%d,%s)" qc.view qc.block
 
 let pp_block ppf b =
-  Format.fprintf ppf "B(%s,v=%d,parent=%s,justify=%a)" b.digest b.view b.parent pp_qc b.justify
+  if b.payload = "" then
+    Format.fprintf ppf "B(%s,v=%d,parent=%s,justify=%a)" b.digest b.view b.parent pp_qc b.justify
+  else
+    Format.fprintf ppf "B(%s,v=%d,parent=%s,justify=%a,payload=%s)" b.digest b.view b.parent pp_qc
+      b.justify b.payload

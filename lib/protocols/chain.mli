@@ -12,11 +12,17 @@ type qc = { view : int; block : string }
     senders, and the vote tally enforces distinctness. *)
 
 type block = {
-  digest : string;  (** Hex content digest; doubles as the decided value. *)
+  digest : string;
+      (** Hex content digest; doubles as the decided value for payload-free
+          blocks. *)
   view : int;
   parent : string;  (** Digest of the parent block. *)
   justify : qc;  (** QC for the parent carried by this block. *)
   proposer : int;
+  payload : string;
+      (** Workload batch riding this block — [""] (a synthetic, payload-free
+          block) outside load runs.  When non-empty it is the decided value,
+          so the load driver can match committed batches by name. *)
 }
 
 val genesis : block
@@ -24,8 +30,10 @@ val genesis : block
 
 val genesis_qc : qc
 
-val make_block : view:int -> parent:block -> justify:qc -> proposer:int -> block
-(** A new block extending [parent]; the digest commits to all fields. *)
+val make_block : ?payload:string -> view:int -> parent:block -> justify:qc -> proposer:int -> unit -> block
+(** A new block extending [parent]; the digest commits to all fields.
+    [payload] defaults to [""], in which case the digest preimage is
+    byte-identical to historical payload-free blocks. *)
 
 type store
 (** A node's local block tree. *)

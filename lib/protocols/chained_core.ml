@@ -106,13 +106,33 @@ let propose t ctx =
   if not (Hashtbl.mem t.proposed t.cur_view) then
     match Chain.find t.store t.high_qc.Chain.block with
     | None -> ()
-    | Some parent ->
-      Hashtbl.replace t.proposed t.cur_view ();
-      let block =
-        Chain.make_block ~view:t.cur_view ~parent ~justify:t.high_qc ~proposer:ctx.Context.node_id
-      in
-      Chain.add t.store block;
-      Context.broadcast ctx ~tag:"proposal" ~size:512 (Proposal { block })
+    | Some _ ->
+      let view = t.cur_view in
+      Hashtbl.replace t.proposed view ();
+      (* Chained protocols are natively pipelined — one block per view, each
+         carrying the QC for its parent — so the whole pipeline window rides
+         a single block: ask the workload for a payload [width] batches
+         wide.  Without a workload the continuation runs immediately with
+         the synthetic default and the block is byte-identical to the
+         pre-hook behavior. *)
+      ctx.Context.request_proposal ~slot:view ~width:ctx.Context.pipeline_depth
+        ~default:{ Context.value = ""; size = 512 }
+        (fun (p : Context.proposal) ->
+          (* A deferred batch may fire after the pacemaker moved on; the
+             parent/justify are re-resolved at fire time, and a stale view
+             returns [false] so the workload re-queues the batch. *)
+          if t.cur_view = view && Context.is_leader_round_robin ctx ~view then
+            match Chain.find t.store t.high_qc.Chain.block with
+            | None -> false
+            | Some parent ->
+              let block =
+                Chain.make_block ~payload:p.Context.value ~view ~parent ~justify:t.high_qc
+                  ~proposer:ctx.Context.node_id ()
+              in
+              Chain.add t.store block;
+              Context.broadcast ctx ~tag:"proposal" ~size:p.Context.size (Proposal { block });
+              true
+          else false)
 
 (* Commit rule: a QC heading a three-chain of consecutive views commits the
    tail block and all its uncommitted ancestors, in chain order — each one
@@ -129,7 +149,9 @@ let try_commit t ctx qc =
       List.iter
         (fun (b : Chain.block) ->
           t.committed <- t.committed + 1;
-          ctx.Context.decide b.digest)
+          (* A workload batch decides by its batch name so the driver can
+             match commits; synthetic blocks keep deciding their digest. *)
+          ctx.Context.decide (if b.Chain.payload = "" then b.Chain.digest else b.Chain.payload))
         newly;
       t.last_committed <- b3.Chain.digest;
       if t.pacemaker = Naive_doubling && ctx.Context.naive_reset = Reset_on_commit then

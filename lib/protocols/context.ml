@@ -36,11 +36,16 @@ type t = {
       (* Per-view leader pinning (twins runs): [leader_schedule.(view)]
          overrides the round-robin rotation for views inside the array;
          views beyond it fall back to rotation. [None] everywhere else. *)
-  request_proposal : slot:int -> default:proposal -> (proposal -> unit) -> unit;
-      (* Workload hook: a leader about to propose asks for a payload.  With
-         no workload attached the continuation runs immediately with
-         [default] (same behavior as before the hook existed); a workload
-         layer may instead defer the callback while a batch accumulates. *)
+  request_proposal : slot:int -> width:int -> default:proposal -> (proposal -> bool) -> unit;
+      (* Workload hook: a leader about to propose asks for a payload
+         covering [width] consensus slots (chained protocols pack their
+         whole pipeline window into one block).  With no workload attached
+         the continuation runs immediately with [default] (same behavior as
+         before the hook existed); a workload layer may instead defer the
+         callback while a batch accumulates.  The continuation returns
+         whether it actually used the proposal — [false] means the leader's
+         window moved on (view change) and the workload layer re-queues the
+         batch instead of dropping it. *)
   pipeline_depth : int;
       (* How many consensus heights a leader may keep in flight at once;
          1 = sequential heights (the classic single-shot behavior). *)

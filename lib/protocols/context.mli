@@ -60,14 +60,20 @@ type t = {
       (** Per-view leader pinning (twins runs): for views inside the array,
           {!leader_round_robin} returns [leader_schedule.(view)] instead of
           the rotation; views beyond it fall back.  [None] everywhere else. *)
-  request_proposal : slot:int -> default:proposal -> (proposal -> unit) -> unit;
-      (** A leader about to propose for [slot] asks for the payload.
+  request_proposal : slot:int -> width:int -> default:proposal -> (proposal -> bool) -> unit;
+      (** A leader about to propose for [slot] asks for a payload covering
+          [width] consensus slots ([pipeline_depth] for chained protocols,
+          which pack their whole window into one block; [1] for slot-based
+          windows like PBFT's, which request each slot separately).
           Without a workload layer the continuation runs {e immediately}
           with [default], so protocols that adopt the hook behave exactly
           as before; with one attached (see [Controller]'s [?workload])
           the callback may be deferred until a request batch is cut.  The
           continuation must re-check its own staleness (view/leadership
-          may have moved on by the time it fires). *)
+          may have moved on by the time it fires) and return whether it
+          used the proposal: on [false] the workload layer returns the
+          batched requests to the mempool (re-queue on view change)
+          instead of dropping them. *)
   pipeline_depth : int;
       (** How many consensus heights a leader may keep in flight at once;
           [1] (the default) reproduces the classic sequential behavior. *)

@@ -88,10 +88,13 @@ let propose t ctx =
       if not (Hashtbl.mem t.requested (view, slot)) then begin
         Hashtbl.replace t.requested (view, slot) ();
         let default = { Context.value = proposal_value ctx slot; size = 256 } in
-        ctx.Context.request_proposal ~slot ~default (fun proposal ->
-            if t.view = view && slot >= t.slot && primary ctx t.view = ctx.Context.node_id then
+        ctx.Context.request_proposal ~slot ~width:1 ~default (fun proposal ->
+            if t.view = view && slot >= t.slot && primary ctx t.view = ctx.Context.node_id then begin
               Context.broadcast ctx ~tag:"pre-prepare" ~size:proposal.Context.size
-                (Pre_prepare { view; slot; value = proposal.Context.value }))
+                (Pre_prepare { view; slot; value = proposal.Context.value });
+              true
+            end
+            else false)
       end
     done
   end

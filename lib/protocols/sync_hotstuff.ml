@@ -72,12 +72,30 @@ let propose t ctx =
   let height = t.highest_cert.Chain.view + 1 in
   if not (Hashtbl.mem t.proposed_height height) then begin
     Hashtbl.replace t.proposed_height height ();
-    let justify = { Chain.view = t.highest_cert.Chain.view; block = t.highest_cert.Chain.digest } in
-    let block =
-      Chain.make_block ~view:height ~parent:t.highest_cert ~justify ~proposer:ctx.Context.node_id
-    in
-    Chain.add t.store block;
-    Context.broadcast ctx ~tag:"sh-propose" ~size:512 (Sh_propose { view = t.view; block })
+    let view = t.view in
+    ctx.Context.request_proposal ~slot:height ~width:ctx.Context.pipeline_depth
+      ~default:{ Context.value = ""; size = 512 }
+      (fun (p : Context.proposal) ->
+        (* Deferred batches re-check that the certified tip and the view are
+           unchanged; a stale window returns [false] so the workload
+           re-queues the batch instead of losing it. *)
+        if
+          t.highest_cert.Chain.view + 1 = height && t.view = view && (not t.quit_view)
+          && leader ctx view = ctx.Context.node_id
+        then begin
+          let justify =
+            { Chain.view = t.highest_cert.Chain.view; block = t.highest_cert.Chain.digest }
+          in
+          let block =
+            Chain.make_block ~payload:p.Context.value ~view:height ~parent:t.highest_cert ~justify
+              ~proposer:ctx.Context.node_id ()
+          in
+          Chain.add t.store block;
+          Context.broadcast ctx ~tag:"sh-propose" ~size:p.Context.size
+            (Sh_propose { view = t.view; block });
+          true
+        end
+        else false)
   end
 
 let blame t ctx view =
@@ -107,7 +125,8 @@ let commit t ctx (block : Chain.block) =
   then begin
     Hashtbl.replace t.committed block.Chain.digest ();
     t.committed_height <- block.Chain.view;
-    ctx.Context.decide block.Chain.digest
+    ctx.Context.decide
+      (if block.Chain.payload = "" then block.Chain.digest else block.Chain.payload)
   end
 
 let handle_proposal t ctx (msg : Message.t) view (block : Chain.block) =

@@ -104,9 +104,30 @@ let rec start_round t ctx round =
   t.step <- Propose;
   t.wait_armed <- None;
   if proposer ctx ~height:t.height ~round = ctx.Context.node_id then begin
-    let value = if t.locked_value = nil then proposal_value ctx ~height:t.height else t.locked_value in
-    Context.broadcast ctx ~tag:"tm-proposal" ~size:256
-      (Tm_proposal { height = t.height; round; value })
+    if t.locked_value <> nil then
+      (* Locked: re-proposing the locked value is a safety obligation, the
+         workload never substitutes it. *)
+      Context.broadcast ctx ~tag:"tm-proposal" ~size:256
+        (Tm_proposal { height = t.height; round; value = t.locked_value })
+    else begin
+      let height = t.height in
+      let default = { Context.value = proposal_value ctx ~height; size = 256 } in
+      ctx.Context.request_proposal ~slot:height ~width:ctx.Context.pipeline_depth ~default
+        (fun (p : Context.proposal) ->
+          (* A deferred batch fires only if this (height, round) is still in
+             its propose step and we are still unlocked; otherwise the
+             workload re-queues it. *)
+          if
+            t.height = height && t.round = round && t.step = Propose && t.locked_value = nil
+            && proposer ctx ~height ~round = ctx.Context.node_id
+            && not (Hashtbl.mem t.proposals (height, round))
+          then begin
+            Context.broadcast ctx ~tag:"tm-proposal" ~size:p.Context.size
+              (Tm_proposal { height; round; value = p.Context.value });
+            true
+          end
+          else false)
+    end
   end;
   (* If the proposal is already buffered (we were behind), act on it now. *)
   (match Hashtbl.find_opt t.proposals (t.height, t.round) with

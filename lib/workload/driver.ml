@@ -8,7 +8,16 @@
    workload enabled perturbs nothing but its own events, and a run without
    it is bit-identical to older builds.  Sweep points are independent runs
    aggregated in rate order, so the curve is byte-identical at any
-   [--jobs]. *)
+   [--jobs].
+
+   Goodput accounting (PR 9): a leader continuation that fires stale — the
+   view moved on before the batch was cut — returns [false], and the batch
+   is re-queued at the front of the mempool instead of dropped, so churny
+   runs measure true goodput.  Alongside the open-loop arrivals there is a
+   closed-loop client mode (a fixed population each keeping [cap] requests
+   in flight; the sweep variable is the population size), and requests
+   carry contention keys (see {!Keys}) so commit-order conflicts can be
+   modeled. *)
 
 open Bftsim_sim
 module Core = Bftsim_core
@@ -16,20 +25,48 @@ module Context = Bftsim_protocols.Context
 module Json = Bftsim_obs.Json
 module Metrics = Bftsim_obs.Metrics
 
+type clients = Open_loop | Closed_loop of { cap : int }
+
+let clients_to_cli_string = function
+  | Open_loop -> "open"
+  | Closed_loop { cap } -> Printf.sprintf "closed:%d" cap
+
+let clients_of_string s =
+  match s with
+  | "open" -> Ok Open_loop
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "closed" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some cap when cap > 0 -> Ok (Closed_loop { cap })
+      | Some _ | None -> Error (Printf.sprintf "invalid client mode %S (cap must be > 0)" s))
+    | _ -> Error (Printf.sprintf "invalid client mode %S" s))
+
 type t = {
   arrival : Arrival.t;
   policy : Batch.policy;
   mempool_capacity : int;
+  clients : clients;
+  keys : Keys.t;
 }
 
 let make ?(arrival = Arrival.poisson ~rate:100.) ?(policy = Batch.default)
-    ?(mempool_capacity = 4096) () =
+    ?(mempool_capacity = 4096) ?(clients = Open_loop) ?(keys = Keys.Single) () =
   if mempool_capacity <= 0 then invalid_arg "Driver.make: mempool_capacity must be > 0";
-  { arrival; policy; mempool_capacity }
+  (match clients with
+  | Open_loop -> ()
+  | Closed_loop { cap } -> if cap <= 0 then invalid_arg "Driver.make: client cap must be > 0");
+  Keys.validate keys;
+  { arrival; policy; mempool_capacity; clients; keys }
 
 let describe t =
-  Printf.sprintf "%s %s mempool=%d" (Arrival.describe t.arrival) (Batch.describe t.policy)
-    t.mempool_capacity
+  let base =
+    match t.clients with
+    | Open_loop -> Arrival.describe t.arrival
+    | Closed_loop { cap } -> Printf.sprintf "closed-loop(cap=%d)" cap
+  in
+  let keys = match t.keys with Keys.Single -> "" | k -> " keys=" ^ Keys.describe k in
+  Printf.sprintf "%s %s mempool=%d%s" base (Batch.describe t.policy) t.mempool_capacity keys
 
 (* {1 One run} *)
 
@@ -39,40 +76,71 @@ type harness = {
   pool : Mempool.t;
   policy : Batch.policy;
   arrival : Arrival.t;
+  clients : clients;
+  client_count : int;  (* closed-loop population; 0 in open loop *)
+  keys_sampler : Keys.sampler;
+  keyed : bool;  (* false = Single mode: skip conflict accounting *)
   ack_quorum : int;
   mutable env : Core.Controller.workload_env option;
   mutable next_request : int;
   mutable submitted : int;
   mutable next_batch : int;
   batches : (string, Mempool.request list) Hashtbl.t;  (* in-flight value -> requests *)
+  mutable batch_log : (string * int list) list;  (* every bundle ever cut, newest first *)
   acks : (int, int ref) Hashtbl.t;  (* decision index -> distinct-node ack count *)
   committed_idx : (int, unit) Hashtbl.t;
+  req_committed : (int, unit) Hashtbl.t;  (* committed request ids *)
+  requeue_counts : (int, int) Hashtbl.t;  (* id -> times re-queued *)
   mutable committed : int;
+  mutable committed_ids : int list;  (* newest first *)
+  mutable key_conflicts : int;
+  mutable last_key : int;  (* key of the previously committed request *)
   mutable latencies : float list;  (* newest first *)
   mutable occupancies : int list;  (* newest first; 0 = empty (no-op) batch *)
   mutable empty_batches : int;
-  waiting : (Context.proposal -> unit) Queue.t;  (* deferred leader requests *)
+  (* Deferred leader requests, with the pipeline width each asked for. *)
+  waiting : (int * (Context.proposal -> bool)) Queue.t;
   mutable waiting_armed : int;  (* timers in flight for deferred requests *)
 }
 
-let create_harness ~seed ~n (t : t) =
+let create_harness ~seed ~n ~rate (t : t) =
   let f = (n - 1) / 3 in
+  let client_count =
+    match t.clients with Open_loop -> 0 | Closed_loop _ -> Stdlib.max 1 (int_of_float rate)
+  in
+  let capacity =
+    (* Closed loops bound their own in-flight population; admission control
+       on top would just deadlock clients whose requests were rejected. *)
+    match t.clients with
+    | Open_loop -> t.mempool_capacity
+    | Closed_loop { cap } -> Stdlib.max t.mempool_capacity (client_count * cap)
+  in
   {
     (* Private stream: xor with an ASCII-"load" constant so it cannot
        collide with the controller's root/net/attacker/node split order. *)
     rng = Rng.create (seed lxor 0x6c6f6164);
-    pool = Mempool.create ~capacity:t.mempool_capacity;
+    pool = Mempool.create ~capacity;
     policy = t.policy;
     arrival = t.arrival;
+    clients = t.clients;
+    client_count;
+    keys_sampler = Keys.sampler t.keys;
+    keyed = (match t.keys with Keys.Single -> false | _ -> true);
     ack_quorum = f + 1;
     env = None;
     next_request = 0;
     submitted = 0;
     next_batch = 0;
     batches = Hashtbl.create 64;
+    batch_log = [];
     acks = Hashtbl.create 64;
     committed_idx = Hashtbl.create 64;
+    req_committed = Hashtbl.create 256;
+    requeue_counts = Hashtbl.create 16;
     committed = 0;
+    committed_ids = [];
+    key_conflicts = 0;
+    last_key = Stdlib.min_int;
     latencies = [];
     occupancies = [];
     empty_batches = 0;
@@ -85,24 +153,62 @@ let env_exn h =
   | Some e -> e
   | None -> invalid_arg "Workload: hook fired before on_workload_start"
 
-(* Cut a batch now: drain up to [max_batch] requests and hand the leader a
-   value that names the batch.  An empty pool yields the protocol's default
-   (no-op) proposal so an idle system still advances heights. *)
-let cut h ~default k =
-  let reqs = Mempool.take h.pool ~max:h.policy.Batch.max_batch in
-  match reqs with
+(* Return a stale bundle's requests to the front of the mempool.  The
+   continuation never broadcast the proposal, so none of these can have
+   committed — the filter is the promised dedup guard: a request id is
+   never simultaneously pending and committed. *)
+let requeue_stale h value =
+  match Hashtbl.find_opt h.batches value with
+  | None -> ()
+  | Some reqs ->
+    Hashtbl.remove h.batches value;
+    let reqs =
+      List.filter (fun (r : Mempool.request) -> not (Hashtbl.mem h.req_committed r.id)) reqs
+    in
+    List.iter
+      (fun (r : Mempool.request) ->
+        Hashtbl.replace h.requeue_counts r.id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt h.requeue_counts r.id)))
+      reqs;
+    Mempool.requeue h.pool reqs
+
+(* Cut a bundle now: drain up to [width] chunks of up to [max_batch]
+   requests each and hand the leader a value naming them all — chained
+   protocols carry their whole pipeline window in one block, so the bundle
+   is one proposal ("b12(256)+b13(44)"); [width = 1] degenerates to the
+   single-chunk value PBFT-style slot windows use.  An empty pool yields
+   the protocol's default (no-op) proposal so an idle system still
+   advances heights.  If the continuation reports the proposal unused
+   (stale view), the whole bundle is re-queued. *)
+let cut h ~width ~default k =
+  let width = Stdlib.max 1 width in
+  let rec take_chunks names reqss w =
+    if w = 0 then (List.rev names, List.rev reqss)
+    else
+      match Mempool.take h.pool ~max:h.policy.Batch.max_batch with
+      | [] -> (List.rev names, List.rev reqss)
+      | reqs ->
+        let count = List.length reqs in
+        let seq = h.next_batch in
+        h.next_batch <- seq + 1;
+        h.occupancies <- count :: h.occupancies;
+        take_chunks (Printf.sprintf "b%d(%d)" seq count :: names) (reqs :: reqss) (w - 1)
+  in
+  let names, reqss = take_chunks [] [] width in
+  match names with
   | [] ->
     h.empty_batches <- h.empty_batches + 1;
     h.occupancies <- 0 :: h.occupancies;
-    k default
+    ignore (k default : bool)
   | _ ->
-    let count = List.length reqs in
-    let seq = h.next_batch in
-    h.next_batch <- seq + 1;
-    let value = Printf.sprintf "b%d(%d)" seq count in
+    let value = String.concat "+" names in
+    let reqs = List.concat reqss in
     Hashtbl.replace h.batches value reqs;
-    h.occupancies <- count :: h.occupancies;
-    k { Context.value; size = Batch.size_bytes ~count }
+    h.batch_log <- (value, List.map (fun (r : Mempool.request) -> r.id) reqs) :: h.batch_log;
+    let size =
+      List.fold_left (fun acc rs -> acc + Batch.size_bytes ~count:(List.length rs)) 0 reqss
+    in
+    if not (k { Context.value; size }) then requeue_stale h value
 
 (* Fire deferred leader requests while a full batch is available — the
    early-cut rule; the max-wait timer handles the rest. *)
@@ -110,24 +216,40 @@ let fire_ready h ~default_of =
   while
     (not (Queue.is_empty h.waiting)) && Mempool.length h.pool >= h.policy.Batch.max_batch
   do
-    let k = Queue.pop h.waiting in
-    cut h ~default:(default_of ()) k
+    let width, k = Queue.pop h.waiting in
+    cut h ~width ~default:(default_of ()) k
   done
 
-let on_request_proposal h ~node:_ ~slot:_ ~default k =
+let on_request_proposal h ~node:_ ~slot:_ ~width ~default k =
   if Mempool.length h.pool >= h.policy.Batch.max_batch || h.policy.Batch.max_wait_ms <= 0. then
-    cut h ~default k
+    cut h ~width ~default k
   else begin
     (* Defer until the wait window closes (or a full batch arrives first).
        The timer pops whichever request is oldest; queue discipline keeps
        the pairing FIFO even when cuts race with arrivals. *)
-    Queue.add k h.waiting;
+    Queue.add (width, k) h.waiting;
     h.waiting_armed <- h.waiting_armed + 1;
     let env = env_exn h in
     env.Core.Controller.wl_schedule ~delay_ms:h.policy.Batch.max_wait_ms (fun () ->
         h.waiting_armed <- h.waiting_armed - 1;
-        if not (Queue.is_empty h.waiting) then cut h ~default (Queue.pop h.waiting))
+        if not (Queue.is_empty h.waiting) then begin
+          let width, k = Queue.pop h.waiting in
+          cut h ~width ~default k
+        end)
   end
+
+let submit h ~client =
+  let env = env_exn h in
+  let arrived_ms = env.Core.Controller.wl_now_ms () in
+  let id = h.next_request in
+  h.next_request <- id + 1;
+  h.submitted <- h.submitted + 1;
+  let key = Keys.sample h.keys_sampler h.rng in
+  ignore (Mempool.add h.pool { Mempool.id; arrived_ms; key; client } : bool);
+  fire_ready h ~default_of:(fun () ->
+      (* An early cut always finds a full pool, so the default is never
+         consulted; a placeholder keeps the types honest. *)
+      { Context.value = "noop"; size = Batch.size_bytes ~count:0 })
 
 let on_commit h ~node:_ ~index ~value ~at_ms =
   if not (Hashtbl.mem h.committed_idx index) then begin
@@ -150,34 +272,49 @@ let on_commit h ~node:_ ~index ~value ~at_ms =
         List.iter
           (fun (r : Mempool.request) ->
             h.committed <- h.committed + 1;
-            h.latencies <- (at_ms -. r.Mempool.arrived_ms) :: h.latencies)
+            Hashtbl.replace h.req_committed r.Mempool.id ();
+            h.committed_ids <- r.Mempool.id :: h.committed_ids;
+            if h.keyed then begin
+              if r.Mempool.key = h.last_key then h.key_conflicts <- h.key_conflicts + 1;
+              h.last_key <- r.Mempool.key
+            end;
+            h.latencies <- (at_ms -. r.Mempool.arrived_ms) :: h.latencies;
+            (* Closed loop: the committing client immediately (zero think
+               time) submits its next request, through the event queue so
+               the replacement interleaves deterministically. *)
+            if r.Mempool.client >= 0 then
+              (env_exn h).Core.Controller.wl_schedule ~delay_ms:0. (fun () ->
+                  submit h ~client:r.Mempool.client))
           reqs
     end
   end
 
 let on_workload_start h env =
   h.env <- Some env;
-  let rec pump () =
-    let now_ms = env.Core.Controller.wl_now_ms () in
-    let gap = Arrival.next_gap_ms h.arrival ~now_ms h.rng in
-    env.Core.Controller.wl_schedule ~delay_ms:gap (fun () ->
-        let arrived_ms = env.Core.Controller.wl_now_ms () in
-        let id = h.next_request in
-        h.next_request <- id + 1;
-        h.submitted <- h.submitted + 1;
-        ignore (Mempool.add h.pool { Mempool.id; arrived_ms } : bool);
-        fire_ready h ~default_of:(fun () ->
-            (* An early cut always finds a full pool, so the default is
-               never consulted; a placeholder keeps the types honest. *)
-            { Context.value = "noop"; size = Batch.size_bytes ~count:0 });
-        pump ())
-  in
-  pump ()
+  match h.clients with
+  | Closed_loop { cap } ->
+    (* The whole population submits its full window at t = 0; afterwards
+       each commit triggers that client's next request. *)
+    for client = 0 to h.client_count - 1 do
+      for _ = 1 to cap do
+        submit h ~client
+      done
+    done
+  | Open_loop ->
+    let rec pump () =
+      let now_ms = env.Core.Controller.wl_now_ms () in
+      let gap = Arrival.next_gap_ms h.arrival ~now_ms h.rng in
+      env.Core.Controller.wl_schedule ~delay_ms:gap (fun () ->
+          submit h ~client:(-1);
+          pump ())
+    in
+    pump ()
 
 let workload_of_harness h =
   {
     Core.Controller.on_workload_start = on_workload_start h;
-    on_request_proposal = (fun ~node ~slot ~default k -> on_request_proposal h ~node ~slot ~default k);
+    on_request_proposal =
+      (fun ~node ~slot ~width ~default k -> on_request_proposal h ~node ~slot ~width ~default k);
     on_commit = (fun ~node ~index ~value ~at_ms -> on_commit h ~node ~index ~value ~at_ms);
   }
 
@@ -190,6 +327,10 @@ type point = {
   submitted : int;
   committed : int;
   dropped : int;
+  requeued : int;
+  in_flight : int;
+  pending : int;
+  key_conflicts : int;
   mempool_peak : int;
   batches : int;
   empty_batches : int;
@@ -207,6 +348,10 @@ let point_to_json p =
        ("submitted", Json.Int p.submitted);
        ("committed", Json.Int p.committed);
        ("dropped", Json.Int p.dropped);
+       ("requeued", Json.Int p.requeued);
+       ("in_flight", Json.Int p.in_flight);
+       ("pending", Json.Int p.pending);
+       ("key_conflicts", Json.Int p.key_conflicts);
        ("mempool_peak", Json.Int p.mempool_peak);
        ("batches", Json.Int p.batches);
        ("empty_batches", Json.Int p.empty_batches);
@@ -264,6 +409,10 @@ let point_of_json json =
   let* submitted = j_int "submitted" json in
   let* committed = j_int "committed" json in
   let* dropped = j_int "dropped" json in
+  let* requeued = j_int "requeued" json in
+  let* in_flight = j_int "in_flight" json in
+  let* pending = j_int "pending" json in
+  let* key_conflicts = j_int "key_conflicts" json in
   let* mempool_peak = j_int "mempool_peak" json in
   let* batches = j_int "batches" json in
   let* empty_batches = j_int "empty_batches" json in
@@ -291,6 +440,10 @@ let point_of_json json =
       submitted;
       committed;
       dropped;
+      requeued;
+      in_flight;
+      pending;
+      key_conflicts;
       mempool_peak;
       batches;
       empty_batches;
@@ -310,27 +463,51 @@ let canonical_point p =
 (* Post-run injection of the workload cells into the run's registry, so
    [--metrics] output and cross-point merges carry the mempool/batching
    telemetry next to the controller's own. *)
-let inject_metrics reg (h : harness) ~throughput =
+let inject_metrics reg (h : harness) ~throughput ~in_flight =
   Metrics.incr ~by:h.submitted reg "wl.submitted";
   Metrics.incr ~by:h.committed reg "wl.committed";
   Metrics.incr ~by:(Mempool.dropped h.pool) reg "wl.dropped";
+  Metrics.incr ~by:(Mempool.requeued h.pool) reg "wl.requeued";
+  Metrics.incr ~by:h.key_conflicts reg "wl.key_conflicts";
   Metrics.incr ~by:h.empty_batches reg "wl.empty_batches";
   Metrics.set_gauge reg "wl.mempool_peak" (float_of_int (Mempool.peak h.pool));
+  Metrics.set_gauge reg "wl.in_flight" (float_of_int in_flight);
   Metrics.set_gauge reg "wl.committed_per_s" throughput;
   let occ = Metrics.histogram reg "wl.batch_occupancy" in
   List.iter (fun c -> Metrics.observe_h occ (float_of_int c)) (List.rev h.occupancies);
   let lat = Metrics.histogram reg "wl.request_latency_ms" in
   List.iter (fun l -> Metrics.observe_h lat l) (List.rev h.latencies)
 
-let run_point (t : t) ~rate (config : Core.Config.t) =
+(* End-of-run accounting (audited by test/test_workload.ml): every
+   submitted request is exactly one of committed, dropped, pending in the
+   pool, or in an in-flight batch — re-queues move requests between the
+   last two states without losing or duplicating them. *)
+type audit = {
+  committed_ids : int list;  (** In commit order. *)
+  requeued_ids : (int * int) list;  (** (id, times re-queued), by id. *)
+  pending_ids : int list;  (** Left in the pool at run end, service order. *)
+  in_flight_ids : int list;  (** In uncommitted batches at run end, by id. *)
+  batch_log : (string * int list) list;  (** Every bundle cut, oldest first. *)
+}
+
+let run_point_full (t : t) ~rate (config : Core.Config.t) =
   let t = { t with arrival = Arrival.with_rate t.arrival rate } in
-  let h = create_harness ~seed:config.Core.Config.seed ~n:config.Core.Config.n t in
+  let h = create_harness ~seed:config.Core.Config.seed ~n:config.Core.Config.n ~rate t in
   let result = Core.Controller.run ~workload:(workload_of_harness h) config in
   let duration_ms = result.Core.Controller.time_ms in
   let throughput =
     if duration_ms > 0. then float_of_int h.committed /. (duration_ms /. 1000.) else 0.
   in
-  Option.iter (fun reg -> inject_metrics reg h ~throughput) result.Core.Controller.metrics;
+  let in_flight_ids =
+    Hashtbl.fold
+      (fun _ reqs acc -> List.map (fun (r : Mempool.request) -> r.id) reqs @ acc)
+      h.batches []
+    |> List.sort compare
+  in
+  let in_flight = List.length in_flight_ids in
+  Option.iter
+    (fun reg -> inject_metrics reg h ~throughput ~in_flight)
+    result.Core.Controller.metrics;
   let occupancies = List.rev h.occupancies in
   let point =
     canonical_point
@@ -341,6 +518,10 @@ let run_point (t : t) ~rate (config : Core.Config.t) =
         submitted = h.submitted;
         committed = h.committed;
         dropped = Mempool.dropped h.pool;
+        requeued = Mempool.requeued h.pool;
+        in_flight;
+        pending = Mempool.length h.pool;
+        key_conflicts = h.key_conflicts;
         mempool_peak = Mempool.peak h.pool;
         batches = h.next_batch;
         empty_batches = h.empty_batches;
@@ -353,7 +534,23 @@ let run_point (t : t) ~rate (config : Core.Config.t) =
         latency = (match h.latencies with [] -> None | l -> Some (Core.Stats.of_list l));
       }
   in
+  let audit =
+    {
+      committed_ids = List.rev h.committed_ids;
+      requeued_ids =
+        Hashtbl.fold (fun id n acc -> (id, n) :: acc) h.requeue_counts [] |> List.sort compare;
+      pending_ids = List.map (fun (r : Mempool.request) -> r.id) (Mempool.to_list h.pool);
+      in_flight_ids;
+      batch_log = List.rev h.batch_log;
+    }
+  in
+  (point, audit, result)
+
+let run_point (t : t) ~rate (config : Core.Config.t) =
+  let point, _audit, result = run_point_full t ~rate config in
   (point, result.Core.Controller.metrics)
+
+let run_point_audit (t : t) ~rate (config : Core.Config.t) = run_point_full t ~rate config
 
 (* {1 Rate sweeps} *)
 
@@ -364,15 +561,19 @@ type curve = {
 }
 
 let cell (t : t) (config : Core.Config.t) ~rate =
-  Printf.sprintf "%s|load|%s|%s|%d|%g"
+  Printf.sprintf "%s|load|%s|%s|%d|%s|%s|%g"
     (Core.Journal.cell_of_config config)
     (Arrival.to_cli_string t.arrival)
-    (Batch.to_cli_string t.policy) t.mempool_capacity rate
+    (Batch.to_cli_string t.policy) t.mempool_capacity
+    (clients_to_cli_string t.clients)
+    (Keys.to_cli_string t.keys) rate
 
 let fingerprint (t : t) (config : Core.Config.t) ~rates =
   let mode =
-    Printf.sprintf "load|%s|%s|%d|%s" (Arrival.to_cli_string t.arrival)
+    Printf.sprintf "load|%s|%s|%d|%s|%s|%s" (Arrival.to_cli_string t.arrival)
       (Batch.to_cli_string t.policy) t.mempool_capacity
+      (clients_to_cli_string t.clients)
+      (Keys.to_cli_string t.keys)
       (String.concat "," (List.map (Printf.sprintf "%g") rates))
   in
   Core.Journal.fingerprint ~mode ~reps:1 [ config ]
@@ -451,25 +652,25 @@ let knee points =
       | _ -> Some p)
     None points
 
-let header = "rate,outcome,throughput,committed,submitted,dropped,batches,occupancy,lat_p50_ms,lat_p95_ms,lat_p99_ms,mempool_peak"
+let header = "rate,outcome,throughput,committed,submitted,dropped,requeued,batches,occupancy,lat_p50_ms,lat_p95_ms,lat_p99_ms,mempool_peak"
 
 let row p =
   let lat f = match p.latency with None -> "" | Some s -> Printf.sprintf "%.3f" (f s) in
-  Printf.sprintf "%g,%s,%.3f,%d,%d,%d,%d,%.2f,%s,%s,%s,%d" p.rate p.outcome p.throughput
-    p.committed p.submitted p.dropped p.batches p.occupancy_mean
+  Printf.sprintf "%g,%s,%.3f,%d,%d,%d,%d,%d,%.2f,%s,%s,%s,%d" p.rate p.outcome p.throughput
+    p.committed p.submitted p.dropped p.requeued p.batches p.occupancy_mean
     (lat (fun s -> s.Core.Stats.median))
     (lat (fun s -> s.Core.Stats.p95))
     (lat (fun s -> s.Core.Stats.p99))
     p.mempool_peak
 
 let pp_curve ppf { points; _ } =
-  Format.fprintf ppf "%-10s %-14s %10s %10s %8s %9s %9s %9s@." "rate" "outcome" "tput/s" "commit"
-    "drop" "p50ms" "p95ms" "p99ms";
+  Format.fprintf ppf "%-10s %-14s %10s %10s %8s %8s %9s %9s %9s@." "rate" "outcome" "tput/s"
+    "commit" "drop" "requeue" "p50ms" "p95ms" "p99ms";
   List.iter
     (fun p ->
       let lat f = match p.latency with None -> "-" | Some s -> Printf.sprintf "%.1f" (f s) in
-      Format.fprintf ppf "%-10g %-14s %10.1f %10d %8d %9s %9s %9s@." p.rate p.outcome
-        p.throughput p.committed p.dropped
+      Format.fprintf ppf "%-10g %-14s %10.1f %10d %8d %8d %9s %9s %9s@." p.rate p.outcome
+        p.throughput p.committed p.dropped p.requeued
         (lat (fun s -> s.Core.Stats.median))
         (lat (fun s -> s.Core.Stats.p95))
         (lat (fun s -> s.Core.Stats.p99)))

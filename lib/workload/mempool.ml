@@ -4,40 +4,70 @@
    bound models admission control: when the pool is full, new requests are
    rejected (counted, not queued), which is what keeps an overdriven
    open-loop run from accumulating unbounded state past the saturation
-   knee. *)
+   knee.
 
-type request = { id : int; arrived_ms : float }
+   Re-queue (PR 9): requests whose batch went stale on a view change are
+   returned to the *front* of the pool so they keep their original FIFO
+   position relative to younger requests.  The front stash is a plain list
+   (LIFO push, so requeueing a batch's list restores its internal order)
+   drained before the queue. *)
+
+type request = { id : int; arrived_ms : float; key : int; client : int }
 
 type t = {
   capacity : int;
   q : request Queue.t;
+  mutable front : request list;  (* re-queued requests, served before [q] *)
   mutable dropped : int;
+  mutable requeued : int;
   mutable peak : int;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity must be > 0";
-  { capacity; q = Queue.create (); dropped = 0; peak = 0 }
+  { capacity; q = Queue.create (); front = []; dropped = 0; requeued = 0; peak = 0 }
 
-let length t = Queue.length t.q
+let length t = List.length t.front + Queue.length t.q
+
+let bump_peak t =
+  let len = length t in
+  if len > t.peak then t.peak <- len
 
 let add t r =
-  if Queue.length t.q >= t.capacity then begin
+  if length t >= t.capacity then begin
     t.dropped <- t.dropped + 1;
     false
   end
   else begin
     Queue.add r t.q;
-    if Queue.length t.q > t.peak then t.peak <- Queue.length t.q;
+    bump_peak t;
     true
   end
 
+(* Stale-batch return path.  Bypasses the capacity bound: these requests
+   were already admitted once, and bouncing them now would double-count the
+   admission decision.  [rs] must be in FIFO order; pushing in reverse keeps
+   that order at the front of the pool. *)
+let requeue t rs =
+  t.front <- List.rev_append (List.rev rs) t.front;
+  t.requeued <- t.requeued + List.length rs;
+  bump_peak t
+
 let take t ~max =
   if max < 0 then invalid_arg "Mempool.take: max must be >= 0";
-  let rec go acc k =
-    if k = 0 || Queue.is_empty t.q then List.rev acc else go (Queue.pop t.q :: acc) (k - 1)
+  let rec from_front acc k = function
+    | r :: rest when k > 0 -> from_front (r :: acc) (k - 1) rest
+    | rest ->
+      t.front <- rest;
+      let rec from_q acc k =
+        if k = 0 || Queue.is_empty t.q then List.rev acc else from_q (Queue.pop t.q :: acc) (k - 1)
+      in
+      from_q acc k
   in
-  go [] max
+  from_front [] max t.front
+
+let to_list t = t.front @ List.of_seq (Queue.to_seq t.q)
 
 let dropped t = t.dropped
+let requeued t = t.requeued
 let peak t = t.peak

@@ -157,7 +157,7 @@ let test_rbc_spoofed_init_ignored () =
       decide = (fun v -> delivered := v :: !delivered);
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
-      request_proposal = (fun ~slot:_ ~default k -> k default);
+      request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
     }
   in
@@ -197,7 +197,7 @@ let test_rbc_delivery_thresholds () =
       decide = ignore;
       probe = (fun ~tag:_ ~detail:_ -> ());
       leader_schedule = None;
-      request_proposal = (fun ~slot:_ ~default k -> k default);
+      request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
     }
   in

@@ -38,6 +38,33 @@ let check_fingerprint (protocol, expected) () =
          expected actual)
   end
 
+(* Depth-4 pins.  Without a workload attached, [pipeline] only reaches the
+   chained protocols as the proposal-request width — which the no-workload
+   identity hook ignores — so their depth-4 runs must stay byte-identical
+   to the depth-1 pins above.  PBFT's slot window genuinely widens, so it
+   gets its own pin. *)
+let pinned_depth4 =
+  [
+    ("pbft", "450ea9bc824411db6f9bff0060d570010d9d853be3b66550827cb153ddda8e48");
+    ("hotstuff-ns", List.assoc "hotstuff-ns" pinned);
+    ("librabft", List.assoc "librabft" pinned);
+  ]
+
+let check_fingerprint_depth4 (protocol, expected) () =
+  let config =
+    Core.Config.make protocol ~n:7 ~seed:42 ~delay:(Net.Delay_model.Constant 100.)
+      ~record_trace:true ~pipeline:4
+  in
+  let result = Core.Controller.run config in
+  let actual = Conf.Fingerprint.of_result result in
+  if actual <> expected then begin
+    Printf.printf "--- canonical form for %s pipeline=4 (fingerprint %s) ---\n%s\n" protocol actual
+      (Conf.Fingerprint.canonical result);
+    Alcotest.fail
+      (Printf.sprintf "%s depth-4 fingerprint changed: pinned %s, got %s — canonical form above"
+         protocol expected actual)
+  end
+
 let () =
   Alcotest.run "golden"
     [
@@ -46,4 +73,9 @@ let () =
           (fun (protocol, expected) ->
             Alcotest.test_case protocol `Quick (check_fingerprint (protocol, expected)))
           pinned );
+      ( "fingerprints pipeline=4",
+        List.map
+          (fun (protocol, expected) ->
+            Alcotest.test_case protocol `Quick (check_fingerprint_depth4 (protocol, expected)))
+          pinned_depth4 );
     ]

@@ -88,7 +88,7 @@ let test_chain_genesis () =
   Alcotest.(check int) "genesis view" 0 P.Chain.genesis.view
 
 let extend store parent view =
-  let b = P.Chain.make_block ~view ~parent ~justify:(qc parent.P.Chain.view parent.digest) ~proposer:0 in
+  let b = P.Chain.make_block ~view ~parent ~justify:(qc parent.P.Chain.view parent.digest) ~proposer:0 () in
   P.Chain.add store b;
   b
 
@@ -124,15 +124,15 @@ let test_chain_three_chain_commit () =
   | Some tail -> Alcotest.(check string) "commits b1" b1.digest tail.P.Chain.digest
   | None -> Alcotest.fail "consecutive three-chain not detected");
   (* A gap in views must not commit. *)
-  let b5 = P.Chain.make_block ~view:5 ~parent:b3 ~justify:(qc 3 b3.digest) ~proposer:0 in
+  let b5 = P.Chain.make_block ~view:5 ~parent:b3 ~justify:(qc 3 b3.digest) ~proposer:0 () in
   P.Chain.add store b5;
   (match P.Chain.three_chain_tail store (qc 5 b5.digest) with
   | None -> ()
   | Some _ -> Alcotest.fail "gapped chain committed")
 
 let test_chain_digest_uniqueness () =
-  let a = P.Chain.make_block ~view:1 ~parent:P.Chain.genesis ~justify:P.Chain.genesis_qc ~proposer:0 in
-  let b = P.Chain.make_block ~view:1 ~parent:P.Chain.genesis ~justify:P.Chain.genesis_qc ~proposer:1 in
+  let a = P.Chain.make_block ~view:1 ~parent:P.Chain.genesis ~justify:P.Chain.genesis_qc ~proposer:0 () in
+  let b = P.Chain.make_block ~view:1 ~parent:P.Chain.genesis ~justify:P.Chain.genesis_qc ~proposer:1 () in
   Alcotest.(check bool) "proposer distinguishes digests" true (a.digest <> b.digest)
 
 (* --- Protocol behaviour through the controller --- *)

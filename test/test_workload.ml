@@ -63,7 +63,7 @@ let test_arrival_with_rate () =
 
 (* --- Mempool --- *)
 
-let req id = { Wl.Mempool.id; arrived_ms = float_of_int id }
+let req id = { Wl.Mempool.id; arrived_ms = float_of_int id; key = 0; client = -1 }
 
 let test_mempool_fifo () =
   let p = Wl.Mempool.create ~capacity:10 in
@@ -91,6 +91,108 @@ let test_mempool_bound () =
   let taken = Wl.Mempool.take p ~max:3 in
   Alcotest.(check (list int)) "oldest kept" [ 0; 1; 2 ]
     (List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) taken)
+
+let test_mempool_requeue_front () =
+  let p = Wl.Mempool.create ~capacity:10 in
+  for i = 0 to 5 do
+    ignore (Wl.Mempool.add p (req i) : bool)
+  done;
+  let batch = Wl.Mempool.take p ~max:3 in
+  (* 3, 4, 5 remain; re-queueing [0;1;2] must put them back in front. *)
+  Wl.Mempool.requeue p batch;
+  Alcotest.(check int) "requeued counted" 3 (Wl.Mempool.requeued p);
+  Alcotest.(check (list int)) "front order restored" [ 0; 1; 2; 3; 4; 5 ]
+    (List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) (Wl.Mempool.take p ~max:10));
+  (* Re-queue bypasses the capacity bound: already-admitted requests. *)
+  let p2 = Wl.Mempool.create ~capacity:2 in
+  ignore (Wl.Mempool.add p2 (req 0) : bool);
+  ignore (Wl.Mempool.add p2 (req 1) : bool);
+  let b = Wl.Mempool.take p2 ~max:2 in
+  ignore (Wl.Mempool.add p2 (req 2) : bool);
+  ignore (Wl.Mempool.add p2 (req 3) : bool);
+  Wl.Mempool.requeue p2 b;
+  Alcotest.(check int) "over capacity transiently" 4 (Wl.Mempool.length p2);
+  Alcotest.(check int) "peak follows requeue" 4 (Wl.Mempool.peak p2)
+
+(* QCheck: arbitrary interleavings of submit / cut / stale-requeue /
+   commit never duplicate or lose a request id, and the peak high-water
+   mark tracks the maximum observed pool depth.  Ops are drawn as small
+   ints: 0 = submit, 1 = cut a batch (to in-flight), 2 = re-queue the
+   oldest in-flight batch, 3 = commit the oldest in-flight batch. *)
+let prop_requeue_conserves_ids =
+  QCheck.Test.make ~count:300 ~name:"mempool requeue conserves ids"
+    QCheck.(pair (int_range 1 32) (list_of_size Gen.(int_range 1 120) (int_range 0 3)))
+    (fun (capacity, ops) ->
+      let p = Wl.Mempool.create ~capacity in
+      let next = ref 0 in
+      let admitted = Hashtbl.create 64 in
+      let in_flight = Queue.create () in
+      let committed = Hashtbl.create 64 in
+      let expected_peak = ref 0 in
+      let observe_peak () = expected_peak := Stdlib.max !expected_peak (Wl.Mempool.length p) in
+      List.iter
+        (fun op ->
+          (match op with
+          | 0 ->
+            let id = !next in
+            incr next;
+            if Wl.Mempool.add p (req id) then Hashtbl.replace admitted id ()
+          | 1 -> (
+            match Wl.Mempool.take p ~max:3 with [] -> () | b -> Queue.add b in_flight)
+          | 2 -> if not (Queue.is_empty in_flight) then Wl.Mempool.requeue p (Queue.pop in_flight)
+          | _ ->
+            if not (Queue.is_empty in_flight) then
+              List.iter
+                (fun (r : Wl.Mempool.request) -> Hashtbl.replace committed r.Wl.Mempool.id ())
+                (Queue.pop in_flight));
+          observe_peak ())
+        ops;
+      let pool_ids = List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) (Wl.Mempool.to_list p) in
+      let flight_ids =
+        Queue.fold (fun acc b -> List.map (fun (r : Wl.Mempool.request) -> r.Wl.Mempool.id) b @ acc) [] in_flight
+      in
+      let committed_ids = Hashtbl.fold (fun id () acc -> id :: acc) committed [] in
+      let all = pool_ids @ flight_ids @ committed_ids in
+      let sorted = List.sort compare all in
+      let admitted_ids = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) admitted []) in
+      (* Conservation: every admitted id is in exactly one place. *)
+      sorted = admitted_ids
+      && List.length (List.sort_uniq compare all) = List.length all
+      && Wl.Mempool.peak p = !expected_peak)
+
+(* --- Keys --- *)
+
+let test_keys_roundtrip () =
+  let cases =
+    [ Wl.Keys.Single; Wl.Keys.uniform ~space:64; Wl.Keys.zipf ~s:1.1 (); Wl.Keys.zipf ~s:0.9 ~space:32 () ]
+  in
+  List.iter
+    (fun k ->
+      match Wl.Keys.of_string (Wl.Keys.to_cli_string k) with
+      | Ok k' -> Alcotest.(check bool) (Wl.Keys.describe k) true (k = k')
+      | Error e -> Alcotest.failf "reparse %s failed: %s" (Wl.Keys.to_cli_string k) e)
+    cases;
+  (match Wl.Keys.of_string "zipf:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative exponent accepted");
+  match Wl.Keys.of_string "uniform:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty key space accepted"
+
+let test_keys_zipf_skew () =
+  (* Single draws nothing from the RNG; zipf concentrates mass on low keys
+     and is deterministic per seed. *)
+  let r1 = rng () and r2 = rng () in
+  Alcotest.(check int) "single is key 0" 0 (Wl.Keys.sample (Wl.Keys.sampler Wl.Keys.Single) r1);
+  Alcotest.(check bool) "single consumes no randomness" true (Rng.bits64 r1 = Rng.bits64 r2);
+  let sampler = Wl.Keys.sampler (Wl.Keys.zipf ~s:1.3 ~space:128 ()) in
+  let draw r = Array.init 2000 (fun _ -> Wl.Keys.sample sampler r) in
+  let a = draw (rng ()) and b = draw (rng ()) in
+  Alcotest.(check bool) "deterministic per seed" true (a = b);
+  let hot = Array.fold_left (fun acc k -> if k < 8 then acc + 1 else acc) 0 a in
+  Alcotest.(check bool) "mass concentrates on hot keys" true (hot > 1000);
+  let in_range = Array.for_all (fun k -> k >= 0 && k < 128) a in
+  Alcotest.(check bool) "keys in range" true in_range
 
 (* --- Batch --- *)
 
@@ -195,6 +297,212 @@ let test_workload_disabled_identical () =
     && r1.Core.Controller.time_ms = r2.Core.Controller.time_ms
     && r1.Core.Controller.events_processed = r2.Core.Controller.events_processed)
 
+(* --- Cross-protocol differential load suite --- *)
+
+(* The paper's eight protocols (the golden set).  The single-shot
+   value-agreement family (add-*, algorand, async-ba) never pulls batches —
+   proposing a client batch would violate their validity condition — so
+   under load they commit zero requests; the accounting invariants must
+   hold for them all the same. *)
+let eight = [ "add-v1"; "add-v2"; "add-v3"; "algorand"; "async-ba"; "pbft"; "hotstuff-ns"; "librabft" ]
+
+let smr = [ "pbft"; "hotstuff-ns"; "librabft" ]
+
+let diff_config ~pipeline protocol =
+  let decisions_target = if List.mem protocol smr then 12 else 1 in
+  Core.Config.make protocol ~n:4 ~lambda_ms:200. ~delay:(Bftsim_net.Delay_model.Constant 20.)
+    ~decisions_target ~seed:7 ~pipeline
+
+let diff_driver () =
+  Wl.Driver.make
+    ~arrival:(Wl.Arrival.constant ~rate:1.)
+    ~policy:(Wl.Batch.make ~max_batch:32 ~max_wait_ms:10.)
+    ~mempool_capacity:256 ()
+
+(* Driver-side accounting vs the consensus logs: the committed-request set
+   the driver observed must be permutation-equal to the requests contained
+   in batch values decided by at least f+1 distinct nodes, and every
+   submitted id must be in exactly one of committed / dropped / pending /
+   in-flight. *)
+let check_differential ~pipeline protocol () =
+  let config = diff_config ~pipeline protocol in
+  let point, audit, result = Wl.Driver.run_point_audit (diff_driver ()) ~rate:400. config in
+  let f = (config.Core.Config.n - 1) / 3 in
+  (* Accounting identity: no arrival unaccounted. *)
+  Alcotest.(check int)
+    (protocol ^ ": submitted = committed + dropped + pending + in_flight")
+    point.Wl.Driver.submitted
+    (point.Wl.Driver.committed + point.Wl.Driver.dropped + point.Wl.Driver.pending
+   + point.Wl.Driver.in_flight);
+  (* No id is both committed and still pending/in-flight (and in particular
+     no dropped id can commit: drops never enter the pool). *)
+  let committed_sorted = List.sort compare audit.Wl.Driver.committed_ids in
+  Alcotest.(check bool) (protocol ^ ": no id committed twice") true
+    (List.sort_uniq compare committed_sorted = committed_sorted);
+  let module S = Set.Make (Int) in
+  let cset = S.of_list committed_sorted in
+  Alcotest.(check bool) (protocol ^ ": committed disjoint from pending") true
+    (not (List.exists (fun id -> S.mem id cset) audit.Wl.Driver.pending_ids));
+  Alcotest.(check bool) (protocol ^ ": committed disjoint from in-flight") true
+    (not (List.exists (fun id -> S.mem id cset) audit.Wl.Driver.in_flight_ids));
+  (* Permutation equality against the consensus logs. *)
+  let decided_counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_node, values) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace decided_counts v (1 + Option.value ~default:0 (Hashtbl.find_opt decided_counts v)))
+        (List.sort_uniq compare values))
+    result.Core.Controller.decisions;
+  let expected =
+    List.concat_map
+      (fun (value, ids) ->
+        match Hashtbl.find_opt decided_counts value with
+        | Some c when c >= f + 1 -> ids
+        | Some _ | None -> [])
+      audit.Wl.Driver.batch_log
+  in
+  Alcotest.(check (list int))
+    (protocol ^ ": committed ids permutation-equal to quorum-decided batches")
+    (List.sort compare expected) committed_sorted;
+  (* The wired SMR protocols must actually move requests through. *)
+  if List.mem protocol smr then
+    Alcotest.(check bool) (protocol ^ ": nonzero goodput") true (point.Wl.Driver.committed > 0)
+
+let test_differential_depth1 () = List.iter (fun p -> check_differential ~pipeline:1 p ()) eight
+
+let test_differential_depth4 () = List.iter (fun p -> check_differential ~pipeline:4 p ()) eight
+
+let test_chained_extensions_differential () =
+  (* The chained/pipelined extension protocols go through the same audit. *)
+  List.iter
+    (fun p ->
+      let config =
+        Core.Config.make p ~n:4 ~lambda_ms:200. ~delay:(Bftsim_net.Delay_model.Constant 20.)
+          ~decisions_target:12 ~seed:7 ~pipeline:4
+      in
+      let point, audit, _ = Wl.Driver.run_point_audit (diff_driver ()) ~rate:400. config in
+      Alcotest.(check int) (p ^ ": accounting identity") point.Wl.Driver.submitted
+        (point.Wl.Driver.committed + point.Wl.Driver.dropped + point.Wl.Driver.pending
+       + point.Wl.Driver.in_flight);
+      Alcotest.(check bool) (p ^ ": goodput") true (point.Wl.Driver.committed > 0);
+      Alcotest.(check bool) (p ^ ": no duplicate commits") true
+        (let s = List.sort compare audit.Wl.Driver.committed_ids in
+         List.sort_uniq compare s = s))
+    [ "tendermint"; "hotstuff-cogsworth"; "sync-hotstuff" ]
+
+let test_chained_pipeline_speedup () =
+  (* The tentpole claim: a chained protocol at depth 4 moves at least 2x
+     the requests of depth 1 over the same heights at saturation. *)
+  let run pipeline =
+    let config =
+      Core.Config.make "hotstuff-ns" ~n:4 ~lambda_ms:200.
+        ~delay:(Bftsim_net.Delay_model.Constant 20.) ~decisions_target:20 ~seed:7 ~pipeline
+    in
+    let p, _ = Wl.Driver.run_point (diff_driver ()) ~rate:4000. config in
+    p.Wl.Driver.throughput
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth-4 >= 2x depth-1 (%.1f vs %.1f req/s)" t4 t1)
+    true (t4 >= 2. *. t1)
+
+(* --- Re-queue accounting under churn --- *)
+
+let test_requeue_churn_accounting () =
+  (* A churny view-change schedule (chaos crash/recover on rotating
+     leaders) with a batch wait longer than the base view duration: some
+     leader continuations fire after their view moved on, and those batches
+     must be re-queued and eventually committed, never lost.  The identity
+     [submitted = committed + dropped + pending + in_flight] holding with
+     [requeued > 0] is the "no arrival unaccounted" acceptance check. *)
+  let chaos =
+    [
+      { Bftsim_attack.Fault_schedule.at_ms = 100.; action = Bftsim_attack.Fault_schedule.Crash 1 };
+      { Bftsim_attack.Fault_schedule.at_ms = 2500.; action = Bftsim_attack.Fault_schedule.Recover 1 };
+      { Bftsim_attack.Fault_schedule.at_ms = 2600.; action = Bftsim_attack.Fault_schedule.Crash 2 };
+      { Bftsim_attack.Fault_schedule.at_ms = 5000.; action = Bftsim_attack.Fault_schedule.Recover 2 };
+    ]
+  in
+  let config =
+    Core.Config.make "hotstuff-ns" ~n:4 ~lambda_ms:100.
+      ~delay:(Bftsim_net.Delay_model.Constant 10.) ~decisions_target:30 ~seed:11 ~chaos
+      ~max_time_ms:60_000. ~pipeline:2
+  in
+  let driver =
+    Wl.Driver.make
+      ~arrival:(Wl.Arrival.constant ~rate:1.)
+      ~policy:(Wl.Batch.make ~max_batch:512 ~max_wait_ms:400.)
+      ~mempool_capacity:4096 ()
+  in
+  let point, audit, _ = Wl.Driver.run_point_audit driver ~rate:300. config in
+  Alcotest.(check bool) "stale batches were re-queued" true (point.Wl.Driver.requeued > 0);
+  Alcotest.(check bool) "progress despite churn" true (point.Wl.Driver.committed > 0);
+  Alcotest.(check int) "every arrival accounted" point.Wl.Driver.submitted
+    (point.Wl.Driver.committed + point.Wl.Driver.dropped + point.Wl.Driver.pending
+   + point.Wl.Driver.in_flight);
+  (* Re-queued requests are not lost: each re-queued id ends up committed,
+     pending, or in flight — and never in two places. *)
+  let module S = Set.Make (Int) in
+  let c = S.of_list audit.Wl.Driver.committed_ids in
+  let p = S.of_list audit.Wl.Driver.pending_ids in
+  let fl = S.of_list audit.Wl.Driver.in_flight_ids in
+  Alcotest.(check bool) "states disjoint" true
+    (S.is_empty (S.inter c p) && S.is_empty (S.inter c fl) && S.is_empty (S.inter p fl));
+  List.iter
+    (fun (id, times) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "requeued id %d (x%d) accounted" id times)
+        true
+        (S.mem id c || S.mem id p || S.mem id fl))
+    audit.Wl.Driver.requeued_ids;
+  (* wl.requeued + wl.dropped + wl.committed covers every *resolved*
+     arrival: metrics view of the same identity. *)
+  let requeue_events = List.fold_left (fun acc (_, n) -> acc + n) 0 audit.Wl.Driver.requeued_ids in
+  Alcotest.(check int) "requeue count matches audit" point.Wl.Driver.requeued requeue_events
+
+(* --- Closed loop + keys --- *)
+
+let test_closed_loop_self_limits () =
+  let config = load_config () in
+  let driver =
+    Wl.Driver.make
+      ~policy:(Wl.Batch.make ~max_batch:64 ~max_wait_ms:20.)
+      ~mempool_capacity:512
+      ~clients:(Wl.Driver.Closed_loop { cap = 4 })
+      ()
+  in
+  (* rate = population size in closed-loop mode. *)
+  let p8, _ = Wl.Driver.run_point driver ~rate:8. config in
+  let p32, _ = Wl.Driver.run_point driver ~rate:32. config in
+  Alcotest.(check string) "closed loop reaches target" "reached-target" p8.Wl.Driver.outcome;
+  (* Self-limiting: in-flight never exceeds population x cap, nothing is
+     ever dropped, and more clients push more requests through. *)
+  Alcotest.(check int) "closed loop never drops" 0 p8.Wl.Driver.dropped;
+  Alcotest.(check bool) "peak bounded by population window" true
+    (p8.Wl.Driver.mempool_peak <= 8 * 4);
+  Alcotest.(check bool) "population scales throughput" true
+    (p32.Wl.Driver.committed > p8.Wl.Driver.committed);
+  let p8', _ = Wl.Driver.run_point driver ~rate:8. config in
+  Alcotest.(check bool) "closed loop deterministic" true (p8 = p8')
+
+let test_keyed_conflicts_counted () =
+  let config = load_config () in
+  let mk keys =
+    Wl.Driver.make
+      ~policy:(Wl.Batch.make ~max_batch:64 ~max_wait_ms:20.)
+      ~mempool_capacity:512 ~keys ()
+  in
+  let hot, _ = Wl.Driver.run_point (mk (Wl.Keys.zipf ~s:1.5 ~space:16 ())) ~rate:800. config in
+  let cold, _ = Wl.Driver.run_point (mk (Wl.Keys.uniform ~space:4096)) ~rate:800. config in
+  let unkeyed, _ = Wl.Driver.run_point (mk Wl.Keys.Single) ~rate:800. config in
+  Alcotest.(check int) "single mode counts no conflicts" 0 unkeyed.Wl.Driver.key_conflicts;
+  Alcotest.(check bool) "hot zipf keys conflict more than a wide uniform space" true
+    (hot.Wl.Driver.key_conflicts > cold.Wl.Driver.key_conflicts);
+  (* Keyed runs keep the unkeyed arrival schedule: same submission count. *)
+  Alcotest.(check int) "arrival schedule unperturbed by keying" unkeyed.Wl.Driver.submitted
+    hot.Wl.Driver.submitted
+
 let () =
   Alcotest.run "workload"
     [
@@ -209,6 +517,13 @@ let () =
         [
           Alcotest.test_case "FIFO order" `Quick test_mempool_fifo;
           Alcotest.test_case "bound drops newest" `Quick test_mempool_bound;
+          Alcotest.test_case "requeue front order" `Quick test_mempool_requeue_front;
+          QCheck_alcotest.to_alcotest prop_requeue_conserves_ids;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "cli roundtrip" `Quick test_keys_roundtrip;
+          Alcotest.test_case "zipf skew" `Quick test_keys_zipf_skew;
         ] );
       ( "batch", [ Alcotest.test_case "policy parse and size" `Quick test_batch_policy ] );
       ( "driver",
@@ -220,5 +535,16 @@ let () =
           Alcotest.test_case "pipelined liveness" `Quick test_driver_pipeline_commits;
           Alcotest.test_case "wl metrics injected" `Quick test_driver_metrics_injected;
           Alcotest.test_case "disabled path deterministic" `Quick test_workload_disabled_identical;
+          Alcotest.test_case "closed loop self-limits" `Quick test_closed_loop_self_limits;
+          Alcotest.test_case "keyed conflicts counted" `Quick test_keyed_conflicts_counted;
         ] );
+      ( "differential",
+        [
+          Alcotest.test_case "eight protocols, depth 1" `Quick test_differential_depth1;
+          Alcotest.test_case "eight protocols, depth 4" `Quick test_differential_depth4;
+          Alcotest.test_case "chained extensions, depth 4" `Quick test_chained_extensions_differential;
+          Alcotest.test_case "chained pipeline speedup" `Quick test_chained_pipeline_speedup;
+        ] );
+      ( "churn",
+        [ Alcotest.test_case "requeue accounting under view changes" `Quick test_requeue_churn_accounting ] );
     ]
