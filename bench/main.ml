@@ -19,6 +19,7 @@ module Core = Bftsim_core
 module Net = Bftsim_net
 module B = Bftsim_baseline
 module Wl = Bftsim_workload
+module Attack = Bftsim_attack
 
 let reps = Core.Runner.default_reps ()
 
@@ -716,6 +717,85 @@ let chained_pipeline () =
     [ "hotstuff-ns"; "librabft"; "tendermint"; "pbft" ];
   chained_pipeline_record := List.rev !chained_pipeline_record
 
+(* ---------------- Recovery overhead ---------------- *)
+
+(* (protocol, clean_s, lossy_s, chaos_s, catchup_ms, retrans) per protocol,
+   for --json.  The PR-10 gate is that every chaos run reaches its target. *)
+let recovery_record : (string * float * float * float * float * int) list ref = ref []
+
+let recovery_overhead () =
+  section
+    "Recovery overhead — simulated time (s) to 30 decisions for the\n\
+     protocols with a recovery story: clean network, 5% loss over the\n\
+     reliable channel, and the same loss with node 2 crashed at 0.5 s and\n\
+     restarted at 2 s (WAL rehydration + state transfer).  'catchup' is how\n\
+     long the restarted replica took to rejoin after its restart;\n\
+     'retrans' counts reliable-channel retransmissions in the chaos run";
+  Printf.printf "  %-14s %10s %10s %10s %10s %12s %9s\n" "protocol" "clean" "lossy" "chaos"
+    "overhead" "catchup (ms)" "retrans";
+  recovery_record := [];
+  let counter_of r name =
+    match r.Core.Controller.metrics with
+    | None -> 0
+    | Some m ->
+      (match List.assoc_opt name (Bftsim_obs.Metrics.snapshot m) with
+      | Some (Bftsim_obs.Metrics.Counter_v c) -> c
+      | _ -> 0)
+  in
+  let catchup_of r =
+    match r.Core.Controller.metrics with
+    | None -> 0.
+    | Some m ->
+      (match List.assoc_opt "recovery.catchup_ms" (Bftsim_obs.Metrics.snapshot m) with
+      | Some (Bftsim_obs.Metrics.Histogram_v h) -> h.Bftsim_obs.Metrics.s_sum
+      | _ -> 0.)
+  in
+  List.iter
+    (fun protocol ->
+      let base =
+        {
+          (Core.Config.make protocol ~n:7 ~seed:1 ~decisions_target:30 ~lambda_ms:200.
+             ~delay:(Net.Delay_model.normal ~mu:50. ~sigma:10.))
+          with
+          Core.Config.telemetry =
+            { Core.Config.default_telemetry with Core.Config.metrics = true };
+          max_time_ms = 600_000.;
+        }
+      in
+      let lossy =
+        {
+          base with
+          Core.Config.loss = Net.Loss_model.make ~drop:0.05 ();
+          reliable = true;
+        }
+      in
+      let chaos =
+        {
+          lossy with
+          Core.Config.chaos =
+            Attack.Fault_schedule.crash_and_restart ~nodes:[ 2 ] ~crash_ms:500.
+              ~restart_ms:2_000.;
+        }
+      in
+      let run config =
+        let r = Core.Controller.run config in
+        if r.Core.Controller.outcome <> Core.Controller.Reached_target then
+          failwith
+            (Printf.sprintf "recovery kernel: %s did not reach its decision target" protocol);
+        r
+      in
+      let clean_r = run base and lossy_r = run lossy and chaos_r = run chaos in
+      let s r = r.Core.Controller.time_ms /. 1000. in
+      let catchup = catchup_of chaos_r and retrans = counter_of chaos_r "net.retrans" in
+      recovery_record :=
+        (protocol, s clean_r, s lossy_r, s chaos_r, catchup, retrans) :: !recovery_record;
+      Printf.printf "  %-14s %9.2fs %9.2fs %9.2fs %9.2fx %12.1f %9d\n%!" protocol (s clean_r)
+        (s lossy_r) (s chaos_r)
+        (s chaos_r /. Float.max (s clean_r) 1e-9)
+        catchup retrans)
+    [ "pbft"; "hotstuff-ns"; "librabft" ];
+  recovery_record := List.rev !recovery_record
+
 (* ---------------- JSON report ---------------- *)
 
 let write_json path =
@@ -783,6 +863,19 @@ let write_json path =
     | None -> ());
     out ", \"curve\": %s },\n" (Bftsim_obs.Json.to_string (Wl.Driver.curve_to_json curve))
   | None -> ());
+  (match !recovery_record with
+  | [] -> ()
+  | rows ->
+    out "  \"recovery_overhead\": { \"kernel\": \"n7-30dec-loss5-crash500-restart2000\", \"rows\": [\n";
+    List.iteri
+      (fun i (protocol, clean_s, lossy_s, chaos_s, catchup_ms, retrans) ->
+        out
+          "    { \"protocol\": %S, \"clean_s\": %.4f, \"lossy_s\": %.4f, \"chaos_s\": %.4f, \
+           \"catchup_ms\": %.1f, \"retrans\": %d }%s\n"
+          protocol clean_s lossy_s chaos_s catchup_ms retrans
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    out "  ] },\n");
   (match !chained_pipeline_record with
   | [] -> ()
   | rows ->
@@ -884,6 +977,7 @@ let () =
     timed "fig2" (fig2 ~max_n:fig2_cap);
     timed "load-throughput" load_throughput;
     timed "chained-pipeline" chained_pipeline;
+    timed "recovery-overhead" recovery_overhead;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
     timed "event-cost" event_cost;
@@ -905,6 +999,7 @@ let () =
     timed "throughput-extension" throughput_extension;
     timed "ablation-pacemaker" ablation_pacemaker;
     timed "chaos-suite" chaos_suite;
+    timed "recovery-overhead" recovery_overhead;
     timed "obs-overhead" obs_overhead;
     timed "supervision-overhead" supervision_overhead;
     timed "event-cost" event_cost;

@@ -56,8 +56,8 @@ let read_config_file path =
   List.rev !kvs
 
 let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ?zones ?bandwidth ?pipeline
-    ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time
-    ~chaos ~watchdog () =
+    ?(extra = []) ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs
+    ~max_time ~chaos ~watchdog () =
   let file_kvs = match config_file with Some path -> read_config_file path | None -> [] in
   let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
   (* Flags override file values because assoc finds the first binding. *)
@@ -68,7 +68,7 @@ let config_of_args ?transport ?costs ?deadline ?retries ?quarantine ?zones ?band
     @ flag "costs" costs @ flag "chaos" chaos @ flag "watchdog" watchdog
     @ flag "deadline_ms" deadline @ flag "retries" retries @ flag "quarantine" quarantine
     @ flag "zones" zones @ flag "bandwidth" bandwidth @ flag "pipeline" pipeline
-    @ file_kvs
+    @ extra @ file_kvs
   in
   Core.Config.of_keyvalues kvs
 
@@ -134,6 +134,77 @@ let watchdog_arg =
      (once all scheduled chaos steps have played out)."
   in
   Arg.(value & opt (some string) None & info [ "watchdog" ] ~docv:"K" ~doc)
+
+(* Lossy-network / crash-recovery family, bundled into one term that yields
+   the key = value pairs [config_of_args] splices in front of the config
+   file (so flags override file values, like every other flag). *)
+let lossy_args =
+  let loss =
+    Arg.(value & opt (some string) None
+         & info [ "loss" ] ~docv:"P"
+             ~doc:"Independent per-message drop probability on every link.")
+  in
+  let dup =
+    Arg.(value & opt (some string) None
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-delivered-message duplication probability.")
+  in
+  let reorder =
+    Arg.(value & opt (some string) None
+         & info [ "reorder" ] ~docv:"MS"
+             ~doc:"Reordering window: extra uniform [0,$(docv)) delay per delivered message.")
+  in
+  let burst_loss =
+    Arg.(value & opt (some string) None
+         & info [ "burst-loss" ] ~docv:"GB,BG,BAD"
+             ~doc:"Gilbert-Elliott burst loss per link: good-to-bad and bad-to-good transition \
+                   probabilities and the drop probability while in the bad state.")
+  in
+  let reliable =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"Run protocol traffic over the simulated reliable channel: sequence-numbered \
+                   frames, acks, retransmission with exponential backoff, receive-side \
+                   deduplication.")
+  in
+  let retrans_base =
+    Arg.(value & opt (some string) None
+         & info [ "retrans-base" ] ~docv:"MS"
+             ~doc:"Reliable-channel base retransmission timeout (default 2 lambda).")
+  in
+  let retrans_backoff =
+    Arg.(value & opt (some string) None
+         & info [ "retrans-backoff" ] ~docv:"F"
+             ~doc:"Reliable-channel exponential backoff factor (default 2).")
+  in
+  let retrans_max =
+    Arg.(value & opt (some string) None
+         & info [ "retrans-max" ] ~docv:"INT"
+             ~doc:"Retransmissions per frame before the channel gives up (default 10).")
+  in
+  let wal_ms =
+    Arg.(value & opt (some string) None
+         & info [ "wal-ms" ] ~docv:"MS"
+             ~doc:"Simulated write-ahead-log write latency charged to the node's CPU per \
+                   Context.persist call.")
+  in
+  let stall_ms =
+    Arg.(value & opt (some string) None
+         & info [ "stall-ms" ] ~docv:"MS"
+             ~doc:"Absolute liveness-watchdog stall threshold (ms); overrides the \
+                   $(b,--watchdog) multiplier.")
+  in
+  let collect loss dup reorder burst_loss reliable retrans_base retrans_backoff retrans_max
+      wal_ms stall_ms =
+    let flag key value = match value with Some v -> [ (key, v) ] | None -> [] in
+    flag "loss" loss @ flag "dup" dup @ flag "reorder" reorder @ flag "burst_loss" burst_loss
+    @ (if reliable then [ ("reliable", "true") ] else [])
+    @ flag "retrans_base_ms" retrans_base
+    @ flag "retrans_backoff" retrans_backoff
+    @ flag "retrans_max" retrans_max @ flag "wal_ms" wal_ms @ flag "stall_ms" stall_ms
+  in
+  Term.(
+    const collect $ loss $ dup $ reorder $ burst_loss $ reliable $ retrans_base
+    $ retrans_backoff $ retrans_max $ wal_ms $ stall_ms)
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log simulation events.")
 
@@ -225,11 +296,11 @@ let run_cmd =
     Arg.(value & flag & info [ "views" ] ~doc:"Sample views every 250 ms and render the timeline.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs trace trace_format metrics events views verbose =
+      chaos watchdog transport costs lossy trace trace_format metrics events views verbose =
     setup_logs verbose;
     match
-      config_of_args ?transport ?costs ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack
-        ~crashed ~target ~inputs ~max_time ~chaos ~watchdog ()
+      config_of_args ?transport ?costs ~extra:lossy ~config_file ~protocol ~n ~lambda ~delay
+        ~seed ~attack ~crashed ~target ~inputs ~max_time ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -275,8 +346,8 @@ let run_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ trace_arg $ trace_format_arg $ metrics_arg
-      $ events_arg $ views_arg $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ lossy_args $ trace_arg $ trace_format_arg
+      $ metrics_arg $ events_arg $ views_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulation and print its metrics") term
 
@@ -297,16 +368,16 @@ let sweep_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-run results as CSV.")
   in
   let action config_file protocol n lambda delay seed attack crashed target inputs max_time
-      chaos watchdog transport costs reps jobs journal resume deadline retries quarantine csv
-      metrics verbose =
+      chaos watchdog transport costs lossy reps jobs journal resume deadline retries quarantine
+      csv metrics verbose =
     setup_logs verbose;
     match
       config_of_args ?transport ?costs
         ?deadline:(Option.map (Printf.sprintf "%g") deadline)
         ?retries:(Option.map string_of_int retries)
         ?quarantine:(Option.map string_of_int quarantine)
-        ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target ~inputs ~max_time
-        ~chaos ~watchdog ()
+        ~extra:lossy ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack ~crashed ~target
+        ~inputs ~max_time ~chaos ~watchdog ()
     with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -371,8 +442,9 @@ let sweep_cmd =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
       $ attack_arg $ crashed_arg $ target_arg $ inputs_arg $ max_time_arg $ chaos_arg
-      $ watchdog_arg $ transport_arg $ costs_arg $ reps_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ deadline_arg $ retries_arg $ quarantine_arg $ csv_arg $ metrics_arg $ verbose_arg)
+      $ watchdog_arg $ transport_arg $ costs_arg $ lossy_args $ reps_arg $ jobs_arg $ journal_arg
+      $ resume_arg $ deadline_arg $ retries_arg $ quarantine_arg $ csv_arg $ metrics_arg
+      $ verbose_arg)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a configuration repeatedly and report mean/stddev") term
 
@@ -445,7 +517,7 @@ let load_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the curve as JSON.")
   in
-  let action config_file protocol n lambda delay seed crashed max_time rates arrival batch
+  let action config_file protocol n lambda delay seed crashed max_time lossy rates arrival batch
       mempool clients keys heights zones bandwidth pipeline jobs journal resume csv out metrics
       verbose =
     setup_logs verbose;
@@ -471,7 +543,7 @@ let load_cmd =
         config_of_args ?zones
           ?bandwidth:(Option.map (Printf.sprintf "%g") bandwidth)
           ?pipeline:(Option.map string_of_int pipeline)
-          ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack:None ~crashed
+          ~extra:lossy ~config_file ~protocol ~n ~lambda ~delay ~seed ~attack:None ~crashed
           ~target:(Some (string_of_int heights)) ~inputs:None ~max_time ~chaos:None
           ~watchdog:None ()
       in
@@ -537,9 +609,10 @@ let load_cmd =
   let term =
     Term.(
       const action $ config_file_arg $ protocol_arg $ n_arg $ lambda_arg $ delay_arg $ seed_arg
-      $ crashed_arg $ max_time_arg $ rates_arg $ arrival_arg $ batch_arg $ mempool_arg
-      $ clients_arg $ keys_arg $ heights_arg $ zones_arg $ bandwidth_arg $ pipeline_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ csv_arg $ out_arg $ metrics_arg $ verbose_arg)
+      $ crashed_arg $ max_time_arg $ lossy_args $ rates_arg $ arrival_arg $ batch_arg
+      $ mempool_arg $ clients_arg $ keys_arg $ heights_arg $ zones_arg $ bandwidth_arg
+      $ pipeline_arg $ jobs_arg $ journal_arg $ resume_arg $ csv_arg $ out_arg $ metrics_arg
+      $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "load"

@@ -78,6 +78,8 @@ module Rotating_echo = struct
       end
     | _ -> ()
 
+  let on_restart = on_start
+
   let view t = t.round
 end
 

@@ -4,6 +4,7 @@ open Bftsim_net
 type action =
   | Crash of int
   | Recover of int
+  | Restart of int
   | Partition of int list list
   | Heal
   | Loss_burst of { p : float; until_ms : float }
@@ -24,6 +25,7 @@ let normalize t = List.stable_sort (fun a b -> Float.compare a.at_ms b.at_ms) t
 let describe_action = function
   | Crash node -> Printf.sprintf "crash:%d" node
   | Recover node -> Printf.sprintf "recover:%d" node
+  | Restart node -> Printf.sprintf "restart:%d" node
   | Partition groups ->
     Printf.sprintf "partition:%s"
       (String.concat "|"
@@ -63,6 +65,7 @@ let validate ~n t =
       match s.action with
       | Crash node -> check_node "crash" node
       | Recover node -> check_node "recovery" node
+      | Restart node -> check_node "restart" node
       | Partition groups ->
         let seen = Hashtbl.create 16 in
         List.iter
@@ -105,12 +108,27 @@ let validate ~n t =
         if not (Hashtbl.mem down node) then
           fail "Fault_schedule: recovery of node %d at %g without a preceding crash" node s.at_ms;
         Hashtbl.remove down node
+      | Restart node ->
+        if not (Hashtbl.mem down node) then
+          fail
+            "Fault_schedule: restart of node %d at %g without a preceding crash (restart = recover with volatile state lost)"
+            node s.at_ms;
+        Hashtbl.remove down node
       | _ -> ())
     (normalize t)
 
 let crash_and_recover ~nodes ~crash_ms ~recover_ms =
   List.map (fun node -> { at_ms = crash_ms; action = Crash node }) nodes
   @ List.map (fun node -> { at_ms = recover_ms; action = Recover node }) nodes
+
+let crash_and_restart ~nodes ~crash_ms ~restart_ms =
+  List.map (fun node -> { at_ms = crash_ms; action = Crash node }) nodes
+  @ List.map (fun node -> { at_ms = restart_ms; action = Restart node }) nodes
+
+let restarts t =
+  List.filter_map (fun s -> match s.action with Restart node -> Some node | _ -> None) t
+
+let has_restart t ~node = List.mem node (restarts t)
 
 (* The evaluators fold over the normalized plan, so the last step at or
    before the query time wins — callers pass normalized schedules (the
@@ -124,6 +142,7 @@ let crashed_at t ~node ~at_ms =
         match s.action with
         | Crash m when m = node -> true
         | Recover m when m = node -> false
+        | Restart m when m = node -> false
         | _ -> down)
     false t
 
@@ -134,7 +153,7 @@ let next_recovery_after t ~node ~at_ms =
   List.fold_left
     (fun acc s ->
       match s.action with
-      | Recover m when m = node && s.at_ms > at_ms -> (
+      | (Recover m | Restart m) when m = node && s.at_ms > at_ms -> (
         match acc with Some best when best <= s.at_ms -> acc | _ -> Some s.at_ms)
       | _ -> acc)
     None t
@@ -270,6 +289,9 @@ let parse_step s =
     | "recover" ->
       let* node = parse_int "recovery node" rest in
       timed (Recover node)
+    | "restart" ->
+      let* node = parse_int "restart node" rest in
+      timed (Restart node)
     | "partition" ->
       let* groups =
         List.fold_left

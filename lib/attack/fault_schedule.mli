@@ -26,7 +26,15 @@ type action =
       (** Fail-stop the node: messages it sends are lost, messages arriving
           while it is down are lost, and its pending timers are deferred to
           its next {!Recover} (dropped if it never recovers). *)
-  | Recover of int  (** Restart a crashed node. *)
+  | Recover of int
+      (** Bring a crashed node back up with its in-memory state intact —
+          the node object survives, as if the process was merely paused. *)
+  | Restart of int
+      (** Bring a crashed node back up {e losing all volatile state}: the
+          controller creates a fresh node object, which rehydrates from its
+          simulated WAL ([Context.persist] / [recall]) and catches up with
+          peers via the protocol's [on_restart] hook.  Like {!Recover}, it
+          ends the crash window. *)
   | Partition of int list list
       (** Disjoint groups; cross-group traffic is dropped until {!Heal}.
           Nodes not listed in any group form one implicit residual group. *)
@@ -62,15 +70,24 @@ val validate : n:int -> t -> unit
     outside [\[0, n)], non-finite or negative times, burst windows ending
     before they start, probabilities outside [\[0, 1\]], overlapping
     partition groups, crash windows that overlap on the same node, and
-    recoveries without a preceding crash. *)
+    recoveries/restarts without a preceding crash. *)
 
 val crash_and_recover : nodes:int list -> crash_ms:float -> recover_ms:float -> t
 (** The canonical chaos scenario: fail-stop [nodes] at [crash_ms] and
     restart them at [recover_ms]. *)
 
+val crash_and_restart : nodes:int list -> crash_ms:float -> restart_ms:float -> t
+(** Like {!crash_and_recover}, but the nodes come back with volatile state
+    lost ({!Restart}) and must rehydrate + catch up. *)
+
+val restarts : t -> int list
+(** Nodes the plan restarts (with multiplicity, in plan order). *)
+
+val has_restart : t -> node:int -> bool
+
 val crashed_at : t -> node:int -> at_ms:float -> bool
 (** Pure evaluation of the plan: is [node] down at [at_ms]?  (Last
-    crash/recover step at or before [at_ms] wins.) *)
+    crash/recover/restart step at or before [at_ms] wins.) *)
 
 val ever_crashed : t -> node:int -> bool
 (** Does the plan crash [node] at any point?  Recovered nodes have sparse
@@ -78,7 +95,8 @@ val ever_crashed : t -> node:int -> bool
     apply to nodes for which this is [false]. *)
 
 val next_recovery_after : t -> node:int -> at_ms:float -> float option
-(** Earliest [Recover node] step strictly after [at_ms], if any. *)
+(** Earliest [Recover node] or [Restart node] step strictly after [at_ms],
+    if any. *)
 
 val separated : t -> src:int -> dst:int -> at_ms:float -> bool
 (** Does the partition active at [at_ms] (if any) place [src] and [dst] in
@@ -102,7 +120,8 @@ val describe_action : action -> string
 
 val of_string : string -> (t, string) result
 (** Parses the CLI syntax: semicolon-separated steps, each [action@time]:
-    [crash:<id>@<ms>], [recover:<id>@<ms>],
+    [crash:<id>@<ms>], [recover:<id>@<ms>], [restart:<id>@<ms>]
+    (recovery with volatile state lost),
     [partition:<ids>|<ids>|...@<ms>] (comma-separated ids per group),
     [heal@<ms>], [loss:<p>@<from>-<until>], [dup:<p>@<from>-<until>],
     [spike:<extra_ms>@<from>-<until>], [gst:<delay-model>@<ms>] (any

@@ -189,6 +189,10 @@ let run ?(protocol = "pbft") ?(decisions_target = 1) ?(max_time_ms = 600_000.)
       leader_schedule = None;
       request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
+      durable = false;
+      persist = (fun ~key:_ _ -> ());
+      recall = (fun ~key:_ -> None);
+      on_caught_up = ignore;
     }
   in
   for i = 0 to n - 1 do

@@ -201,10 +201,76 @@ let check_trace config (result : Controller.result) =
      else [])
     @ agreement_over ~aligned:(aligned config result) from_trace
 
+(* Crash-recovery oracle: a node the chaos plan restarts must rejoin the
+   network instead of forking away from it.  Two obligations:
+
+   (a) no conflicting re-commits — at every decision index the restarted
+       node shares with the reference log (the longest log among aligned
+       nodes), the values agree.  Catch-up re-commits the missed suffix, so
+       an index-shifted or diverging log means the WAL rehydration or the
+       block/state transfer replayed history wrong;
+   (b) rejoin within [view_slack] views — the restarted node's final view
+       must reach the aligned maximum minus the slack.  A node stuck in a
+       stale view never rejoined, even if it re-decided old values. *)
+let recovery ?(view_slack = 4) (config : Config.t) (result : Controller.result) =
+  let restarted =
+    List.sort_uniq compare (Attack.Fault_schedule.restarts config.Config.chaos)
+  in
+  if restarted = [] then []
+  else begin
+    let verdicts = ref [] in
+    let flag detail = verdicts := { oracle = "recovery"; detail } :: !verdicts in
+    let aligned = aligned config result in
+    let reference =
+      List.fold_left
+        (fun acc (node, values) ->
+          if not (aligned node) then acc
+          else
+            match acc with
+            | Some (_, best) when List.length best >= List.length values -> acc
+            | _ -> Some (node, values))
+        None result.Controller.decisions
+    in
+    let max_view =
+      let m = ref (-1) in
+      Array.iteri
+        (fun node v -> if aligned node && v > !m then m := v)
+        result.Controller.final_views;
+      !m
+    in
+    List.iter
+      (fun node ->
+        (match (reference, List.assoc_opt node result.Controller.decisions) with
+        | Some (ref_node, ref_values), Some values ->
+          List.iteri
+            (fun k value ->
+              match List.nth_opt ref_values k with
+              | Some expected when not (String.equal expected value) ->
+                flag
+                  (Printf.sprintf
+                     "restarted node %d committed %S at index %d where node %d committed %S" node
+                     value k ref_node expected)
+              | Some _ | None -> ())
+            values
+        | _, _ -> ());
+        if max_view >= 0 && node >= 0 && node < Array.length result.Controller.final_views then begin
+          let v = result.Controller.final_views.(node) in
+          if v >= 0 && v < max_view - view_slack then
+            flag
+              (Printf.sprintf
+                 "restarted node %d finished in view %d, more than %d views behind the network \
+                  (view %d): it never rejoined"
+                 node v view_slack max_view)
+        end)
+      restarted;
+    List.rev !verdicts
+  end
+
 let check_result config result =
   qc_sanity ~n:config.Config.n
   @ agreement config result
   @ integrity config result
   @ validity config result
+  @ recovery config result
   @ online result
   @ check_trace config result

@@ -49,6 +49,16 @@ val qc_sanity : n:int -> verdict list
 (** Pure arithmetic check of {!Bftsim_protocols.Quorum} for this [n];
     independent of any run, evaluated once per scenario. *)
 
+val recovery : ?view_slack:int -> Config.t -> Controller.result -> verdict list
+(** Crash-recovery oracle, active only when the chaos plan contains
+    [restart@] steps: every restarted node must (a) never commit a value
+    conflicting with the reference log (the longest log among aligned
+    nodes) at a shared decision index — catch-up must replay history, not
+    rewrite it — and (b) finish within [view_slack] (default 4) views of
+    the aligned maximum, i.e. actually rejoin.  Protocols that rejoin from
+    scratch (no recovery story) trivially satisfy (a) by re-deciding the
+    same one-shot value and (b) because the network's views stay small. *)
+
 val online : Controller.result -> verdict list
 
 val check_trace : Config.t -> Controller.result -> verdict list

@@ -65,6 +65,27 @@ type t = {
   pipeline : int;
       (** Consensus heights a leader may keep in flight (slot-based
           protocols); 1 = the classic sequential behavior. *)
+  loss : Loss_model.t;
+      (** Stochastic per-link network faults (drop / dup / reorder /
+          Gilbert–Elliott burst loss).  {!Loss_model.none} keeps the
+          legacy reliable-delivery path bit for bit. *)
+  reliable : bool;
+      (** Run protocol traffic over the simulated reliable channel:
+          sequence-numbered frames, acks, retransmission with exponential
+          backoff, dedup on receive.  [false] = the exact legacy path. *)
+  retrans_base_ms : float;
+      (** Base retransmission timeout.  [0.] (the default) derives it as
+          [2 * lambda_ms] at run time. *)
+  retrans_backoff : float;  (** Exponential backoff factor, >= 1. *)
+  retrans_max : int;  (** Retransmission attempts before giving up. *)
+  wal_ms : float;
+      (** Cost-modeled latency of one simulated WAL write
+          ([Context.persist]); charged to the writing node's CPU.  [0.]
+          keeps persistence free (and the legacy cost path exact). *)
+  stall_ms : float option;
+      (** Absolute liveness-watchdog stall threshold.  When set it
+          replaces the [watchdog * lambda_ms] product, so high-loss runs
+          can legitimately run slower without tripping exit 3. *)
 }
 
 (* Default for the HotStuff+NS pacemaker-reset ablation knob; the
@@ -221,6 +242,38 @@ let validate t =
     fail "Config: bandwidth = %g Mbps, must be positive" b
   | Some _ | None -> ());
   if t.pipeline < 1 then fail "Config: pipeline = %d, need at least one height in flight" t.pipeline;
+  let check_prob key v =
+    if Float.is_nan v || v < 0. || v > 1. then
+      fail "Config: %s = %g is not a probability; use a value in [0, 1]" key v
+  in
+  check_prob "loss" t.loss.Loss_model.drop;
+  check_prob "dup" t.loss.Loss_model.dup;
+  if Float.is_nan t.loss.Loss_model.reorder_ms || t.loss.Loss_model.reorder_ms < 0. then
+    fail "Config: reorder = %g ms, the reordering window must be non-negative"
+      t.loss.Loss_model.reorder_ms;
+  (match t.loss.Loss_model.burst with
+  | None -> ()
+  | Some b ->
+    check_prob "burst_loss p_gb (good->bad)" b.Loss_model.p_gb;
+    check_prob "burst_loss p_bg (bad->good)" b.Loss_model.p_bg;
+    check_prob "burst_loss p_bad (drop while bad)" b.Loss_model.p_bad);
+  if Float.is_nan t.retrans_base_ms || t.retrans_base_ms < 0. then
+    fail "Config: retrans_base_ms = %g, must be non-negative (0 derives 2*lambda)"
+      t.retrans_base_ms;
+  if Float.is_nan t.retrans_backoff || t.retrans_backoff < 1. then
+    fail "Config: retrans_backoff = %g, the backoff factor must be >= 1" t.retrans_backoff;
+  if t.retrans_max < 0 then
+    fail "Config: retrans_max = %d, the retry cap must be non-negative" t.retrans_max;
+  if Float.is_nan t.wal_ms || t.wal_ms < 0. then
+    fail "Config: wal_ms = %g, the WAL write latency must be non-negative" t.wal_ms;
+  (match t.stall_ms with
+  | Some s when Float.is_nan s || s <= 0. ->
+    fail "Config: stall_ms = %g, the stall threshold must be positive" s
+  | Some _ | None -> ());
+  (match (t.reliable, t.transport) with
+  | true, Gossip _ ->
+    fail "Config: reliable channels require the direct transport (gossip re-forwards frames per hop)"
+  | _ -> ());
   (* Chaos steps may target twin replicas, so node ids range over the
      physical replica set. *)
   Attack.Fault_schedule.validate ~n:(physical_n t) t.chaos
@@ -230,7 +283,8 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
     ?(max_events = 50_000_000) ?(inputs = Distinct) ?(transport = Direct) ?(costs = Cost_model.zero) ?(record_trace = false) ?view_sample_ms
     ?(chaos = Attack.Fault_schedule.empty) ?twins ?watchdog ?(check_validity = false) ?naive_reset
     ?(telemetry = default_telemetry) ?(supervision = default_supervision) ?zones ?bandwidth_mbps
-    ?(pipeline = 1) protocol =
+    ?(pipeline = 1) ?(loss = Loss_model.none) ?(reliable = false) ?(retrans_base_ms = 0.)
+    ?(retrans_backoff = 2.) ?(retrans_max = 10) ?(wal_ms = 0.) ?stall_ms protocol =
   let naive_reset =
     match naive_reset with Some p -> p | None -> naive_reset_default ()
   in
@@ -267,6 +321,13 @@ let make ?(n = 16) ?(crashed = []) ?(lambda_ms = 1000.) ?(delay = Delay_model.no
       zones;
       bandwidth_mbps;
       pipeline;
+      loss;
+      reliable;
+      retrans_base_ms;
+      retrans_backoff;
+      retrans_max;
+      wal_ms;
+      stall_ms;
     }
   in
   validate t;
@@ -323,6 +384,13 @@ let describe t =
       | None -> ""
       | Some b -> Printf.sprintf " bw=%gMbps" b)
     ^ (if t.pipeline = 1 then "" else Printf.sprintf " pipeline=%d" t.pipeline)
+    ^ (if Loss_model.is_none t.loss then "" else " " ^ Loss_model.describe t.loss)
+    ^ (if not t.reliable then ""
+       else
+         Printf.sprintf " reliable(base=%g,backoff=%g,max=%d)" t.retrans_base_ms
+           t.retrans_backoff t.retrans_max)
+    ^ (if t.wal_ms = 0. then "" else Printf.sprintf " wal=%gms" t.wal_ms)
+    ^ (match t.stall_ms with None -> "" | Some s -> Printf.sprintf " stall=%gms" s)
     ^
     match (t.telemetry.metrics, t.telemetry.tracing) with
     | false, false -> ""
@@ -545,6 +613,33 @@ let of_keyvalues kvs =
       | _ -> Error (Printf.sprintf "invalid bandwidth %S (positive Mbps)" v))
   in
   let* pipeline = int_key "pipeline" 1 in
+  let* loss_drop = float_key "loss" 0. in
+  let* loss_dup = float_key "dup" 0. in
+  let* loss_reorder = float_key "reorder" 0. in
+  let* loss_burst =
+    match find "burst_loss" with
+    | None -> Ok None
+    | Some s -> (
+      try Ok (Some (Loss_model.burst_of_string s))
+      with Invalid_argument e -> Error e)
+  in
+  let loss =
+    Loss_model.make ~drop:loss_drop ~dup:loss_dup ~reorder_ms:loss_reorder
+      ?burst:loss_burst ()
+  in
+  let* reliable = bool_key "reliable" false in
+  let* retrans_base_ms = float_key "retrans_base_ms" 0. in
+  let* retrans_backoff = float_key "retrans_backoff" 2. in
+  let* retrans_max = int_key "retrans_max" 10 in
+  let* wal_ms = float_key "wal_ms" 0. in
+  let* stall_ms =
+    match find "stall_ms" with
+    | None | Some "none" -> Ok None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "invalid float for stall_ms: %S" v))
+  in
   match Bftsim_protocols.Registry.find protocol with
   | None ->
     Error
@@ -555,7 +650,8 @@ let of_keyvalues kvs =
        Ok
          (make ~n ~crashed ~lambda_ms ~delay ~seed ~attack ?decisions_target:target ~max_time_ms
             ~max_events ~inputs ~transport ~costs ~chaos ?twins ?watchdog ?naive_reset ~telemetry
-            ~supervision ?zones ?bandwidth_mbps ~pipeline protocol)
+            ~supervision ?zones ?bandwidth_mbps ~pipeline ~loss ~reliable ~retrans_base_ms
+            ~retrans_backoff ~retrans_max ~wal_ms ?stall_ms protocol)
      with Invalid_argument msg -> Error msg)
 
 (* Inverse of [of_keyvalues]: render the configuration as the key = value
@@ -605,6 +701,25 @@ let to_keyvalues t =
     | None -> []
     | Some b -> [ ("bandwidth", Printf.sprintf "%g" b) ])
   @ (if t.pipeline = 1 then [] else [ ("pipeline", string_of_int t.pipeline) ])
+  @ (if t.loss.Loss_model.drop = 0. then []
+     else [ ("loss", Printf.sprintf "%g" t.loss.Loss_model.drop) ])
+  @ (if t.loss.Loss_model.dup = 0. then []
+     else [ ("dup", Printf.sprintf "%g" t.loss.Loss_model.dup) ])
+  @ (if t.loss.Loss_model.reorder_ms = 0. then []
+     else [ ("reorder", Printf.sprintf "%g" t.loss.Loss_model.reorder_ms) ])
+  @ (match t.loss.Loss_model.burst with
+    | None -> []
+    | Some b -> [ ("burst_loss", Loss_model.burst_to_string b) ])
+  @ (if not t.reliable then []
+     else
+       ("reliable", "true")
+       :: ((if t.retrans_base_ms = 0. then []
+            else [ ("retrans_base_ms", Printf.sprintf "%g" t.retrans_base_ms) ])
+          @ (if t.retrans_backoff = 2. then []
+             else [ ("retrans_backoff", Printf.sprintf "%g" t.retrans_backoff) ])
+          @ if t.retrans_max = 10 then [] else [ ("retrans_max", string_of_int t.retrans_max) ]))
+  @ (if t.wal_ms = 0. then [] else [ ("wal_ms", Printf.sprintf "%g" t.wal_ms) ])
+  @ (match t.stall_ms with None -> [] | Some s -> [ ("stall_ms", Printf.sprintf "%g" s) ])
   @ (if t.telemetry.metrics then [ ("metrics", "true") ] else [])
   @ (if t.telemetry.tracing then [ ("tracing", "true") ] else [])
   @ (match t.supervision.deadline_ms with

@@ -135,6 +135,42 @@ type t = {
       (** Consensus heights a leader may keep in flight at once (slot-based
           protocols; consumed through [Context.pipeline_depth]).  [1] (the
           default) reproduces the classic sequential behavior bit for bit. *)
+  loss : Bftsim_net.Loss_model.t;
+      (** Stochastic per-link network faults — independent drop ([loss]
+          key), duplication ([dup]), bounded reordering ([reorder], ms) and
+          Gilbert–Elliott burst loss ([burst_loss = "p_gb,p_bg,p_bad"]) —
+          applied after any attacker verdict, drawn from a dedicated RNG
+          stream.  {!Bftsim_net.Loss_model.none} (the default) keeps the
+          legacy reliable-delivery path bit for bit. *)
+  reliable : bool;
+      (** Run protocol traffic over the simulated reliable channel
+          (DESIGN.md fault-model table): sequence-numbered frames, acks,
+          retransmission with exponential backoff + deterministic jitter and
+          a retry cap, dedup on receive.  Channel state is modeled as
+          WAL-backed, so it survives a [restart@] chaos event.  [false]
+          (the default) is the exact legacy path.  Requires [Direct]
+          transport. *)
+  retrans_base_ms : float;
+      (** Base retransmission timeout; attempt [k] fires after
+          [base * backoff^k] plus deterministic jitter.  [0.] (the default)
+          derives the base as [2 * lambda_ms] at run time. *)
+  retrans_backoff : float;  (** Exponential backoff factor; must be >= 1. *)
+  retrans_max : int;
+      (** Retransmission attempts per frame before the channel gives up
+          (the original send always happens). *)
+  wal_ms : float;
+      (** Cost-modeled latency of one simulated WAL write
+          ([Context.persist]): each write occupies the writing node's
+          sequential CPU for this long, delaying its subsequent sends.
+          [0.] (the default) keeps persistence free and the legacy cost
+          path exact. *)
+  stall_ms : float option;
+      (** Absolute liveness-watchdog stall threshold in simulated ms.  When
+          set it arms the watchdog with an absolute threshold, overriding
+          the [watchdog * lambda_ms] product — lossy runs make legitimate
+          progress slower, so give them a wider leash instead of disabling
+          the watchdog.  [None] (the default) keeps the multiplier
+          semantics. *)
 }
 
 val validate : t -> unit
@@ -182,6 +218,13 @@ val make :
   ?zones:string ->
   ?bandwidth_mbps:float ->
   ?pipeline:int ->
+  ?loss:Bftsim_net.Loss_model.t ->
+  ?reliable:bool ->
+  ?retrans_base_ms:float ->
+  ?retrans_backoff:float ->
+  ?retrans_max:int ->
+  ?wal_ms:float ->
+  ?stall_ms:float ->
   string ->
   t
 (** [make protocol] builds a configuration with the paper's defaults:
@@ -221,7 +264,12 @@ val of_keyvalues : (string * string) list -> (t, string) result
     ([commit] | [never] | [view]), [max_events], [metrics] / [tracing]
     (booleans), [trace_capacity] (ring-buffer entries), [zones]
     ([geo3] | [geo5] | [uniform:<k>@<rtt>]), [bandwidth] (per-sender
-    egress Mbps), [pipeline] (heights in flight), and the twins
+    egress Mbps), [pipeline] (heights in flight), the lossy-network and
+    recovery family: [loss] / [dup] (probabilities), [reorder] (window
+    ms), [burst_loss] (["p_gb,p_bg,p_bad"]), [reliable] (boolean),
+    [retrans_base_ms] / [retrans_backoff] / [retrans_max], [wal_ms]
+    (simulated WAL write latency), [stall_ms] (absolute watchdog stall
+    threshold), and the twins
     family: [twins] (comma-separated logical ids to duplicate),
     [twins_rounds] (per-round physical-id partitions, e.g.
     ["0,1,4|2,3;-;0,4|1,2,3"]), [twins_leaders] (per-view logical leader

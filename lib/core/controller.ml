@@ -73,6 +73,28 @@ type Message.payload +=
       (** Epidemic-transport envelope: first-time receivers unwrap [inner]
           for their protocol and re-forward the frame to [fanout] peers. *)
 
+type Message.payload +=
+  | Rc_frame of { seq : int; tag : string; size : int; inner : Message.payload }
+      (** Reliable-channel envelope (DESIGN.md §3.17): per-(src,dst) sequence
+          number, the wrapped protocol payload and its original tag/size.
+          The receiver acks every frame (duplicates included — a duplicate
+          usually means the previous ack was lost) and unwraps each sequence
+          number exactly once. *)
+  | Rc_ack of { seq : int }
+
+type Timer.payload += Rc_retransmit of { dst : int; seq : int }
+      (** Sender-side retransmission alarm, owned by the sending node so the
+          crash-deferral machinery pauses retransmission while the sender is
+          down and resumes it at the restart instant. *)
+
+(* Sender-side bookkeeping for one unacked reliable frame. *)
+type rc_pending = {
+  rc_tag : string;
+  rc_size : int;
+  rc_inner : Message.payload;
+  mutable rc_attempts : int;
+}
+
 type event =
   | Deliver of Message.t
   | Deliver_verified of Message.t
@@ -221,6 +243,12 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
     else None
   in
   let telemetry_on = reg <> None || tracer <> None in
+  (* Lossy-network / crash-recovery feature gates.  Everything they guard is
+     conditional down to the RNG splits and metric registrations, so a run
+     with all three off is byte-identical to the legacy path. *)
+  let loss_on = not (Loss_model.is_none config.Config.loss) in
+  let rc_on = config.Config.reliable in
+  let has_restarts = Attack.Fault_schedule.restarts config.chaos <> [] in
   let ctr =
     match reg with
     | Some r -> fun name -> Obs.Metrics.counter r name
@@ -241,6 +269,13 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
   let c_corruptions = ctr "attacker.corruptions" in
   let c_events = ctr "sim.events" in
   let c_twin_drops = ctr "twins.round_drops" in
+  (* Registered only when the feature is on, so the metrics snapshot of an
+     existing configuration gains no rows. *)
+  let ctr_if on name = if on then ctr name else Obs.Metrics.null_counter () in
+  let c_loss_dropped = ctr_if loss_on "net.loss_dropped" in
+  let c_dup_created = ctr_if loss_on "net.dup_created" in
+  let c_retrans = ctr_if rc_on "net.retrans" in
+  let c_dup_dropped = ctr_if rc_on "net.dup_dropped" in
   let h_delay, h_size =
     match reg with
     | Some r ->
@@ -256,6 +291,12 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
   let h_queue =
     match reg with
     | Some r when bandwidth_on -> Obs.Metrics.histogram r "net.queue_ms"
+    | Some _ | None -> Obs.Metrics.null_histogram ()
+  in
+  (* Restart-to-caught-up latency; present only when the plan restarts. *)
+  let h_catchup =
+    match reg with
+    | Some r when has_restarts -> Obs.Metrics.histogram r "recovery.catchup_ms"
     | Some _ | None -> Obs.Metrics.null_histogram ()
   in
   (* Histogram observes mutate boxed-float fields, so unlike the dead
@@ -410,6 +451,36 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
   (* Per node: gossip frames already processed (origin, gid). *)
   let gossip_seen : (int * int, unit) Hashtbl.t array = Array.init pn (fun _ -> Hashtbl.create 64) in
 
+  (* Lossy-network and crash-recovery substrate (DESIGN.md §3.17).  The RNG
+     splits are conditional and sit after every legacy split, so enabling a
+     feature never shifts the streams of a run that does not use it. *)
+  let loss_rng = if loss_on then Rng.split root_rng else root_rng in
+  let loss_state = Loss_model.state config.Config.loss in
+  let rc_rng = if rc_on then Rng.split root_rng else root_rng in
+  let rc_base_ms =
+    if config.Config.retrans_base_ms > 0. then config.Config.retrans_base_ms
+    else 2. *. config.lambda_ms
+  in
+  (* Channel state is controller-owned — it models the NIC/kernel pair, not
+     the replica process — so it survives [restart@] events; retransmission
+     of unacked frames is exactly what bridges a receiver's downtime. *)
+  let rc_next : (int * int, int ref) Hashtbl.t = Hashtbl.create (if rc_on then 64 else 1) in
+  let rc_out : (int * int * int, rc_pending) Hashtbl.t =
+    Hashtbl.create (if rc_on then 256 else 1)
+  in
+  let rc_seen : (int * int * int, unit) Hashtbl.t =
+    Hashtbl.create (if rc_on then 256 else 1)
+  in
+  (* Simulated per-node write-ahead log: the only node state that survives a
+     [restart@].  [incarnation] stamps protocol timers so alarms armed by a
+     previous life of a restarted node die instead of firing into the fresh
+     node; reliable-channel alarms are exempt (the channel survives). *)
+  let wal : (string, string) Hashtbl.t array = Array.init pn (fun _ -> Hashtbl.create 8) in
+  let restart_at = Array.make pn 0. in
+  let awaiting_catchup = Array.make pn false in
+  let incarnation = Array.make pn 0 in
+  let timer_epoch : (int, int) Hashtbl.t = Hashtbl.create (if has_restarts then 256 else 1) in
+
   (* Nodes the chaos plan fail-stops and never restarts can no more reach
      the decision target than config-crashed ones; recovered nodes stay
      counted and must catch up. *)
@@ -546,7 +617,12 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
     if trace <> None then
       record Trace.Send ~node:msg.src ~peer:msg.dst ~tag:msg.tag
         ~detail:(Message.payload_to_string msg.payload);
-    (if costs.Cost_model.sign_ms > 0. && msg.src >= 0 && msg.src < pn then begin
+    (* WAL writes ([wal_ms]) occupy the same sequential CPU as signing, so
+       the queueing delay behind a persist must reach the wire even when
+       signing itself is free. *)
+    (if (costs.Cost_model.sign_ms > 0. || config.Config.wal_ms > 0.)
+        && msg.src >= 0 && msg.src < pn
+     then begin
        let now = Event_queue.now_ms queue in
        let finish = Cost_model.charge cpus.(msg.src) ~now_ms:now ~cost_ms:costs.Cost_model.sign_ms in
        msg.Message.delay_ms <- msg.Message.delay_ms +. (finish -. now)
@@ -566,12 +642,50 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
       record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:""
     | Attack.Attacker.Deliver ->
       (match replay_delay with Some delay_ms -> msg.Message.delay_ms <- delay_ms | None -> ());
-      if metrics_on && msg.Message.src <> msg.Message.dst then begin
-        Obs.Metrics.observe_h h_delay msg.Message.delay_ms;
-        if bandwidth_on then Obs.Metrics.observe_h h_queue (Network.last_queue_ms network)
-      end;
-      trace_net_deliver msg;
-      Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg)
+      (* Stochastic per-link faults run after the adversary: the attacker
+         models intent, this models the wire itself (DESIGN.md's third drop
+         path).  Self-addressed messages are local and never lossy. *)
+      let verdict =
+        if loss_on && msg.Message.src <> msg.Message.dst then
+          Loss_model.sample loss_state loss_rng ~src:msg.Message.src ~dst:msg.Message.dst
+        else { Loss_model.deliver = true; duplicate = false; reorder_extra_ms = 0. }
+      in
+      if not verdict.Loss_model.deliver then begin
+        incr dropped;
+        incr c_loss_dropped;
+        (match tracer with
+        | Some tr ->
+          Obs.Tracer.instant tr
+            ~name:("loss:" ^ msg.Message.tag)
+            ~cat:"net" ~node:msg.Message.src ~ts_us:(us_now ())
+            ~args:[ ("dst", Obs.Tracer.Int msg.Message.dst) ]
+            ()
+        | None -> ());
+        record Trace.Drop ~node:msg.src ~peer:msg.dst ~tag:msg.tag ~detail:"loss"
+      end
+      else begin
+        msg.Message.delay_ms <- msg.Message.delay_ms +. verdict.Loss_model.reorder_extra_ms;
+        if metrics_on && msg.Message.src <> msg.Message.dst then begin
+          Obs.Metrics.observe_h h_delay msg.Message.delay_ms;
+          if bandwidth_on then Obs.Metrics.observe_h h_queue (Network.last_queue_ms network)
+        end;
+        trace_net_deliver msg;
+        Event_queue.schedule queue ~at:(Message.arrival_time msg) (Deliver msg);
+        if verdict.Loss_model.duplicate then begin
+          (* The duplicate is a network artifact, not wire traffic the
+             sender paid for: it gets its own message id but no stats. *)
+          incr msg_counter;
+          incr c_dup_created;
+          let dup =
+            Message.make ~id:!msg_counter ~src:msg.Message.src ~dst:msg.Message.dst
+              ~sent_at:msg.Message.sent_at ~tag:msg.Message.tag ~size:msg.Message.size
+              msg.Message.payload
+          in
+          dup.Message.delay_ms <- msg.Message.delay_ms +. (0.5 *. config.lambda_ms);
+          trace_net_deliver dup;
+          Event_queue.schedule queue ~at:(Message.arrival_time dup) (Deliver dup)
+        end
+      end
   in
 
   let send_from src ~dst ~tag ~size payload =
@@ -591,6 +705,53 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
       route msg
     end
   in
+
+  (* Reliable channel (opt-in via [reliable = true], DESIGN.md §3.17): every
+     remote protocol send is wrapped in a sequence-numbered [Rc_frame]; the
+     receiver acks and deduplicates; the sender retransmits unacked frames
+     with exponential backoff and deterministic jitter until [retrans_max],
+     then gives up.  With the flag off, [send_user] {e is} [send_from] — the
+     legacy send path, closure-identical. *)
+  let rc_header_bytes = 16 in
+  let rc_arm_retransmit src ~dst ~seq ~attempt =
+    incr timer_counter;
+    let id = !timer_counter in
+    Dense_set.add pending_timers id;
+    note_timer_set id;
+    let backoff = config.Config.retrans_backoff ** float_of_int attempt in
+    let jitter = Rng.float rc_rng (0.25 *. rc_base_ms) in
+    let deadline =
+      Time.add_ms (Event_queue.now queue) ((rc_base_ms *. backoff) +. jitter)
+    in
+    let timer =
+      { Timer.id; owner = src; deadline; tag = "rc-retransmit"; payload = Rc_retransmit { dst; seq } }
+    in
+    Event_queue.schedule queue ~at:deadline (Node_timer timer)
+  in
+  let send_reliable src ~dst ~tag ~size payload =
+    if crashed.(src) then ()
+    else if dst = src || dst < 0 || dst >= pn then
+      (* Local deliveries cross no wire; nothing to make reliable. *)
+      send_from src ~dst ~tag ~size payload
+    else begin
+      let link = (src, dst) in
+      let seq =
+        match Hashtbl.find_opt rc_next link with
+        | Some r ->
+          incr r;
+          !r
+        | None ->
+          Hashtbl.replace rc_next link (ref 0);
+          0
+      in
+      Hashtbl.replace rc_out (src, dst, seq)
+        { rc_tag = tag; rc_size = size; rc_inner = payload; rc_attempts = 0 };
+      send_from src ~dst ~tag ~size:(size + rc_header_bytes)
+        (Rc_frame { seq; tag; size; inner = payload });
+      rc_arm_retransmit src ~dst ~seq ~attempt:0
+    end
+  in
+  let send_user = if rc_on then send_reliable else send_from in
 
   (* Gossip transport: forward a frame from [src] to [fanout] random peers
      (never back to [src] itself). *)
@@ -612,7 +773,7 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
          [include_self = false] excludes only the sending instance — its
          co-twin is another machine on the wire. *)
       for dst = 0 to pn - 1 do
-        if include_self || dst <> src then send_from src ~dst ~tag ~size payload
+        if include_self || dst <> src then send_user src ~dst ~tag ~size payload
       done
     | Config.Gossip { fanout } ->
       if include_self then send_from src ~dst:src ~tag ~size payload;
@@ -653,12 +814,12 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
         | None ->
           (* Without twins the logical and physical id spaces coincide;
              skip the per-send singleton list [instances] would build. *)
-          fun ~dst ~tag ~size payload -> send_from p ~dst ~tag ~size payload
+          fun ~dst ~tag ~size payload -> send_user p ~dst ~tag ~size payload
         | Some _ ->
           (* The protocol addresses a logical identity; a twinned destination
              is two machines, each owed its own copy. *)
           fun ~dst ~tag ~size payload ->
-            List.iter (fun pdst -> send_from p ~dst:pdst ~tag ~size payload) (instances dst));
+            List.iter (fun pdst -> send_user p ~dst:pdst ~tag ~size payload) (instances dst));
       broadcast_raw =
         (fun ~include_self ~tag ~size payload ->
           broadcast_from p ~include_self ~tag ~size payload);
@@ -668,6 +829,9 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
           let id = !timer_counter in
           Dense_set.add pending_timers id;
           note_timer_set id;
+          (* Stamp the arming incarnation so an alarm set before a restart
+             cannot fire into the fresh node. *)
+          if has_restarts then Hashtbl.replace timer_epoch id incarnation.(p);
           let deadline = Time.add_ms (Event_queue.now queue) (Float.max 0. delay_ms) in
           let timer = { Timer.id; owner = p; deadline; tag; payload } in
           Event_queue.schedule queue ~at:deadline (Node_timer timer);
@@ -713,6 +877,30 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
         | Some w ->
           fun ~slot ~width ~default k -> w.on_request_proposal ~node:p ~slot ~width ~default k);
       pipeline_depth = config.Config.pipeline;
+      durable = has_restarts;
+      persist =
+        (fun ~key value ->
+          Hashtbl.replace wal.(p) key value;
+          if config.Config.wal_ms > 0. then
+            ignore
+              (Cost_model.charge cpus.(p) ~now_ms:(Event_queue.now_ms queue)
+                 ~cost_ms:config.Config.wal_ms
+                : float));
+      recall = (fun ~key -> Hashtbl.find_opt wal.(p) key);
+      on_caught_up =
+        (fun () ->
+          if awaiting_catchup.(p) then begin
+            awaiting_catchup.(p) <- false;
+            let dur = Event_queue.now_ms queue -. restart_at.(p) in
+            Obs.Metrics.observe_h h_catchup dur;
+            (match tracer with
+            | Some tr ->
+              Obs.Tracer.instant tr ~name:"caught-up" ~cat:"recovery" ~node:p ~ts_us:(us_now ())
+                ~args:[ ("ms", Obs.Tracer.Float dur) ]
+                ()
+            | None -> ());
+            Simlog.info "node %d caught up %.1f ms after restart" p dur
+          end);
     }
   in
 
@@ -826,6 +1014,25 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
           in
           dispatch unwrapped
         end
+      | Rc_frame { seq; tag; size; inner } when nodes.(dst) <> None ->
+        let src = msg.Message.src in
+        (* Ack unconditionally, duplicates included: a duplicate frame
+           usually means the previous ack was lost on the way back. *)
+        send_from dst ~dst:src ~tag:"rc-ack" ~size:rc_header_bytes (Rc_ack { seq });
+        if Hashtbl.mem rc_seen (src, dst, seq) then incr c_dup_dropped
+        else begin
+          Hashtbl.replace rc_seen (src, dst, seq) ();
+          incr msg_counter;
+          let unwrapped =
+            Message.make ~id:!msg_counter ~src ~dst ~sent_at:msg.Message.sent_at ~tag ~size inner
+          in
+          unwrapped.Message.delay_ms <- msg.Message.delay_ms;
+          dispatch unwrapped
+        end
+      | Rc_ack { seq } ->
+        (* The channel key is (sender, receiver): the acked sender is this
+           message's destination. *)
+        Hashtbl.remove rc_out (dst, msg.Message.src, seq)
       | _ -> (
         match nodes.(dst) with
         | Some node ->
@@ -872,13 +1079,49 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
         | None -> Dense_set.remove pending_timers id
       end
       else if consume_timer id then (
-        match nodes.(owner) with
-        | Some node ->
-          note_timer_fired timer;
-          record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
-          P.on_timer node ctxs.(owner) timer;
-          if telemetry_on then note_view owner
-        | None -> ())
+        match timer.Timer.payload with
+        | Rc_retransmit { dst; seq } -> (
+          (* Controller-owned alarm: never reaches [P.on_timer], and exempt
+             from the incarnation check — the channel survives restarts. *)
+          match Hashtbl.find_opt rc_out (owner, dst, seq) with
+          | None -> () (* acked in the meantime; the channel is quiet *)
+          | Some frame ->
+            if frame.rc_attempts >= config.Config.retrans_max then begin
+              (* Retry budget exhausted: the channel declares the peer
+                 unreachable and abandons the frame. *)
+              Hashtbl.remove rc_out (owner, dst, seq);
+              record Trace.Drop ~node:owner ~peer:dst ~tag:frame.rc_tag ~detail:"rc-give-up"
+            end
+            else begin
+              frame.rc_attempts <- frame.rc_attempts + 1;
+              incr c_retrans;
+              note_timer_fired timer;
+              send_from owner ~dst ~tag:frame.rc_tag ~size:(frame.rc_size + rc_header_bytes)
+                (Rc_frame { seq; tag = frame.rc_tag; size = frame.rc_size; inner = frame.rc_inner });
+              rc_arm_retransmit owner ~dst ~seq ~attempt:frame.rc_attempts
+            end)
+        | _ ->
+          let stale =
+            has_restarts
+            &&
+            match Hashtbl.find_opt timer_epoch id with
+            | Some epoch ->
+              Hashtbl.remove timer_epoch id;
+              epoch <> incarnation.(owner)
+            | None -> false
+          in
+          if stale then
+            (* Armed by a previous incarnation of a restarted node: the
+               volatile state it referred to no longer exists. *)
+            note_timer_cancelled timer
+          else (
+            match nodes.(owner) with
+            | Some node ->
+              note_timer_fired timer;
+              record Trace.Timer_fired ~node:owner ~peer:(-1) ~tag:timer.Timer.tag ~detail:"";
+              P.on_timer node ctxs.(owner) timer;
+              if telemetry_on then note_view owner
+            | None -> ()))
       else note_timer_cancelled timer
     | Attacker_timer timer -> (
       match timer.Timer.payload with
@@ -891,6 +1134,30 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
         if consume_timer timer.Timer.id then begin
           note_timer_fired timer;
           f ()
+        end
+        else note_timer_cancelled timer
+      | Attack.Fault_schedule.Chaos_step (Attack.Fault_schedule.Restart p) when p >= 0 && p < pn
+        ->
+        if consume_timer timer.Timer.id then begin
+          note_timer_fired timer;
+          (* Let the chaos attacker log the transition first. *)
+          attacker.Attack.Attacker.on_time_event attacker_env timer;
+          (* Crash-recovery restart: a fresh node object — all volatile
+             state is gone; only the WAL and the reliable-channel state
+             survive.  Bumping the incarnation retires every alarm the
+             previous life armed (including its crash-deferred ones, which
+             land at this very instant but behind this timer). *)
+          incarnation.(p) <- incarnation.(p) + 1;
+          restart_at.(p) <- Event_queue.now_ms queue;
+          awaiting_catchup.(p) <- true;
+          (match tracer with
+          | Some tr ->
+            Obs.Tracer.instant tr ~name:"restart" ~cat:"recovery" ~node:p ~ts_us:(us_now ()) ()
+          | None -> ());
+          let node = P.create ctxs.(p) in
+          nodes.(p) <- Some node;
+          P.on_restart node ctxs.(p);
+          if telemetry_on then note_view p
         end
         else note_timer_cancelled timer
       | _ ->
@@ -917,7 +1184,15 @@ let run ?(cancel = no_cancel) ?delay_override ?attacker:attacker_override ?workl
     | None -> chaos_last
     | Some tw -> Float.max chaos_last (Attack.Twins_schedule.end_ms tw)
   in
-  let watchdog_ms = Option.map (fun k -> k *. config.lambda_ms) config.watchdog in
+  (* [stall_ms] is an absolute override: it arms the watchdog even when the
+     [watchdog] multiplier is unset, and wins over it when both are given —
+     lossy runs make legitimate progress gaps longer than any sensible
+     multiple of lambda. *)
+  let watchdog_ms =
+    match config.Config.stall_ms with
+    | Some s -> Some s
+    | None -> Option.map (fun k -> k *. config.lambda_ms) config.watchdog
+  in
   (* Per-phase profiling: each handled event becomes a span at its simulated
      instant carrying the host-time cost of its handler as an argument —
      wall clock stays out of the registry (see the determinism rule). *)

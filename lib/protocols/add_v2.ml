@@ -15,3 +15,8 @@ let on_message = Add_common.on_message
 let on_timer = Add_common.on_timer
 
 let view = Add_common.current_iteration
+
+(* A restarted replica rejoins from scratch: safe for this protocol's
+   message flow, though a one-shot instance that already passed its
+   decision point may never re-decide. *)
+let on_restart = Add_common.on_start

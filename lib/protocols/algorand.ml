@@ -170,3 +170,8 @@ let () =
     | Alg_next { period; value } ->
       Some (Printf.sprintf "AlgNext(p=%d,%s)" period (if value = bot then "bot" else value))
     | _ -> None)
+
+(* A restarted replica rejoins from scratch: safe for this protocol's
+   message flow, though a one-shot instance that already passed its
+   decision point may never re-decide. *)
+let on_restart = on_start

@@ -131,3 +131,8 @@ let () =
   Message.register_printer (function
     | Aba { round; phase; value } -> Some (Printf.sprintf "ABA(r=%d,p=%d,v=%d)" round phase value)
     | _ -> None)
+
+(* A restarted replica rejoins from scratch: safe for this protocol's
+   message flow, though a one-shot instance that already passed its
+   decision point may never re-decide. *)
+let on_restart = on_start

@@ -12,6 +12,18 @@ type Message.payload +=
       (** Cogsworth: unicast plea to the leader of [view] to start it. *)
   | Sync_advance of { view : int }
       (** Cogsworth: the leader's relay moving everyone to [view]. *)
+  | Catchup_req of { last_committed : string }
+      (** A restarted replica asks its peers for the blocks it missed,
+          naming the last block its WAL proves committed. *)
+  | Catchup_resp of {
+      blocks : Chain.block list;
+      high_qc : Chain.qc;
+      view : int;
+      last_committed : string;
+    }
+      (** Peer's reply: the chain from the requester's block up to the
+          peer's freshest certified block (hash-linked, oldest first),
+          plus the peer's pacemaker position. *)
 
 type Timer.payload += View_timer of { view : int }
 
@@ -40,6 +52,9 @@ type node = {
      view entry. *)
   pending_proposals : (int, Chain.block) Hashtbl.t;
   mutable committed : int;
+  (* Set between [on_restart] and the first applied catch-up response;
+     volatile by design — a second restart restarts the catch-up. *)
+  mutable recovering : bool;
 }
 
 let create pacemaker _ctx =
@@ -61,7 +76,23 @@ let create pacemaker _ctx =
     sent_timeout = Hashtbl.create 64;
     pending_proposals = Hashtbl.create 64;
     committed = 0;
+    recovering = false;
   }
+
+(* Simulated-WAL records (written only when the run models restarts, see
+   [Context.durable]): enough state to neither double-vote nor re-decide
+   after losing everything volatile.  Blocks themselves are not persisted —
+   the restarted replica re-fetches them from peers. *)
+let wal_qc_to_string (qc : Chain.qc) = Printf.sprintf "%d %s" qc.Chain.view qc.Chain.block
+
+let wal_qc_of_string s =
+  match String.index_opt s ' ' with
+  | Some i ->
+    {
+      Chain.view = int_of_string (String.sub s 0 i);
+      block = String.sub s (i + 1) (String.length s - i - 1);
+    }
+  | None -> Chain.genesis_qc
 
 let current_view t = t.cur_view
 
@@ -154,19 +185,34 @@ let try_commit t ctx qc =
           ctx.Context.decide (if b.Chain.payload = "" then b.Chain.digest else b.Chain.payload))
         newly;
       t.last_committed <- b3.Chain.digest;
+      if ctx.Context.durable then begin
+        ctx.Context.persist ~key:"lc" t.last_committed;
+        ctx.Context.persist ~key:"n" (string_of_int t.committed)
+      end;
       if t.pacemaker = Naive_doubling && ctx.Context.naive_reset = Reset_on_commit then
         t.timeouts <- 0
     end
 
 let process_qc t ctx (qc : Chain.qc) =
-  if qc.view > t.high_qc.Chain.view then t.high_qc <- qc;
+  if qc.view > t.high_qc.Chain.view then begin
+    t.high_qc <- qc;
+    if ctx.Context.durable then ctx.Context.persist ~key:"hq" (wal_qc_to_string qc)
+  end;
   (match Chain.find t.store qc.block with
-  | Some b1 -> if b1.justify.view > t.locked.Chain.view then t.locked <- b1.justify
+  | Some b1 ->
+    if b1.justify.view > t.locked.Chain.view then begin
+      t.locked <- b1.justify;
+      if ctx.Context.durable then ctx.Context.persist ~key:"lk" (wal_qc_to_string b1.justify)
+    end
   | None -> ());
   try_commit t ctx qc
 
 let vote_for t ctx (b : Chain.block) =
   Hashtbl.replace t.voted b.view ();
+  (* Votes happen only in the current view and views never rewind, so the
+     highest voted view is the only one a restarted replica could be asked
+     to re-vote in — persisting it is enough to rule out equivocation. *)
+  if ctx.Context.durable then ctx.Context.persist ~key:"voted" (string_of_int b.view);
   Context.send ctx
     ~dst:(leader ctx (b.view + 1))
     ~tag:"vote"
@@ -187,6 +233,7 @@ let vote_pending t ctx =
 let enter_view t ctx ~fresh view =
   if view > t.cur_view then begin
     t.cur_view <- view;
+    if ctx.Context.durable then ctx.Context.persist ~key:"v" (string_of_int view);
     if fresh && (t.pacemaker = Timeout_certificates || t.pacemaker = Cogsworth) then
       t.timeouts <- 0;
     restart_timer t ctx;
@@ -248,6 +295,98 @@ let handle_timeout_vote t ctx (msg : Message.t) ~view =
 
 let on_start t ctx = enter_view t ctx ~fresh:false 1
 
+(* --- Crash-recovery: WAL rehydration + block transfer ------------------- *)
+
+(* A peer answers a catch-up request with the hash-linked chain from the
+   requester's last committed block up to the peer's freshest certified
+   block — not just its own commit frontier, because the requester also
+   needs the uncommitted two-chain head to resume committing. *)
+let handle_catchup_req t ctx (msg : Message.t) ~last_committed =
+  if msg.Message.src <> ctx.Context.node_id then begin
+    let tip =
+      match Chain.find t.store t.high_qc.Chain.block with
+      | Some b -> Some b
+      | None -> Chain.find t.store t.last_committed
+    in
+    match tip with
+    | None -> ()
+    | Some tip ->
+      let blocks = Chain.chain_between t.store ~after:last_committed ~upto:tip in
+      Context.send ctx ~dst:msg.Message.src ~tag:"catchup-resp"
+        ~size:(256 + (512 * List.length blocks))
+        (Catchup_resp
+           { blocks; high_qc = t.high_qc; view = t.cur_view; last_committed = t.last_committed })
+  end
+
+(* Trust model: a response is accepted iff its blocks are internally
+   hash-linked (each block names its predecessor's digest and carries its
+   QC).  Digests commit to all block fields, so a single honest response
+   suffices; a malformed one is discarded whole.  Only blocks extending the
+   replica's own committed prefix up to the *peer's* committed frontier are
+   decided — everything else just fills the store. *)
+let apply_catchup t ctx ~blocks ~(high_qc : Chain.qc) ~view ~last_committed =
+  let rec linked = function
+    | [] | [ _ ] -> true
+    | (a : Chain.block) :: (b : Chain.block) :: rest ->
+      String.equal b.Chain.parent a.Chain.digest
+      && String.equal b.Chain.justify.Chain.block a.Chain.digest
+      && linked (b :: rest)
+  in
+  if linked blocks then begin
+    List.iter (Chain.add t.store) blocks;
+    (match Chain.find t.store last_committed with
+    | Some peer_tip
+      when (not (String.equal peer_tip.Chain.digest t.last_committed))
+           && Chain.extends t.store peer_tip ~ancestor:t.last_committed ->
+      let newly = Chain.chain_between t.store ~after:t.last_committed ~upto:peer_tip in
+      List.iter
+        (fun (b : Chain.block) ->
+          t.committed <- t.committed + 1;
+          ctx.Context.decide (if b.Chain.payload = "" then b.Chain.digest else b.Chain.payload))
+        newly;
+      t.last_committed <- peer_tip.Chain.digest;
+      if ctx.Context.durable then begin
+        ctx.Context.persist ~key:"lc" t.last_committed;
+        ctx.Context.persist ~key:"n" (string_of_int t.committed)
+      end
+    | Some _ | None -> ());
+    if high_qc.Chain.view > t.high_qc.Chain.view then begin
+      t.high_qc <- high_qc;
+      if ctx.Context.durable then ctx.Context.persist ~key:"hq" (wal_qc_to_string high_qc)
+    end;
+    if view > t.cur_view then enter_view t ctx ~fresh:true view;
+    if t.recovering then begin
+      t.recovering <- false;
+      ctx.Context.on_caught_up ()
+    end
+  end
+
+let on_restart t ctx =
+  t.recovering <- true;
+  if ctx.Context.durable then begin
+    (match ctx.Context.recall ~key:"lc" with Some d -> t.last_committed <- d | None -> ());
+    (match ctx.Context.recall ~key:"n" with
+    | Some s -> t.committed <- int_of_string s
+    | None -> ());
+    (match ctx.Context.recall ~key:"hq" with
+    | Some s -> t.high_qc <- wal_qc_of_string s
+    | None -> ());
+    (match ctx.Context.recall ~key:"lk" with
+    | Some s -> t.locked <- wal_qc_of_string s
+    | None -> ());
+    match ctx.Context.recall ~key:"voted" with
+    | Some s -> Hashtbl.replace t.voted (int_of_string s) ()
+    | None -> ()
+  end;
+  let resume_view =
+    match if ctx.Context.durable then ctx.Context.recall ~key:"v" else None with
+    | Some s -> Stdlib.max 1 (int_of_string s)
+    | None -> 1
+  in
+  Context.broadcast ctx ~include_self:false ~tag:"catchup-req"
+    (Catchup_req { last_committed = t.last_committed });
+  enter_view t ctx ~fresh:false resume_view
+
 (* Cogsworth view synchronization (Naor et al.): a stuck replica asks the
    *next leader* to start the next view (linear communication); the leader
    relays once it holds f+1 requests, which proves an honest replica is
@@ -272,6 +411,9 @@ let on_message t ctx (msg : Message.t) =
   | Sync_request { view } -> handle_sync_request t ctx msg ~view
   | Sync_advance { view } ->
     if t.pacemaker = Cogsworth && msg.src = leader ctx view then enter_view t ctx ~fresh:true view
+  | Catchup_req { last_committed } -> handle_catchup_req t ctx msg ~last_committed
+  | Catchup_resp { blocks; high_qc; view; last_committed } ->
+    apply_catchup t ctx ~blocks ~high_qc ~view ~last_committed
   | _ -> ()
 
 let on_timer t ctx (timer : Timer.t) =
@@ -313,4 +455,7 @@ let () =
     | Timeout_cert { view } -> Some (Printf.sprintf "TC(v=%d)" view)
     | Sync_request { view } -> Some (Printf.sprintf "SyncReq(v=%d)" view)
     | Sync_advance { view } -> Some (Printf.sprintf "SyncAdv(v=%d)" view)
+    | Catchup_req { last_committed } -> Some (Printf.sprintf "CatchupReq(%s)" last_committed)
+    | Catchup_resp { blocks; view; _ } ->
+      Some (Printf.sprintf "CatchupResp(%d blocks,v=%d)" (List.length blocks) view)
     | _ -> None)

@@ -31,6 +31,13 @@ type Message.payload +=
   | Timeout_cert of { view : int }
   | Sync_request of { view : int }
   | Sync_advance of { view : int }
+  | Catchup_req of { last_committed : string }
+  | Catchup_resp of {
+      blocks : Chain.block list;
+      high_qc : Chain.qc;
+      view : int;
+      last_committed : string;
+    }
 
 type Bftsim_sim.Timer.payload += View_timer of { view : int }
 
@@ -43,6 +50,16 @@ val on_start : node -> Context.t -> unit
 val on_message : node -> Context.t -> Message.t -> unit
 
 val on_timer : node -> Context.t -> Bftsim_sim.Timer.t -> unit
+
+val on_restart : node -> Context.t -> unit
+(** Crash-recovery entry point, called on a fresh node after a [restart@]
+    chaos event: rehydrates the safety-critical state (last committed
+    block, commit count, high/locked QC, highest voted view, pacemaker
+    view) from the simulated WAL, broadcasts a [Catchup_req], and re-enters
+    the persisted view.  Peers answer with the hash-linked block chain from
+    the requester's commit frontier to their freshest certified block; the
+    first internally-linked response re-commits the missed blocks in order
+    and signals [Context.on_caught_up]. *)
 
 val current_view : node -> int
 (** The node's view, exposed for the view tracker (Fig. 9). *)

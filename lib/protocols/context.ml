@@ -49,6 +49,21 @@ type t = {
   pipeline_depth : int;
       (* How many consensus heights a leader may keep in flight at once;
          1 = sequential heights (the classic single-shot behavior). *)
+  durable : bool;
+      (* Whether this run models crash-restart faults: only then do
+         protocols pay the cost of rendering persistence records, so
+         runs without restarts stay allocation-identical to the legacy
+         path. *)
+  persist : key:string -> string -> unit;
+      (* Append/overwrite one record in the node's simulated WAL.  The
+         write occupies the node's sequential CPU for [wal_ms] (cost
+         model), and the record survives a [restart@] chaos event. *)
+  recall : key:string -> string option;
+      (* Read back a WAL record; [None] if never persisted. *)
+  on_caught_up : unit -> unit;
+      (* A restarted node reports that it has finished catching up with
+         its peers; the controller records recovery.catchup_ms.  No-op
+         outside a restart. *)
 }
 
 let send t ~dst ~tag ?(size = Message.default_size) payload = t.send_raw ~dst ~tag ~size payload

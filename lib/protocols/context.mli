@@ -77,6 +77,26 @@ type t = {
   pipeline_depth : int;
       (** How many consensus heights a leader may keep in flight at once;
           [1] (the default) reproduces the classic sequential behavior. *)
+  durable : bool;
+      (** [true] iff the run's chaos schedule contains a [restart@] event —
+          the only case where persistence can pay off.  Protocols gate
+          their {!field-persist} calls on it so runs without restarts skip
+          the record formatting entirely and stay allocation-identical to
+          the legacy path. *)
+  persist : key:string -> string -> unit;
+      (** Write one record (last-writer-wins per key) to the node's
+          simulated write-ahead log.  The write occupies the node's
+          sequential CPU for the configured [wal_ms] and the record
+          survives a [restart@] chaos event, unlike everything else in the
+          node's state. *)
+  recall : key:string -> string option;
+      (** Read back a WAL record after a restart; [None] if the key was
+          never persisted. *)
+  on_caught_up : unit -> unit;
+      (** A restarted node signals that it has rejoined (rehydrated and
+          caught up with peers); the controller turns the first signal
+          after each restart into the [recovery.catchup_ms] histogram.
+          No-op when the node was never restarted. *)
 }
 
 val send : t -> dst:int -> tag:string -> ?size:int -> Message.payload -> unit

@@ -7,6 +7,11 @@ type Message.payload +=
   | Commit of { view : int; slot : int; value : string }
   | View_change of { new_view : int }
   | New_view of { view : int; slot : int; value : string }
+  | State_req of { slot : int }
+      (** A restarted replica asks peers for decisions from [slot] on. *)
+  | State_resp of { view : int; decided : (int * string) list }
+      (** Peer's reply: its view and its decided slots at or above the
+          requested one, in slot order. *)
 
 type Timer.payload += Progress of { view : int; slot : int }
 
@@ -42,6 +47,14 @@ type node = {
           asked the workload hook for; guards against double proposing when
           the pipeline window slides. *)
   decided : (int, string) Hashtbl.t;
+  state_votes : (int * string) Tally.t;
+      (** Catch-up confirmations: a (slot, value) claimed decided by f+1
+          distinct peers is decided (at least one of them is honest). *)
+  recovery_views : (int, int) Hashtbl.t;  (** responder -> reported view. *)
+  mutable recovering : bool;
+  mutable gap_req : int;
+      (** Highest frontier slot for which this replica already broadcast a
+          gap-filling [State_req]; throttles the fetch to once per stall. *)
 }
 
 let create _ctx =
@@ -59,6 +72,10 @@ let create _ctx =
     sent_commit = Hashtbl.create 64;
     requested = Hashtbl.create 64;
     decided = Hashtbl.create 64;
+    state_votes = Tally.create ();
+    recovery_views = Hashtbl.create 8;
+    recovering = false;
+    gap_req = 0;
   }
 
 let primary ctx view = Context.leader_round_robin ctx ~view
@@ -150,6 +167,7 @@ let prepared_certificate t ctx ~slot ~below_view =
 
 let enter_view t ctx new_view =
   t.view <- new_view;
+  if ctx.Context.durable then ctx.Context.persist ~key:"view" (string_of_int new_view);
   restart_timer t ctx;
   if primary ctx t.view = ctx.Context.node_id then begin
     let value =
@@ -177,34 +195,125 @@ let start_view_change t ctx ~first =
   in
   t.timer <- Some id
 
+(* WAL records (written only when the run models restarts): every decided
+   slot ([d<k>], plus the high-water mark [dmax]), the lowest unreported
+   slot ([slot]) and the view — enough for a restarted replica to neither
+   re-report a decision nor regress its slot/view. *)
+let persist_decided ctx ~slot ~value =
+  if ctx.Context.durable then begin
+    ctx.Context.persist ~key:(Printf.sprintf "d%d" slot) value;
+    let prev =
+      match ctx.Context.recall ~key:"dmax" with Some s -> int_of_string s | None -> 0
+    in
+    if slot > prev then ctx.Context.persist ~key:"dmax" (string_of_int slot)
+  end
+
 let try_decide t ctx ~slot ~value =
   if not (Hashtbl.mem t.decided slot) then begin
     Hashtbl.replace t.decided slot value;
-    if ctx.Context.pipeline_depth = 1 then begin
-      (* Classic sequential path, kept verbatim for bit-identical replays. *)
-      ctx.Context.decide value;
-      if slot = t.slot then begin
-        t.slot <- t.slot + 1;
-        t.timeouts <- 0;
-        restart_timer t ctx;
-        propose t ctx;
-        catch_up t ctx
-      end
-    end
-    else if slot = t.slot then begin
-      (* Pipelined: commits may form out of order across the window, but
-         decisions must be reported in slot order — emit the contiguous
-         decided prefix, holding back anything behind a gap. *)
+    persist_decided ctx ~slot ~value;
+    if slot = t.slot then begin
+      (* Commits may form out of order — across the pipeline window, or at
+         depth 1 when loss/reordering starves a slot's quorum while a later
+         slot's completes — but decisions must be reported in slot order:
+         emit the contiguous decided prefix, holding back anything behind a
+         gap.  On a loss-free run quorums complete in slot order, so this
+         path reproduces the classic sequential behavior call for call. *)
       while Hashtbl.mem t.decided t.slot do
         ctx.Context.decide (Hashtbl.find t.decided t.slot);
         t.slot <- t.slot + 1
       done;
+      if ctx.Context.durable then ctx.Context.persist ~key:"slot" (string_of_int t.slot);
       t.timeouts <- 0;
       restart_timer t ctx;
       propose t ctx;
       catch_up t ctx
     end
+    else if t.gap_req < t.slot then begin
+      (* A commit quorum completed past this replica's frontier: 2f+1 peers
+         have decided every slot below [slot], so the gap's values exist and
+         f+1 honest peers can vouch for them.  Fetch the missing prefix
+         instead of stalling (the quorum that produced it will not re-form)
+         or skipping (which would fork the decision log).  This is how both
+         a loss-starved replica and one that slept through part of the run
+         rejoin; throttled to one request per stuck frontier. *)
+      t.gap_req <- t.slot;
+      Context.broadcast ctx ~include_self:false ~tag:"state-req" (State_req { slot = t.slot })
+    end
   end
+
+(* --- Crash-recovery: WAL rehydration + slot state transfer -------------- *)
+
+let handle_state_req t ctx (msg : Message.t) ~slot =
+  if msg.Message.src <> ctx.Context.node_id then begin
+    let decided =
+      Hashtbl.fold (fun k v acc -> if k >= slot then (k, v) :: acc else acc) t.decided []
+    in
+    let decided = List.sort (fun (a, _) (b, _) -> compare a b) decided in
+    Context.send ctx ~dst:msg.Message.src ~tag:"state-resp"
+      ~size:(128 + (64 * List.length decided))
+      (State_resp { view = t.view; decided })
+  end
+
+(* Unlike the chained family, PBFT decisions are not self-certifying, so a
+   restarted replica adopts a (slot, value) only once f+1 distinct peers
+   claim it decided — at least one of them is honest.  The view is adopted
+   the same way: the highest view that f+1 responders have reached. *)
+let handle_state_resp t ctx (msg : Message.t) ~view ~decided =
+  (* (slot, value) votes count whether the replica is rehydrating after a
+     restart or gap-fetching after a stall: f+1 matching claims establish a
+     decision either way. *)
+  List.iter
+    (fun (slot, value) ->
+      let count = Tally.add t.state_votes (slot, value) ~voter:msg.Message.src in
+      if count >= Quorum.one_honest ctx.Context.n then try_decide t ctx ~slot ~value)
+    decided;
+  if t.recovering then begin
+    Hashtbl.replace t.recovery_views msg.Message.src view;
+    let f1 = Quorum.one_honest ctx.Context.n in
+    let views =
+      List.sort
+        (fun a b -> compare b a)
+        (Hashtbl.fold (fun _ v acc -> v :: acc) t.recovery_views [])
+    in
+    (match List.nth_opt views (f1 - 1) with
+    | Some v when v > t.view ->
+      t.view <- v;
+      if ctx.Context.durable then ctx.Context.persist ~key:"view" (string_of_int v);
+      restart_timer t ctx;
+      propose t ctx;
+      catch_up t ctx
+    | _ -> ());
+    if List.length views >= f1 then begin
+      t.recovering <- false;
+      ctx.Context.on_caught_up ()
+    end
+  end
+
+let on_restart t ctx =
+  t.recovering <- true;
+  if ctx.Context.durable then begin
+    (match ctx.Context.recall ~key:"slot" with
+    | Some s -> t.slot <- int_of_string s
+    | None -> ());
+    (match ctx.Context.recall ~key:"view" with
+    | Some s -> t.view <- int_of_string s
+    | None -> ());
+    (* Restore the decided table so retransmitted commit quorums (and the
+       contiguous-prefix reporter) cannot re-report a slot the replica
+       already decided before the crash. *)
+    match ctx.Context.recall ~key:"dmax" with
+    | Some m ->
+      for k = 1 to int_of_string m do
+        match ctx.Context.recall ~key:(Printf.sprintf "d%d" k) with
+        | Some v -> Hashtbl.replace t.decided k v
+        | None -> ()
+      done
+    | None -> ()
+  end;
+  Context.broadcast ctx ~include_self:false ~tag:"state-req" (State_req { slot = t.slot });
+  restart_timer t ctx;
+  propose t ctx
 
 let on_message t ctx (msg : Message.t) =
   match msg.payload with
@@ -241,6 +350,7 @@ let on_message t ctx (msg : Message.t) =
     if msg.src = primary ctx view && view >= t.view then begin
       if view > t.view then begin
         t.view <- view;
+        if ctx.Context.durable then ctx.Context.persist ~key:"view" (string_of_int view);
         restart_timer t ctx
       end;
       Hashtbl.replace t.proposals (view, slot) value;
@@ -249,6 +359,8 @@ let on_message t ctx (msg : Message.t) =
         send_prepare t ctx ~view ~slot ~value
       end
     end
+  | State_req { slot } -> handle_state_req t ctx msg ~slot
+  | State_resp { view; decided } -> handle_state_resp t ctx msg ~view ~decided
   | _ -> ()
 
 let on_timer t ctx (timer : Timer.t) =
@@ -271,4 +383,7 @@ let () =
     | View_change { new_view } -> Some (Printf.sprintf "ViewChange(v=%d)" new_view)
     | New_view { view; slot; value } ->
       Some (Printf.sprintf "NewView(v=%d,s=%d,%s)" view slot value)
+    | State_req { slot } -> Some (Printf.sprintf "StateReq(s=%d)" slot)
+    | State_resp { view; decided } ->
+      Some (Printf.sprintf "StateResp(v=%d,%d slots)" view (List.length decided))
     | _ -> None)

@@ -42,6 +42,14 @@ module type S = sig
   val on_timer : node -> Context.t -> Bftsim_sim.Timer.t -> unit
   (** The paper's [onTimeEvent]: a timer registered by this node fired. *)
 
+  val on_restart : node -> Context.t -> unit
+  (** Invoked on a {e fresh} node object after a [restart@] chaos event:
+      the replica lost its volatile state, and may rehydrate from
+      [Context.recall] and initiate catch-up with its peers.  Protocols
+      without a recovery story use [on_start] here (they rejoin from
+      scratch, which is safe whenever the protocol is; a mid-run restart
+      of a one-shot protocol may simply never re-decide). *)
+
   val view : node -> int
   (** The node's current view / round / period / iteration — the protocol's
       notion of logical progress, sampled by the view tracker (Fig. 9). *)

@@ -203,3 +203,8 @@ let () =
     | Sh_vote { view; digest } -> Some (Printf.sprintf "ShVote(v=%d,%s)" view digest)
     | Sh_blame { view } -> Some (Printf.sprintf "ShBlame(v=%d)" view)
     | _ -> None)
+
+(* A restarted replica rejoins from scratch: safe for this protocol's
+   message flow, though a one-shot instance that already passed its
+   decision point may never re-decide. *)
+let on_restart = on_start

@@ -266,3 +266,8 @@ let () =
         (Printf.sprintf "TmPrecommit(h=%d,r=%d,%s)" height round
            (if value = nil then "nil" else value))
     | _ -> None)
+
+(* A restarted replica rejoins from scratch: safe for this protocol's
+   message flow, though a one-shot instance that already passed its
+   decision point may never re-decide. *)
+let on_restart = on_start

@@ -333,6 +333,33 @@ let test_schedule_of_string_roundtrip () =
     Alcotest.(check bool) "unknown action surfaces" true
       (Result.is_error (Fault_schedule.of_string "meteor@0"))
 
+(* Restart steps: parse/describe round-trip, the helper builders, and the
+   validation rule that a restart must follow a crash of the same node
+   (restart = recover with volatile state lost). *)
+let test_schedule_restart () =
+  let spec = "crash:2@200;restart:2@700" in
+  (match Fault_schedule.of_string spec with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.(check string) "describe round-trips" spec (Fault_schedule.describe plan);
+    Alcotest.(check (list int)) "restarts listed" [ 2 ] (Fault_schedule.restarts plan);
+    Fault_schedule.validate ~n:4 plan);
+  let built = Fault_schedule.crash_and_restart ~nodes:[ 1; 3 ] ~crash_ms:100. ~restart_ms:900. in
+  Fault_schedule.validate ~n:4 built;
+  Alcotest.(check (list int)) "builder restarts both" [ 1; 3 ]
+    (List.sort compare (Fault_schedule.restarts built));
+  let rejected plan =
+    match Fault_schedule.validate ~n:8 plan with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "restart without a crash rejected" true
+    (rejected [ { Fault_schedule.at_ms = 500.; action = Fault_schedule.Restart 2 } ]);
+  Alcotest.(check bool) "restart node out of range rejected" true
+    (rejected (Fault_schedule.crash_and_restart ~nodes:[ 9 ] ~crash_ms:0. ~restart_ms:100.));
+  Alcotest.(check bool) "restart parse error surfaces" true
+    (Result.is_error (Fault_schedule.of_string "restart:two@0"))
+
 (* Corruption and chaos crashes are different faults: a chaos [Recover]
    restarts a crashed node, but an adaptively corrupted node stays silenced
    by [drop_from_corrupted] forever. *)
@@ -419,6 +446,7 @@ let () =
           Alcotest.test_case "gst shift overrides the delay model" `Quick test_schedule_gst_shift;
           Alcotest.test_case "validation" `Quick test_schedule_validate;
           Alcotest.test_case "of_string round-trip" `Quick test_schedule_of_string_roundtrip;
+          Alcotest.test_case "restart steps" `Quick test_schedule_restart;
           Alcotest.test_case "corruption survives recovery" `Quick
             test_corruption_survives_recovery;
         ] );

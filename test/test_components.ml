@@ -47,6 +47,8 @@ module Rbc_flood = struct
 
   let on_timer _ _ _ = ()
 
+  let on_restart = on_start
+
   let view t = List.length t.received
 end
 
@@ -74,6 +76,8 @@ module Rbc_origin = struct
     | _ -> ()
 
   let on_timer _ _ _ = ()
+
+  let on_restart = on_start
 
   let view t = if t.decided then 1 else 0
 end
@@ -159,6 +163,10 @@ let test_rbc_spoofed_init_ignored () =
       leader_schedule = None;
       request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
+      durable = false;
+      persist = (fun ~key:_ _ -> ());
+      recall = (fun ~key:_ -> None);
+      on_caught_up = ignore;
     }
   in
   let t = P.Rbc.create () in
@@ -199,6 +207,10 @@ let test_rbc_delivery_thresholds () =
       leader_schedule = None;
       request_proposal = (fun ~slot:_ ~width:_ ~default k -> ignore (k default : bool));
       pipeline_depth = 1;
+      durable = false;
+      persist = (fun ~key:_ _ -> ());
+      recall = (fun ~key:_ -> None);
+      on_caught_up = ignore;
     }
   in
   let t = P.Rbc.create () in

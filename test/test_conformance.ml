@@ -69,6 +69,41 @@ let test_oracle_validity_chained_exempt () =
   Alcotest.(check int) "chained digests are not validity violations" 0
     (List.length (Conf.Oracle.validity config r))
 
+let test_oracle_recovery () =
+  let chaos =
+    Bftsim_attack.Fault_schedule.crash_and_restart ~nodes:[ 2 ] ~crash_ms:200. ~restart_ms:700.
+  in
+  let config =
+    Core.Config.make "pbft" ~n:7 ~seed:42 ~chaos ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check int) "clean recovery accepted" 0 (List.length (Conf.Oracle.recovery config r));
+  (* A restarted node whose catch-up rewrote history is flagged... *)
+  let conflicting =
+    {
+      r with
+      Core.Controller.decisions =
+        List.map
+          (fun (node, values) -> if node = 2 then (node, [ "bogus" ]) else (node, values))
+          r.Core.Controller.decisions;
+    }
+  in
+  Alcotest.(check bool) "conflicting re-commit flagged" true
+    (List.exists
+       (fun v -> contains ~needle:"committed" (Conf.Oracle.describe v))
+       (Conf.Oracle.recovery config conflicting));
+  (* ...and one stuck in a stale view never rejoined. *)
+  let fv = Array.mapi (fun i _ -> if i = 2 then 0 else 10) r.Core.Controller.final_views in
+  let stale = { r with Core.Controller.final_views = fv } in
+  Alcotest.(check bool) "stale view flagged" true
+    (List.exists
+       (fun v -> contains ~needle:"never rejoined" (Conf.Oracle.describe v))
+       (Conf.Oracle.recovery config stale));
+  (* Without restart steps the oracle is inert even on tampered results. *)
+  let norestart = Core.Config.make "pbft" ~n:7 ~seed:42 ~delay:(Net.Delay_model.Constant 50.) in
+  Alcotest.(check int) "inert without restarts" 0
+    (List.length (Conf.Oracle.recovery norestart conflicting))
+
 let test_oracle_qc_sanity_clean () =
   for n = 4 to 40 do
     let verdicts = Conf.Oracle.qc_sanity ~n in
@@ -320,6 +355,7 @@ let () =
           Alcotest.test_case "decide-once" `Quick test_oracle_decide_once;
           Alcotest.test_case "validity flags" `Quick test_oracle_validity_flags;
           Alcotest.test_case "validity exempts chained" `Quick test_oracle_validity_chained_exempt;
+          Alcotest.test_case "recovery oracle" `Quick test_oracle_recovery;
           Alcotest.test_case "qc-sanity clean" `Quick test_oracle_qc_sanity_clean;
           Alcotest.test_case "qc-sanity catches mutation" `Quick
             test_oracle_qc_sanity_catches_mutation;

@@ -303,10 +303,11 @@ let test_chaos_determinism () =
   Alcotest.(check (option bool)) "replayed trace matches" (Some true) replay.trace_match
 
 let test_chaos_recovery_no_false_agreement () =
-  (* A recovered node has a sparse log (it missed the slots decided while it
-     was down and there is no state transfer), so its first post-recovery
-     decision lands at a different per-node index than everyone else's.
-     That must NOT read as an agreement violation. *)
+  (* A recovered node wakes behind the network: the quorums that decided
+     while it was down will never re-form.  Once a later commit quorum
+     proves the network moved past it, the replica fetches the decided
+     prefix from f+1 peers instead of skipping or stalling — the run must
+     still reach its target with no agreement violation. *)
   let chaos =
     Bftsim_attack.Fault_schedule.crash_and_recover ~nodes:[ 14; 15 ] ~crash_ms:0.
       ~recover_ms:15_000.
@@ -317,6 +318,115 @@ let test_chaos_recovery_no_false_agreement () =
     (r.outcome = Core.Controller.Reached_target);
   Alcotest.(check bool) "safety holds" true r.safety_ok;
   Alcotest.(check bool) "no violations" true (r.violations = [])
+
+let counter_of (r : Core.Controller.result) name =
+  match r.metrics with
+  | None -> 0
+  | Some m ->
+    (match List.assoc_opt name (Bftsim_obs.Metrics.snapshot m) with
+    | Some (Bftsim_obs.Metrics.Counter_v c) -> c
+    | _ -> 0)
+
+let with_metrics config =
+  {
+    config with
+    Core.Config.telemetry = { Core.Config.default_telemetry with Core.Config.metrics = true };
+  }
+
+let test_config_lossy_validation () =
+  let rejected f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "loss > 1 rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~loss:(Net.Loss_model.make ~drop:1.5 ())));
+  Alcotest.(check bool) "negative dup rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~loss:(Net.Loss_model.make ~dup:(-0.1) ())));
+  Alcotest.(check bool) "backoff < 1 rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~retrans_backoff:0.5));
+  Alcotest.(check bool) "negative retry cap rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~retrans_max:(-1)));
+  Alcotest.(check bool) "negative retrans base rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~retrans_base_ms:(-5.)));
+  Alcotest.(check bool) "negative wal latency rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~wal_ms:(-1.)));
+  Alcotest.(check bool) "zero stall threshold rejected" true
+    (rejected (fun () -> Core.Config.make "pbft" ~stall_ms:0.));
+  Alcotest.(check bool) "kv path rejects too" true
+    (Result.is_error (Core.Config.of_keyvalues [ ("protocol", "pbft"); ("loss", "1.5") ]));
+  (* Well-formed lossy configuration is accepted and round-trips. *)
+  let c =
+    Core.Config.make "pbft"
+      ~loss:(Net.Loss_model.make ~drop:0.05 ~dup:0.02 ~reorder_ms:20. ())
+      ~reliable:true ~retrans_base_ms:100. ~retrans_max:5 ~wal_ms:2. ~stall_ms:30_000.
+  in
+  match Core.Config.of_keyvalues (Core.Config.to_keyvalues c) with
+  | Ok c' -> Alcotest.(check bool) "kv round-trip" true (c' = c)
+  | Error e -> Alcotest.fail e
+
+let test_reliable_channel_end_to_end () =
+  (* 20% loss without the reliable channel would starve quorums; with it the
+     run reaches its target and the channel's accounting is visible. *)
+  let config =
+    with_metrics
+      (Core.Config.make "hotstuff-ns" ~n:4 ~seed:7 ~decisions_target:10
+         ~loss:(Net.Loss_model.make ~drop:0.2 ())
+         ~reliable:true)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "reaches target through 20% loss" true
+    (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) "safety holds" true r.safety_ok;
+  Alcotest.(check bool) "messages were lost" true (counter_of r "net.loss_dropped" > 0);
+  Alcotest.(check bool) "channel retransmitted" true (counter_of r "net.retrans" > 0);
+  Alcotest.(check bool) "retransmitted duplicates deduped" true
+    (counter_of r "net.dup_dropped" > 0)
+
+let test_restart_catchup_end_to_end () =
+  (* Crash a replica mid-run, restart it with volatile state lost: WAL
+     rehydration plus state transfer must bring it back to the decision
+     frontier, observed through the recovery.catchup_ms histogram. *)
+  let chaos =
+    Bftsim_attack.Fault_schedule.crash_and_restart ~nodes:[ 2 ] ~crash_ms:200. ~restart_ms:700.
+  in
+  let config =
+    with_metrics
+      (Core.Config.make "pbft" ~n:7 ~seed:42 ~chaos
+         ~loss:(Net.Loss_model.make ~drop:0.05 ~dup:0.02 ())
+         ~reliable:true ~wal_ms:0.5 ~stall_ms:60_000.)
+  in
+  let r = Core.Controller.run config in
+  Alcotest.(check bool) "reaches target through the restart" true
+    (r.outcome = Core.Controller.Reached_target);
+  Alcotest.(check bool) "safety holds" true r.safety_ok;
+  Alcotest.(check bool) "no invariant violations" true (r.violations = []);
+  let catchup =
+    match r.metrics with
+    | None -> None
+    | Some m ->
+      (match List.assoc_opt "recovery.catchup_ms" (Bftsim_obs.Metrics.snapshot m) with
+      | Some (Bftsim_obs.Metrics.Histogram_v h) -> Some h
+      | _ -> None)
+  in
+  match catchup with
+  | None -> Alcotest.fail "recovery.catchup_ms histogram missing"
+  | Some h ->
+    Alcotest.(check int) "one restart observed" 1 h.Bftsim_obs.Metrics.s_count;
+    Alcotest.(check bool) "catch-up took simulated time" true (h.Bftsim_obs.Metrics.s_sum > 0.)
+
+let test_stall_ms_override () =
+  (* The absolute stall threshold arms the liveness watchdog even without
+     the [watchdog] multiplier, and wins over it when both are set. *)
+  let make ?watchdog ?stall_ms () =
+    Core.Config.make "pbft"
+      ~chaos:(crash_forever [ 10; 11; 12; 13; 14; 15 ])
+      ?watchdog ?stall_ms ~seed:1 ~max_time_ms:20_000. ~delay:(Net.Delay_model.Constant 50.)
+  in
+  let r = Core.Controller.run (make ~stall_ms:2_000. ()) in
+  (match r.outcome with
+  | Core.Controller.Stalled _ -> ()
+  | o -> Alcotest.failf "expected stalled, got %s" (Format.asprintf "%a" Core.Controller.pp_outcome o));
+  Alcotest.(check bool) "aborted near the absolute threshold" true (r.time_ms < 5_000.);
+  let a = Core.Controller.run (make ~watchdog:5. ~stall_ms:1_000. ()) in
+  let b = Core.Controller.run (make ~watchdog:5. ()) in
+  Alcotest.(check bool) "absolute threshold beats the multiplier" true (a.time_ms < b.time_ms)
 
 let test_chaos_validity_monitor_clean () =
   let config =
@@ -589,6 +699,11 @@ let () =
           Alcotest.test_case "chaos runs replay deterministically" `Quick test_chaos_determinism;
           Alcotest.test_case "recovery causes no false agreement violation" `Quick
             test_chaos_recovery_no_false_agreement;
+          Alcotest.test_case "lossy config validation" `Quick test_config_lossy_validation;
+          Alcotest.test_case "reliable channel end to end" `Quick
+            test_reliable_channel_end_to_end;
+          Alcotest.test_case "restart catch-up end to end" `Quick test_restart_catchup_end_to_end;
+          Alcotest.test_case "stall_ms override" `Quick test_stall_ms_override;
           Alcotest.test_case "validity monitor clean on unanimous run" `Quick
             test_chaos_validity_monitor_clean;
           Alcotest.test_case "invariant monitors" `Quick test_invariant_monitors;

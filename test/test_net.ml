@@ -368,6 +368,84 @@ let test_network_override_delay () =
   Network.assign_delay net m;
   Alcotest.(check (float 1e-9)) "overridden model used" 99. m.Message.delay_ms
 
+(* --- Loss_model --- *)
+
+let test_loss_model_none () =
+  Alcotest.(check bool) "none is lossless" true (Loss_model.is_none Loss_model.none);
+  Alcotest.(check bool) "default make is lossless" true (Loss_model.is_none (Loss_model.make ()));
+  Alcotest.(check string) "describe" "lossless" (Loss_model.describe Loss_model.none);
+  (* The lossless model consumes no randomness: the RNG stream after a
+     sample is exactly the stream before it (the disabled-path contract). *)
+  let r1 = rng () and r2 = rng () in
+  let st = Loss_model.state Loss_model.none in
+  let v = Loss_model.sample st r1 ~src:0 ~dst:1 in
+  Alcotest.(check bool) "delivers" true v.Loss_model.deliver;
+  Alcotest.(check bool) "no dup" false v.Loss_model.duplicate;
+  Alcotest.(check (float 0.)) "no reorder" 0. v.Loss_model.reorder_extra_ms;
+  Alcotest.(check (float 0.)) "no draw consumed" (Rng.float r2 1.) (Rng.float r1 1.)
+
+let test_loss_model_certain_drop () =
+  let st = Loss_model.state (Loss_model.make ~drop:1. ()) in
+  let r = rng () in
+  for _ = 1 to 20 do
+    let v = Loss_model.sample st r ~src:0 ~dst:1 in
+    Alcotest.(check bool) "p=1 drops" false v.Loss_model.deliver
+  done
+
+let test_loss_model_rates () =
+  (* Empirical frequencies over one link track the configured probabilities,
+     and every reorder draw stays inside the window. *)
+  let st = Loss_model.state (Loss_model.make ~drop:0.3 ~dup:0.2 ~reorder_ms:40. ()) in
+  let r = rng () in
+  let n = 10_000 in
+  let drops = ref 0 and dups = ref 0 in
+  for _ = 1 to n do
+    let v = Loss_model.sample st r ~src:2 ~dst:3 in
+    if not v.Loss_model.deliver then incr drops
+    else begin
+      if v.Loss_model.duplicate then incr dups;
+      Alcotest.(check bool) "reorder inside window" true
+        (v.Loss_model.reorder_extra_ms >= 0. && v.Loss_model.reorder_extra_ms < 40.)
+    end
+  done;
+  let drop_rate = float_of_int !drops /. float_of_int n in
+  let dup_rate = float_of_int !dups /. float_of_int (n - !drops) in
+  Alcotest.(check bool) "drop rate ~0.3" true (abs_float (drop_rate -. 0.3) < 0.02);
+  Alcotest.(check bool) "dup rate ~0.2" true (abs_float (dup_rate -. 0.2) < 0.02)
+
+let test_loss_model_burst_chain () =
+  (* With p_gb=1, p_bg=0, p_bad=1 the chain enters the bad state on the
+     first message and drops everything after; with p_gb=0 the link never
+     leaves the good state.  Chains are per-link. *)
+  let st =
+    Loss_model.state (Loss_model.make ~burst:{ Loss_model.p_gb = 1.; p_bg = 0.; p_bad = 1. } ())
+  in
+  let r = rng () in
+  for _ = 1 to 10 do
+    let v = Loss_model.sample st r ~src:0 ~dst:1 in
+    Alcotest.(check bool) "bad state drops" false v.Loss_model.deliver
+  done;
+  let st2 =
+    Loss_model.state (Loss_model.make ~burst:{ Loss_model.p_gb = 0.; p_bg = 0.; p_bad = 1. } ())
+  in
+  for _ = 1 to 10 do
+    let v = Loss_model.sample st2 r ~src:0 ~dst:1 in
+    Alcotest.(check bool) "good state delivers" true v.Loss_model.deliver
+  done
+
+let test_loss_model_validate () =
+  Alcotest.check_raises "drop > 1 rejected"
+    (Invalid_argument "loss (drop probability) must be a probability in [0, 1], got 1.5")
+    (fun () -> Loss_model.validate (Loss_model.make ~drop:1.5 ()));
+  Alcotest.check_raises "negative reorder rejected"
+    (Invalid_argument "reorder window must be >= 0 ms, got -1") (fun () ->
+      Loss_model.validate (Loss_model.make ~reorder_ms:(-1.) ()));
+  let b = Loss_model.burst_of_string "0.01,0.2,0.8" in
+  Alcotest.(check string) "burst roundtrip" "0.01,0.2,0.8" (Loss_model.burst_to_string b);
+  Alcotest.check_raises "malformed burst"
+    (Invalid_argument "burst_loss \"x\": expected \"p_gb,p_bg,p_bad\"") (fun () ->
+      ignore (Loss_model.burst_of_string "x"))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "net"
@@ -412,5 +490,13 @@ let () =
           Alcotest.test_case "bandwidth fifo queue" `Quick test_network_bandwidth_fifo_queue;
           Alcotest.test_case "bandwidth link drains" `Quick test_network_bandwidth_link_drains;
           Alcotest.test_case "mid-run override" `Quick test_network_override_delay;
+        ] );
+      ( "loss_model",
+        [
+          Alcotest.test_case "lossless consumes no rng" `Quick test_loss_model_none;
+          Alcotest.test_case "certain drop" `Quick test_loss_model_certain_drop;
+          Alcotest.test_case "empirical rates" `Quick test_loss_model_rates;
+          Alcotest.test_case "burst chain states" `Quick test_loss_model_burst_chain;
+          Alcotest.test_case "validation" `Quick test_loss_model_validate;
         ] );
     ]

@@ -249,6 +249,39 @@ let test_journal_torn_final_line () =
       (List.length (Core.Journal.runs events ~cell:"c")));
   Sys.remove path
 
+let test_journal_torn_note_mid_escape () =
+  (* A Note record torn inside a string escape — the write died between the
+     backslash and its continuation ("…\u00" then EOF) — must be dropped
+     like any other torn tail: the parser cannot be left waiting for the
+     escape to complete, and the whole records around it must survive. *)
+  let path = Filename.temp_file "bftsim-journal" ".jsonl" in
+  let j = Core.Journal.create ~fingerprint:"fp-note" path in
+  Core.Journal.append j
+    (Core.Journal.Note
+       { cell = "c"; body = Bftsim_obs.Json.(Assoc [ ("knee", Float 1600.) ]) });
+  Core.Journal.close j;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"note\":{\"cell\":\"c\",\"body\":\"torn \\u00";
+  close_out oc;
+  (match Core.Journal.load path with
+  | Error e -> Alcotest.failf "torn note should be tolerated: %s" e
+  | Ok (_, events) ->
+    Alcotest.(check int) "only the whole note survives" 1
+      (List.length (Core.Journal.notes events ~cell:"c")));
+  (* Resume must append cleanly after the torn escape bytes. *)
+  (match Core.Journal.resume ~fingerprint:"fp-note" path with
+  | Error e -> Alcotest.fail e
+  | Ok (j, _) ->
+    Core.Journal.append j
+      (Core.Journal.Note { cell = "c"; body = Bftsim_obs.Json.(String "after tear") });
+    Core.Journal.close j);
+  (match Core.Journal.load path with
+  | Error e -> Alcotest.fail e
+  | Ok (_, events) ->
+    Alcotest.(check int) "notes around the tear survive" 2
+      (List.length (Core.Journal.notes events ~cell:"c")));
+  Sys.remove path
+
 let test_journal_fingerprint_mismatch () =
   let path = Filename.temp_file "bftsim-journal" ".jsonl" in
   Core.Journal.close (Core.Journal.create ~fingerprint:"fp-a" path);
@@ -438,6 +471,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_journal_round_trip;
           Alcotest.test_case "torn final line tolerated" `Quick test_journal_torn_final_line;
+          Alcotest.test_case "torn note mid-escape tolerated" `Quick
+            test_journal_torn_note_mid_escape;
           Alcotest.test_case "fingerprint mismatch refused" `Quick
             test_journal_fingerprint_mismatch;
           Alcotest.test_case "metrics registry JSON round trip" `Quick
